@@ -1,0 +1,39 @@
+# Convenience targets for the repro project.
+
+PYTHON ?= python3
+
+.PHONY: install test bench examples tables figures clean
+
+install:
+	$(PYTHON) -m pip install -e . --no-build-isolation
+
+test:
+	$(PYTHON) -m pytest tests/ 2>&1 | tee test_output.txt
+
+bench:
+	$(PYTHON) -m pytest benchmarks/ --benchmark-only 2>&1 | tee bench_output.txt
+
+# regenerate only the exact (machine-independent) tables
+tables:
+	$(PYTHON) -m pytest benchmarks/bench_table2_coarse_steps.py \
+	    benchmarks/bench_table3_tiled_steps.py \
+	    benchmarks/bench_table4_greedy_asap.py \
+	    benchmarks/bench_table5_theoretical_cp.py \
+	    benchmarks/bench_formulas.py --benchmark-only
+
+# regenerate the machine-dependent figures/tables
+figures:
+	$(PYTHON) -m pytest benchmarks/bench_table1_kernel_costs.py \
+	    benchmarks/bench_fig1_performance_tt.py \
+	    benchmarks/bench_fig2_3_overhead_tt.py \
+	    benchmarks/bench_fig4_5_kernel_perf.py \
+	    benchmarks/bench_fig6_performance_all.py \
+	    benchmarks/bench_fig7_8_overhead_all.py \
+	    benchmarks/bench_tables6_9_experimental.py --benchmark-only
+
+examples:
+	@for ex in examples/*.py; do echo "== $$ex"; $(PYTHON) $$ex || exit 1; done
+
+clean:
+	rm -rf .pytest_cache .hypothesis .benchmarks
+	find . -name __pycache__ -type d -exec rm -rf {} +

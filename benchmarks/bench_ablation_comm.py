@@ -1,0 +1,46 @@
+"""Ablation — communication-aware cost model (paper §5).
+
+Sweeps the per-tile-transfer surcharge ``alpha`` of
+:mod:`repro.ext.comm` and reports the critical paths of the TT and TS
+variants of FlatTree plus Greedy.  As ``alpha`` grows, the TS family's
+smaller data movement progressively offsets the TT family's shorter
+flop-only critical path — locating the crossover the paper's Section
+2.1 locality discussion predicts.
+
+Run: ``pytest benchmarks/bench_ablation_comm.py --benchmark-only``
+Artifact: ``benchmarks/results/ablation_comm.txt``
+"""
+
+from benchmarks.common import emit
+from repro.bench import format_table
+from repro.dag import build_dag
+from repro.ext import comm_adjusted_weights
+from repro.schemes import flat_tree, greedy
+from repro.sim import simulate_unbounded
+
+P, Q = 24, 8
+ALPHAS = (0.0, 0.5, 1.0, 2.0, 4.0, 8.0)
+
+
+def test_comm_ablation(benchmark):
+    def compute():
+        graphs = {
+            "flat-tree(TT)": build_dag(flat_tree(P, Q), "TT"),
+            "flat-tree(TS)": build_dag(flat_tree(P, Q), "TS"),
+            "greedy(TT)": build_dag(greedy(P, Q), "TT"),
+            "greedy(TS)": build_dag(greedy(P, Q), "TS"),
+        }
+        rows = []
+        for alpha in ALPHAS:
+            w = comm_adjusted_weights(alpha)
+            row = [alpha]
+            for g in graphs.values():
+                row.append(simulate_unbounded(g.rescale(w)).makespan)
+            rows.append(row)
+        return list(graphs), rows
+
+    names, rows = benchmark.pedantic(compute, rounds=1, iterations=1)
+    emit("ablation_comm",
+         format_table(["alpha"] + names, rows,
+                      title=f"Ablation: critical path under communication "
+                            f"surcharge alpha (p={P}, q={Q})"))

@@ -1,0 +1,58 @@
+"""Ablation — distributed-memory model (paper §5).
+
+Distributes tile rows over 4 node memories (block layout) and sweeps
+the per-tile transfer cost; reports communication volume and
+distributed-aware critical paths per elimination tree.  Shows the
+locality-vs-parallelism trade-off that motivates hierarchical trees:
+as communication gets expensive, PlasmaTree with BS = rows-per-node
+overtakes BinaryTree/Greedy, while pure FlatTree stays serial.
+
+Run: ``pytest benchmarks/bench_ablation_distributed.py --benchmark-only``
+Artifact: ``benchmarks/results/ablation_distributed.txt``
+"""
+
+from benchmarks.common import emit
+from repro.bench import format_table
+from repro.dag import build_dag
+from repro.ext import (DistributedLayout, communication_volume,
+                       distributed_graph, simulate_distributed)
+from repro.schemes import get_scheme
+from repro.sim import simulate_unbounded
+
+P, Q, NODES, WPN = 32, 4, 4, 4
+COSTS = (0.0, 4.0, 16.0)
+SCHEMES = [("greedy", {}), ("binary-tree", {}), ("flat-tree", {}),
+           ("plasma-tree(BS=p/N)", {"bs": P // NODES})]
+
+
+def test_distributed_ablation(benchmark):
+    lay = DistributedLayout(p=P, nodes=NODES, kind="block")
+
+    def compute():
+        rows = []
+        for label, kw in SCHEMES:
+            scheme = "plasma-tree" if label.startswith("plasma") else label
+            el = get_scheme(scheme, P, Q, **kw)
+            vol = communication_volume(el, lay)
+            g = build_dag(el, "TT")
+            row = [label, vol["cross_eliminations"], vol["tiles"]]
+            for c in COSTS:
+                row.append(simulate_unbounded(
+                    distributed_graph(g, lay, c)).makespan)
+            # owner-computes machine: NODES x WPN workers
+            for c in (0.0, 16.0):
+                row.append(simulate_distributed(
+                    g, lay, WPN, tile_comm_cost=c).makespan)
+            rows.append(row)
+        return rows
+
+    rows = benchmark.pedantic(compute, rounds=1, iterations=1)
+    emit("ablation_distributed",
+         format_table(["scheme", "cross-elims", "tiles moved"]
+                      + [f"cp @cost={c:g}" for c in COSTS]
+                      + [f"{NODES}x{WPN}w @{c:g}" for c in (0.0, 16.0)],
+                      rows,
+                      title=f"Ablation: {NODES}-node block distribution of a "
+                            f"{P} x {Q} grid (communication volume, "
+                            "distributed critical paths, owner-computes "
+                            "makespans)"))

@@ -1,0 +1,48 @@
+"""Ablation — fail-stop resilience of the elimination trees (paper §5).
+
+Injects worker failures at fractions of the fault-free makespan and
+reports the relative makespan inflation per tree, under re-execution
+recovery.  Complements ``bench_ablation_hetero``: a failure is the
+limit case of a slow core.
+
+Run: ``pytest benchmarks/bench_ablation_failures.py --benchmark-only``
+Artifact: ``benchmarks/results/ablation_failures.txt``
+"""
+
+from benchmarks.common import emit
+from repro.bench import format_table
+from repro.dag import build_dag
+from repro.ext.failures import Failure, simulate_with_failures
+from repro.schemes import get_scheme
+
+P, Q, WORKERS = 32, 8, 8
+SCHEMES = ("greedy", "fibonacci", "flat-tree", "binary-tree")
+WHEN = (0.25, 0.5, 0.75)  # failure instants as fractions of base makespan
+
+
+def test_failure_ablation(benchmark):
+    def compute():
+        rows = []
+        for scheme in SCHEMES:
+            g = build_dag(get_scheme(scheme, P, Q), "TT")
+            base = simulate_with_failures(g, WORKERS, []).makespan
+            row = [scheme, round(base, 1)]
+            for frac in WHEN:
+                ms = simulate_with_failures(
+                    g, WORKERS, [Failure(0, frac * base)]).makespan
+                row.append(round(ms / base, 4))
+            # two simultaneous failures at mid-run
+            ms2 = simulate_with_failures(
+                g, WORKERS, [Failure(0, 0.5 * base),
+                             Failure(1, 0.5 * base)]).makespan
+            row.append(round(ms2 / base, 4))
+            rows.append(row)
+        return rows
+
+    rows = benchmark.pedantic(compute, rounds=1, iterations=1)
+    emit("ablation_failures",
+         format_table(["scheme", "fault-free makespan"]
+                      + [f"1 fail @{f:g}" for f in WHEN] + ["2 fails @0.5"],
+                      rows,
+                      title=f"Ablation: fail-stop worker losses out of "
+                            f"{WORKERS} (p={P}, q={Q}; makespan inflation)"))

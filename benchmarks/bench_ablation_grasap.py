@@ -1,0 +1,37 @@
+"""Ablation — Grasap(k): how many trailing Asap columns help?
+
+The paper shows Grasap(1) beats Greedy on 15 x 3 and asks for "the
+best value of k as a function of p and q".  This sweep answers the
+question empirically on a grid of shapes.
+
+Run: ``pytest benchmarks/bench_ablation_grasap.py --benchmark-only``
+Artifact: ``benchmarks/results/ablation_grasap.txt``
+"""
+
+from benchmarks.common import emit
+from repro.bench import format_table
+from repro.schemes import grasap
+
+SHAPES = [(15, 2), (15, 3), (15, 5), (20, 4), (24, 6), (32, 8)]
+
+
+def test_grasap_sweep(benchmark):
+    maxk = min(6, max(q for _, q in SHAPES))
+
+    def compute():
+        rows = []
+        for p, q in SHAPES:
+            cps = [grasap(p, q, k).makespan for k in range(q + 1)]
+            best_k = min(range(q + 1), key=lambda k: cps[k])
+            shown = [int(cps[k]) if k <= q else "" for k in range(maxk + 1)]
+            rows.append([p, q] + shown + [best_k, int(cps[best_k])])
+        return rows
+
+    rows = benchmark.pedantic(compute, rounds=1, iterations=1)
+    emit("ablation_grasap",
+         format_table(["p", "q"] + [f"k={k}" for k in range(maxk + 1)]
+                      + ["best k", "best cp"],
+                      rows,
+                      title="Ablation: Grasap(k) critical paths "
+                            "(k=0 is Greedy, k=q is Asap; columns beyond "
+                            "k=6 elided)"))

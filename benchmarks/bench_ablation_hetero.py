@@ -1,0 +1,45 @@
+"""Ablation — robustness to processor-speed variation (paper §5).
+
+For each elimination tree, simulate a 16-worker machine where one
+worker is progressively slowed down, and report the makespan inflation
+relative to the homogeneous machine.  Trees with shorter critical paths
+and more scheduling slack (Greedy) degrade more gracefully than
+FlatTree — quantifying the robustness question the paper leaves as
+future work.
+
+Run: ``pytest benchmarks/bench_ablation_hetero.py --benchmark-only``
+Artifact: ``benchmarks/results/ablation_hetero.txt``
+"""
+
+from benchmarks.common import emit
+from repro.bench import format_table
+from repro.dag import build_dag
+from repro.ext import simulate_heterogeneous
+from repro.schemes import get_scheme
+
+P, Q = 32, 8
+WORKERS = 16
+SLOWDOWNS = (1.0, 0.5, 0.25, 0.1)
+
+
+def test_hetero_ablation(benchmark):
+    def compute():
+        rows = []
+        for scheme in ("greedy", "fibonacci", "flat-tree", "binary-tree"):
+            g = build_dag(get_scheme(scheme, P, Q), "TT")
+            base = simulate_heterogeneous(g, [1.0] * WORKERS).makespan
+            row = [scheme, round(base, 1)]
+            for s in SLOWDOWNS[1:]:
+                speeds = [1.0] * (WORKERS - 1) + [s]
+                ms = simulate_heterogeneous(g, speeds).makespan
+                row.append(round(ms / base, 4))
+            rows.append(row)
+        return rows
+
+    rows = benchmark.pedantic(compute, rounds=1, iterations=1)
+    emit("ablation_hetero",
+         format_table(["scheme", "homogeneous makespan"]
+                      + [f"slowdown x{1/s:g}" for s in SLOWDOWNS[1:]],
+                      rows,
+                      title=f"Ablation: one slow worker out of {WORKERS} "
+                            f"(p={P}, q={Q}; makespan inflation, 1.0 = none)"))

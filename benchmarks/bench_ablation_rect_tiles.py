@@ -1,0 +1,49 @@
+"""Ablation — rectangular tiles (paper §5).
+
+Fixes the matrix size (square-tile grid 64 x 8) and sweeps the tile
+aspect ratio ``rho = mb/nb``: taller tiles mean fewer tile rows
+(locality, shorter reduction trees) but heavier panel kernels.  The
+sweet spot depends on the tree: FlatTree, whose critical path is
+dominated by the ``6p`` panel chain, benefits most; Greedy's log-depth
+columns flatten the curve — evidence for the paper's conjecture that
+rectangular tiles offer "more locality and still the same potential
+for parallelism".
+
+Run: ``pytest benchmarks/bench_ablation_rect_tiles.py --benchmark-only``
+Artifact: ``benchmarks/results/ablation_rect_tiles.txt``
+"""
+
+from benchmarks.common import emit
+from repro.bench import format_table
+from repro.dag import build_dag
+from repro.ext.rect_tiles import RectTileModel
+from repro.schemes import get_scheme
+from repro.sim import simulate_unbounded
+
+P_SQ, Q = 64, 8
+RHOS = (1.0, 2.0, 4.0, 8.0)
+SCHEMES = ("greedy", "fibonacci", "flat-tree", "binary-tree")
+
+
+def test_rect_tile_ablation(benchmark):
+    def compute():
+        rows = []
+        for scheme in SCHEMES:
+            row = [scheme]
+            for rho in RHOS:
+                model = RectTileModel(rho)
+                p = model.rows_for(P_SQ)
+                g = build_dag(get_scheme(scheme, p, Q), "TT")
+                cp = simulate_unbounded(g.rescale(model.weights())).makespan
+                row.append(round(cp, 1))
+            rows.append(row)
+        return rows
+
+    rows = benchmark.pedantic(compute, rounds=1, iterations=1)
+    emit("ablation_rect_tiles",
+         format_table(["scheme"] + [f"rho={r:g} (p={RectTileModel(r).rows_for(P_SQ)})"
+                                    for r in RHOS],
+                      rows,
+                      title=f"Ablation: tile aspect ratio at fixed matrix "
+                            f"size ({P_SQ} square-tile rows, q={Q}; "
+                            "critical path in nb^3/3 units)"))

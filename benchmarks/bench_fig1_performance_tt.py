@@ -1,0 +1,64 @@
+"""Figure 1 — predicted and experimental performance, TT kernels.
+
+Regenerates the four panels of the paper's Figure 1 for p = 40:
+predicted (Roofline model with measured sequential rates) and
+"experimental" (bounded-48-worker discrete-event simulation with
+measured kernel durations — the documented substitution for the
+paper's wall-clock runs) GFLOP/s, in double and double complex, for
+FlatTree(TT), PlasmaTree(TT, best BS), Fibonacci and Greedy.
+
+Run: ``pytest benchmarks/bench_fig1_performance_tt.py --benchmark-only``
+Artifact: ``benchmarks/results/fig1_performance_tt.txt``
+"""
+
+import pytest
+
+from benchmarks.common import (PAPER_P, best_experimental_bs, emit, roofline,
+                               simulated_gflops)
+from repro.analysis import predicted_gflops
+from repro.bench import ascii_chart, best_plasma_bs, format_series
+
+P = 40
+QS = (1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 20, 30, 40)
+NB = 64  # paper: 200; reduce to keep measurement time modest
+
+
+@pytest.mark.parametrize("complex_arith", [False, True],
+                         ids=["double", "double-complex"])
+def test_fig1(benchmark, complex_arith):
+    def compute():
+        model = roofline(NB, complex_arith)
+        pred = {"flat-tree": [], "plasma-best": [], "fibonacci": [],
+                "greedy": []}
+        expe = {"flat-tree": [], "plasma-best": [], "fibonacci": [],
+                "greedy": []}
+        best_bs_per_q = []
+        for q in QS:
+            for name in ("flat-tree", "fibonacci", "greedy"):
+                pred[name].append(predicted_gflops(name, P, q, model))
+                expe[name].append(simulated_gflops(name, P, q, NB,
+                                                   complex_arith))
+            bs_cp, _ = best_plasma_bs(P, q)
+            pred["plasma-best"].append(
+                predicted_gflops("plasma-tree", P, q, model, bs=bs_cp))
+            bs_ex, gf = best_experimental_bs(P, q, NB, complex_arith)
+            expe["plasma-best"].append(gf)
+            best_bs_per_q.append(bs_ex)
+        return pred, expe, best_bs_per_q
+
+    pred, expe, bss = benchmark.pedantic(compute, rounds=1, iterations=1)
+    arith = "double complex" if complex_arith else "double"
+    txt = [
+        format_series("q", list(QS), pred,
+                      title=f"Figure 1 predicted ({arith}), GFLOP/s, "
+                            f"P={PAPER_P}, nb={NB}"),
+        ascii_chart(list(QS), pred, title="(predicted)", y_label="GF/s"),
+        format_series("q", list(QS), expe,
+                      title=f"Figure 1 experimental/simulated ({arith}), "
+                            f"GFLOP/s"),
+        ascii_chart(list(QS), expe, title="(simulated experimental)",
+                    y_label="GF/s"),
+        f"best experimental BS per q: {dict(zip(QS, bss))}",
+    ]
+    emit(f"fig1_performance_tt_{'complex' if complex_arith else 'double'}",
+         "\n\n".join(txt))

@@ -1,0 +1,55 @@
+"""Figures 2-3 — overhead w.r.t. Greedy, TT kernels (Greedy = 1).
+
+Regenerates the theoretical critical-path overhead curves and the
+simulated-experimental time overheads of FlatTree(TT),
+PlasmaTree(TT, best BS) and Fibonacci relative to Greedy, in both
+arithmetics; Figure 3 is the zoomed view, so the same series serve both
+figures.
+
+Run: ``pytest benchmarks/bench_fig2_3_overhead_tt.py --benchmark-only``
+Artifact: ``benchmarks/results/fig2_3_overhead_tt.txt``
+"""
+
+from benchmarks.common import best_experimental_bs, emit, simulated_gflops
+from repro.bench import best_plasma_bs, format_series
+from repro.core import critical_path
+
+P = 40
+QS = (1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 20, 30, 40)
+NB = 64
+
+
+def test_fig2_3(benchmark):
+    def compute():
+        theo = {"flat-tree": [], "plasma-best": [], "fibonacci": []}
+        exp_d = {"flat-tree": [], "plasma-best": [], "fibonacci": []}
+        exp_z = {"flat-tree": [], "plasma-best": [], "fibonacci": []}
+        for q in QS:
+            g_cp = critical_path("greedy", P, q)
+            theo["flat-tree"].append(critical_path("flat-tree", P, q) / g_cp)
+            bs, pt_cp = best_plasma_bs(P, q)
+            theo["plasma-best"].append(pt_cp / g_cp)
+            theo["fibonacci"].append(critical_path("fibonacci", P, q) / g_cp)
+            for out, cx in ((exp_d, False), (exp_z, True)):
+                g_gf = simulated_gflops("greedy", P, q, NB, cx)
+                out["flat-tree"].append(
+                    g_gf / simulated_gflops("flat-tree", P, q, NB, cx))
+                _, pt_gf = best_experimental_bs(P, q, NB, cx)
+                out["plasma-best"].append(g_gf / pt_gf)
+                out["fibonacci"].append(
+                    g_gf / simulated_gflops("fibonacci", P, q, NB, cx))
+        return theo, exp_d, exp_z
+
+    theo, exp_d, exp_z = benchmark.pedantic(compute, rounds=1, iterations=1)
+    txt = [
+        format_series("q", list(QS), theo,
+                      title="Fig 2a/3a: overhead in critical-path length "
+                            "w.r.t. Greedy (Greedy = 1)"),
+        format_series("q", list(QS), exp_d,
+                      title="Fig 2c/3c: overhead in time, double "
+                            "(simulated experimental)"),
+        format_series("q", list(QS), exp_z,
+                      title="Fig 2b/3b: overhead in time, double complex "
+                            "(simulated experimental)"),
+    ]
+    emit("fig2_3_overhead_tt", "\n\n".join(txt))

@@ -1,0 +1,57 @@
+"""Figures 4-5 — kernel performance vs tile size, in and out of cache.
+
+Regenerates the kernel GFLOP/s curves (factorization kernels and update
+kernels, double and double complex) under the warm ("No Flush") and
+cold ("MultCallFlushLRU") protocols, plus the headline ratios the paper
+derives from them: TSQRT vs GEQRT+TTQRT and TSMQR vs UNMQR+TTMQR
+(paper: ~1.32-1.34 in cache, ~1.30-1.32 out of cache at nb = 200).
+
+Run: ``pytest benchmarks/bench_fig4_5_kernel_perf.py --benchmark-only``
+Artifacts: ``benchmarks/results/fig4_5_kernel_perf_*.txt``
+"""
+
+import numpy as np
+import pytest
+
+from benchmarks.common import emit
+from repro.bench import format_series, format_table, time_kernels
+from repro.kernels.costs import Kernel
+
+SIZES = (32, 64, 96, 128, 200)
+
+
+@pytest.mark.parametrize("complex_arith", [False, True],
+                         ids=["double", "double-complex"])
+def test_fig4_5(benchmark, complex_arith):
+    dtype = np.complex128 if complex_arith else np.float64
+
+    def compute():
+        out = {}
+        for strategy in ("warm", "cold"):
+            out[strategy] = [
+                time_kernels(nb, ib=32, dtype=dtype, backend="lapack",
+                             strategy=strategy, min_time=0.05)
+                for nb in SIZES
+            ]
+        return out
+
+    rates = benchmark.pedantic(compute, rounds=1, iterations=1)
+    arith = "double complex" if complex_arith else "double"
+    blocks = []
+    for strategy in ("warm", "cold"):
+        series = {k.value: [r.gflops[k] for r in rates[strategy]]
+                  for k in Kernel}
+        blocks.append(format_series(
+            "nb", list(SIZES), series,
+            title=f"Figures 4-5 ({arith}, {strategy} cache): "
+                  "kernel GFLOP/s vs tile size"))
+        ratio_rows = [[r.nb, round(r.ts_vs_tt_factor_ratio(), 4),
+                       round(r.ts_vs_tt_update_ratio(), 4)]
+                      for r in rates[strategy]]
+        blocks.append(format_table(
+            ["nb", "(GEQRT+TTQRT)/TSQRT", "(UNMQR+TTMQR)/TSMQR"],
+            ratio_rows,
+            title=f"TS-vs-TT time ratios ({arith}, {strategy}; "
+                  "paper: ~1.30-1.34 at nb=200)"))
+    emit(f"fig4_5_kernel_perf_{'complex' if complex_arith else 'double'}",
+         "\n\n".join(blocks))

@@ -1,0 +1,70 @@
+"""Figure 6 — predicted and experimental performance, ALL kernels.
+
+Extends Figure 1 with the TS-kernel algorithms: FlatTree(TS) and
+PlasmaTree(TS, best BS) alongside the four TT series.  The paper's
+point: in double precision the faster TS kernels win once parallelism
+saturates (square-ish shapes), while Greedy still wins for tall
+matrices and in complex arithmetic.
+
+Run: ``pytest benchmarks/bench_fig6_performance_all.py --benchmark-only``
+Artifacts: ``benchmarks/results/fig6_performance_all_*.txt``
+"""
+
+import pytest
+
+from benchmarks.common import (best_experimental_bs, emit, roofline,
+                               simulated_gflops)
+from repro.analysis import predicted_gflops
+from repro.bench import ascii_chart, best_plasma_bs, format_series
+
+P = 40
+QS = (1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 20, 30, 40)
+NB = 64
+
+
+@pytest.mark.parametrize("complex_arith", [False, True],
+                         ids=["double", "double-complex"])
+def test_fig6(benchmark, complex_arith):
+    def compute():
+        model = roofline(NB, complex_arith)
+        pred, expe = {}, {}
+        series = [
+            ("flat-tree(TS)", "flat-tree", "TS", False),
+            ("plasma(TS,best)", "plasma-tree", "TS", True),
+            ("flat-tree(TT)", "flat-tree", "TT", False),
+            ("plasma(TT,best)", "plasma-tree", "TT", True),
+            ("fibonacci", "fibonacci", "TT", False),
+            ("greedy", "greedy", "TT", False),
+        ]
+        for label, *_ in series:
+            pred[label], expe[label] = [], []
+        for q in QS:
+            for label, scheme, family, tuned in series:
+                if tuned:
+                    bs_cp, _ = best_plasma_bs(P, q, family=family)
+                    pred[label].append(predicted_gflops(
+                        scheme, P, q, model, family=family, bs=bs_cp))
+                    _, gf = best_experimental_bs(P, q, NB, complex_arith,
+                                                 family=family)
+                    expe[label].append(gf)
+                else:
+                    pred[label].append(predicted_gflops(
+                        scheme, P, q, model, family=family))
+                    expe[label].append(simulated_gflops(
+                        scheme, P, q, NB, complex_arith, family=family))
+        return pred, expe
+
+    pred, expe = benchmark.pedantic(compute, rounds=1, iterations=1)
+    arith = "double complex" if complex_arith else "double"
+    txt = [
+        format_series("q", list(QS), pred,
+                      title=f"Figure 6 predicted ({arith}), GFLOP/s"),
+        ascii_chart(list(QS), pred, title="(predicted)", y_label="GF/s"),
+        format_series("q", list(QS), expe,
+                      title=f"Figure 6 experimental/simulated ({arith}), "
+                            "GFLOP/s"),
+        ascii_chart(list(QS), expe, title="(simulated experimental)",
+                    y_label="GF/s"),
+    ]
+    emit(f"fig6_performance_all_{'complex' if complex_arith else 'double'}",
+         "\n\n".join(txt))

@@ -1,0 +1,57 @@
+"""Figures 7-8 — overhead w.r.t. Greedy, all kernels (Greedy = 1).
+
+The all-kernel companion of Figures 2-3: critical-path and
+simulated-experimental time overheads of the TS-based algorithms
+(FlatTree(TS), PlasmaTree(TS)) together with the TT series, relative
+to Greedy.  Figure 8 is the zoomed view of the same data.
+
+Run: ``pytest benchmarks/bench_fig7_8_overhead_all.py --benchmark-only``
+Artifact: ``benchmarks/results/fig7_8_overhead_all.txt``
+"""
+
+from benchmarks.common import best_experimental_bs, emit, simulated_gflops
+from repro.bench import best_plasma_bs, format_series
+from repro.core import critical_path
+
+P = 40
+QS = (1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 20, 30, 40)
+NB = 64
+SERIES = [
+    ("flat-tree(TS)", "flat-tree", "TS", False),
+    ("plasma(TS,best)", "plasma-tree", "TS", True),
+    ("flat-tree(TT)", "flat-tree", "TT", False),
+    ("plasma(TT,best)", "plasma-tree", "TT", True),
+    ("fibonacci", "fibonacci", "TT", False),
+]
+
+
+def test_fig7_8(benchmark):
+    def compute():
+        theo = {label: [] for label, *_ in SERIES}
+        exp_d = {label: [] for label, *_ in SERIES}
+        for q in QS:
+            g_cp = critical_path("greedy", P, q)
+            g_gf = simulated_gflops("greedy", P, q, NB, False)
+            for label, scheme, family, tuned in SERIES:
+                if tuned:
+                    _, cp = best_plasma_bs(P, q, family=family)
+                    _, gf = best_experimental_bs(P, q, NB, False,
+                                                 family=family)
+                else:
+                    cp = critical_path(scheme, P, q, family=family)
+                    gf = simulated_gflops(scheme, P, q, NB, False,
+                                          family=family)
+                theo[label].append(cp / g_cp)
+                exp_d[label].append(g_gf / gf)
+        return theo, exp_d
+
+    theo, exp_d = benchmark.pedantic(compute, rounds=1, iterations=1)
+    txt = [
+        format_series("q", list(QS), theo,
+                      title="Fig 7a/8a: overhead in cp length w.r.t. Greedy "
+                            "(all kernels, Greedy = 1)"),
+        format_series("q", list(QS), exp_d,
+                      title="Fig 7c/8c: overhead in time, double "
+                            "(simulated experimental)"),
+    ]
+    emit("fig7_8_overhead_all", "\n\n".join(txt))

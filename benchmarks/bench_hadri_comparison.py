@@ -1,0 +1,54 @@
+"""Section 4's side study — PlasmaTree vs the Hadri et al. trees.
+
+The paper states it compared against the Semi-Parallel / Fully-Parallel
+Tile CAQR of Hadri et al. [10] and "found that the PLASMA algorithms
+performed identically or better ... and therefore we do not report
+these comparisons".  This driver produces the table the paper omitted:
+best-BS critical paths of both domain trees (and Greedy) across shapes
+and kernel families.
+
+Run: ``pytest benchmarks/bench_hadri_comparison.py --benchmark-only``
+Artifact: ``benchmarks/results/hadri_comparison.txt``
+"""
+
+from benchmarks.common import emit
+from repro.bench import format_table
+from repro.core import critical_path
+from repro.dag import build_dag
+from repro.schemes import hadri_tree
+from repro.bench.autotune import plasma_bs_sweep
+from repro.sim import simulate_unbounded
+
+SHAPES = [(40, 2), (40, 5), (40, 10), (40, 20), (40, 40)]
+
+
+def _best_hadri(p, q, family):
+    best_bs, best = 0, float("inf")
+    for bs in range(1, p + 1):
+        cp = simulate_unbounded(build_dag(hadri_tree(p, q, bs), family)).makespan
+        if cp < best:
+            best_bs, best = bs, cp
+    return best_bs, best
+
+
+def test_hadri_comparison(benchmark):
+    def compute():
+        rows = []
+        for family in ("TT", "TS"):
+            for p, q in SHAPES:
+                sweep = plasma_bs_sweep(p, q, family)
+                bs_p = min(sweep, key=sweep.get)
+                bs_h, cp_h = _best_hadri(p, q, family)
+                rows.append([family, p, q,
+                             int(critical_path("greedy", p, q, family=family)),
+                             int(sweep[bs_p]), bs_p, int(cp_h), bs_h])
+        return rows
+
+    rows = benchmark.pedantic(compute, rounds=1, iterations=1)
+    emit("hadri_comparison",
+         format_table(["family", "p", "q", "Greedy", "PlasmaTree", "BS",
+                       "HadriTree", "BS"],
+                      rows,
+                      title="PlasmaTree vs Hadri et al. Semi-/Fully-Parallel "
+                            "trees (best-BS critical paths; the comparison "
+                            "the paper ran but did not tabulate)"))

@@ -1,0 +1,69 @@
+"""Table 1 — kernel cost model.
+
+Regenerates the paper's Table 1 two ways:
+
+1. the *model* weights (4/6/6/12/2/6 in units of nb^3/3 flops), and
+2. *measured* per-kernel times at a few tile sizes, normalized so
+   GEQRT = 4, showing the Table-1 ratios on real kernels;
+
+plus per-kernel pytest-benchmark timings at nb = 128.
+
+Run: ``pytest benchmarks/bench_table1_kernel_costs.py --benchmark-only``
+Artifacts: ``benchmarks/results/table1*.txt``
+"""
+
+import numpy as np
+import pytest
+
+from benchmarks.common import emit
+from repro.bench import format_table, time_kernels
+from repro.kernels.backend import get_backend
+from repro.kernels.costs import KERNEL_WEIGHTS, Kernel
+
+
+def test_table1_measured(benchmark):
+    def compute():
+        rows = []
+        for nb in (64, 128):
+            rates = time_kernels(nb, ib=32, backend="lapack",
+                                 strategy="warm", min_time=0.05)
+            base = rates.seconds[Kernel.GEQRT] / 4.0
+            rows.append([nb] + [round(rates.seconds[k] / base, 2)
+                                for k in Kernel])
+        return rows
+
+    rows = benchmark.pedantic(compute, rounds=1, iterations=1)
+    headers = ["nb"] + [k.value for k in Kernel]
+    model_row = ["model"] + [KERNEL_WEIGHTS[k] for k in Kernel]
+    emit("table1_kernel_costs",
+         format_table(headers, [model_row] + rows,
+                      title="Table 1: kernel weights (model) vs measured "
+                            "times normalized to GEQRT=4 (LAPACK backend)"))
+
+
+@pytest.mark.parametrize("kernel", list(Kernel), ids=lambda k: k.value)
+def test_kernel_speed(benchmark, kernel):
+    """pytest-benchmark timing of each LAPACK-backed kernel at nb=128."""
+    nb, ib = 128, 32
+    bk = get_backend("lapack")
+    rng = np.random.default_rng(0)
+    sq = rng.standard_normal((nb, nb))
+    tri = np.triu(rng.standard_normal((nb, nb)))
+    tri2 = np.triu(rng.standard_normal((nb, nb)))
+    c1 = rng.standard_normal((nb, nb))
+    c2 = rng.standard_normal((nb, nb))
+    vge = sq.copy()
+    tge = bk.geqrt(vge, ib)
+    rt, vts = tri.copy(), sq.copy()
+    tts = bk.tsqrt(rt, vts, ib)
+    rt2, vtt = tri.copy(), tri2.copy()
+    ttt = bk.ttqrt(rt2, vtt, ib)
+    ops = {
+        Kernel.GEQRT: lambda: bk.geqrt(sq.copy(), ib),
+        Kernel.UNMQR: lambda: bk.unmqr(vge, tge, c1),
+        Kernel.TSQRT: lambda: bk.tsqrt(tri.copy(), sq.copy(), ib),
+        Kernel.TSMQR: lambda: bk.tsmqr(vts, tts, c1, c2),
+        Kernel.TTQRT: lambda: bk.ttqrt(tri.copy(), tri2.copy(), ib),
+        Kernel.TTMQR: lambda: bk.ttmqr(vtt, ttt, c1, c2),
+    }
+    benchmark(ops[kernel])

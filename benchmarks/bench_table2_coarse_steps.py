@@ -1,0 +1,29 @@
+"""Table 2 — coarse-grain time-step tables for a 15 x 6 matrix.
+
+Regenerates the Sameh-Kuck, Fibonacci and Greedy step tables of the
+coarse-grain model (Section 3.1).
+
+Run: ``pytest benchmarks/bench_table2_coarse_steps.py --benchmark-only``
+Artifact: ``benchmarks/results/table2_coarse_steps.txt``
+"""
+
+from benchmarks.common import emit
+from repro.bench.report import format_step_matrix
+from repro.coarse import coarse_fibonacci, coarse_greedy, coarse_sameh_kuck
+
+
+def test_table2(benchmark):
+    def compute():
+        return [fn(15, 6) for fn in
+                (coarse_sameh_kuck, coarse_fibonacci, coarse_greedy)]
+
+    scheds = benchmark(compute)
+    blocks = []
+    for sched in scheds:
+        blocks.append(format_step_matrix(
+            sched.steps,
+            title=f"(coarse) {sched.name}: critical path "
+                  f"{sched.critical_path}"))
+    emit("table2_coarse_steps",
+         "Table 2: time-steps for coarse-grain algorithms (15 x 6)\n\n"
+         + "\n\n".join(blocks))

@@ -1,0 +1,36 @@
+"""Table 3 — tiled time-step tables (TT kernels) for a 15 x 6 grid.
+
+Regenerates the zero-out-time tables of FlatTree (= Sameh-Kuck),
+Fibonacci, Greedy, BinaryTree and PlasmaTree(BS=5) under the Table-1
+weights with unbounded processors — the central validation of the
+kernel-level dependency analysis.
+
+Run: ``pytest benchmarks/bench_table3_tiled_steps.py --benchmark-only``
+Artifact: ``benchmarks/results/table3_tiled_steps.txt``
+"""
+
+from benchmarks.common import emit
+from repro.bench.report import format_step_matrix
+from repro.core import critical_path, zero_out_steps
+
+
+def test_table3(benchmark):
+    cases = [
+        ("flat-tree (Sameh-Kuck)", "flat-tree", {}),
+        ("fibonacci", "fibonacci", {}),
+        ("greedy", "greedy", {}),
+        ("binary-tree", "binary-tree", {}),
+        ("plasma-tree BS=5", "plasma-tree", {"bs": 5}),
+    ]
+
+    def compute():
+        return [(label, zero_out_steps(s, 15, 6, **kw),
+                 critical_path(s, 15, 6, **kw)) for label, s, kw in cases]
+
+    results = benchmark(compute)
+    blocks = [format_step_matrix(tb.astype(int),
+                                 title=f"(tiled TT) {label}: critical path {cp:g}")
+              for label, tb, cp in results]
+    emit("table3_tiled_steps",
+         "Table 3: time-steps for tiled algorithms (15 x 6, TT kernels)\n\n"
+         + "\n\n".join(blocks))

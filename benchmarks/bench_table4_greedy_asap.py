@@ -1,0 +1,64 @@
+"""Table 4 — neither Greedy nor Asap is optimal at tile granularity.
+
+Regenerates (a) the Greedy / Asap / Grasap(1) zero-out tables for
+15 x 3 — showing Asap wins on 15 x 2, Greedy wins on 15 x 3 and
+Grasap(1) beats both — and (b) the Greedy-vs-Asap critical-path grid
+for p, q in {16, 32, 64, 128}.
+
+Run: ``pytest benchmarks/bench_table4_greedy_asap.py --benchmark-only``
+Artifacts: ``benchmarks/results/table4{a,b}*.txt``
+"""
+
+from benchmarks.common import emit
+from repro.bench.report import format_step_matrix, format_table
+from repro.core import critical_path, zero_out_steps
+from repro.schemes import asap, grasap
+
+
+def test_table4a(benchmark):
+    def compute():
+        return (zero_out_steps("greedy", 15, 3), asap(15, 3), grasap(15, 3, 1))
+
+    g_tb, a_res, gr_res = benchmark(compute)
+    blocks = [
+        format_step_matrix(g_tb.astype(int),
+                           title=f"(a) Greedy: finishes {int(g_tb.max())}"),
+        format_step_matrix(a_res.zero_table.astype(int),
+                           title=f"(b) Asap: finishes {a_res.makespan:g}"),
+        format_step_matrix(gr_res.zero_table.astype(int),
+                           title=f"(c) Grasap(1): finishes {gr_res.makespan:g}"),
+    ]
+    cmp2 = (f"15 x 2 column check: Greedy {critical_path('greedy', 15, 2):g} "
+            f"vs Asap {asap(15, 2).makespan:g} (Asap wins)")
+    emit("table4a_greedy_asap_grasap",
+         "Table 4a: Greedy, Asap and Grasap(1) on 15 x 3 (TT kernels)\n\n"
+         + "\n\n".join(blocks) + "\n\n" + cmp2)
+
+
+def test_table4b(benchmark):
+    sizes = (16, 32, 64, 128)
+
+    def compute():
+        rows = []
+        for p in sizes:
+            greedy_cps, asap_cps = [], []
+            for q in sizes:
+                if q > p:
+                    greedy_cps.append("")
+                    asap_cps.append("")
+                else:
+                    greedy_cps.append(int(critical_path("greedy", p, q)))
+                    asap_cps.append(int(asap(p, q).makespan))
+            rows.append((p, greedy_cps, asap_cps))
+        return rows
+
+    rows = benchmark.pedantic(compute, rounds=1, iterations=1)
+    table_rows = []
+    for p, g, a in rows:
+        table_rows.append([p, "Greedy"] + g)
+        table_rows.append(["", "Asap"] + a)
+    emit("table4b_greedy_vs_asap",
+         format_table(["p", "Algorithm"] + [f"q={q}" for q in sizes],
+                      table_rows,
+                      title="Table 4b: Greedy generally outperforms Asap "
+                            "(critical paths)"))

@@ -1,0 +1,37 @@
+"""Table 5 — theoretical critical paths, p = 40, q = 1..40.
+
+Regenerates the paper's Greedy vs PlasmaTree(TT, best BS) vs Fibonacci
+comparison, including the exhaustive BS search, overhead and gain
+columns.
+
+Run: ``pytest benchmarks/bench_table5_theoretical_cp.py --benchmark-only``
+Artifact: ``benchmarks/results/table5_theoretical_cp.txt``
+"""
+
+from benchmarks.common import emit
+from repro.bench import best_plasma_bs, format_table
+from repro.core import critical_path
+
+
+def test_table5(benchmark):
+    p = 40
+
+    def compute():
+        rows = []
+        for q in range(1, p + 1):
+            g = critical_path("greedy", p, q)
+            bs, pt = best_plasma_bs(p, q)
+            f = critical_path("fibonacci", p, q)
+            rows.append([p, q, int(g), int(pt), bs,
+                         round(pt / g, 4), round(1 - g / pt, 4),
+                         int(f), round(f / g, 4), round(1 - g / f, 4)])
+        return rows
+
+    rows = benchmark.pedantic(compute, rounds=1, iterations=1)
+    emit("table5_theoretical_cp",
+         format_table(
+             ["p", "q", "Greedy", "PlasmaTree(TT)", "BS", "Overhead",
+              "Gain", "Fibonacci", "Overhead", "Gain"],
+             rows,
+             title="Table 5: Greedy vs PlasmaTree (TT) and Fibonacci "
+                   "(theoretical critical paths)"))

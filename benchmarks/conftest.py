@@ -1,0 +1,29 @@
+"""Shared configuration for the benchmark drivers.
+
+Each ``bench_*`` module regenerates one table or figure of the paper
+(see DESIGN.md §4).  Drivers print the same rows/series the paper
+reports; ``pytest benchmarks/ --benchmark-only`` also collects
+pytest-benchmark timings for the numeric kernels and full
+factorizations.
+
+Scale note: the paper's machine ran p = 40, nb = 200 (m = 8000) on 48
+cores.  The *model-level* experiments (Tables 2-5, critical paths,
+predicted performance) reproduce at full fidelity because they do not
+touch floating point.  The *wall-clock* experiments use smaller tiles
+by default so the whole suite stays in CI budgets; pass
+``--paper-scale`` for the full p = 40 grid with measured kernels.
+"""
+
+import pytest
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--paper-scale", action="store_true", default=False,
+        help="run wall-clock benchmarks at the paper's full p=40 scale",
+    )
+
+
+@pytest.fixture(scope="session")
+def paper_scale(request):
+    return request.config.getoption("--paper-scale")

@@ -1,0 +1,55 @@
+"""Modeling a distributed-memory tiled QR (the paper's §5 outlook).
+
+Distributes tile rows over several node memories, counts the
+communication each elimination tree generates, and recomputes critical
+paths with per-tile transfer costs — the analysis one would run before
+writing the MPI port the paper anticipates.
+
+Run: ``python examples/distributed_model.py [p] [q] [nodes]``
+"""
+
+import sys
+
+from repro.bench import format_table
+from repro.dag import build_dag
+from repro.ext import DistributedLayout, communication_volume, distributed_graph
+from repro.schemes import get_scheme
+from repro.sim import simulate_unbounded
+
+
+def main() -> None:
+    p = int(sys.argv[1]) if len(sys.argv) > 1 else 32
+    q = int(sys.argv[2]) if len(sys.argv) > 2 else 4
+    nodes = int(sys.argv[3]) if len(sys.argv) > 3 else 4
+
+    schemes = [("greedy", {}), ("binary-tree", {}), ("flat-tree", {}),
+               ("plasma-tree", {"bs": max(1, p // nodes)})]
+    costs = (0.0, 4.0, 16.0)
+
+    for kind in ("block", "cyclic"):
+        lay = DistributedLayout(p=p, nodes=nodes, kind=kind)
+        rows = []
+        for scheme, kw in schemes:
+            el = get_scheme(scheme, p, q, **kw)
+            vol = communication_volume(el, lay)
+            g = build_dag(el, "TT")
+            cps = [simulate_unbounded(distributed_graph(g, lay, c)).makespan
+                   for c in costs]
+            label = scheme + (f"(BS={kw['bs']})" if kw else "")
+            rows.append([label, vol["cross_eliminations"], vol["tiles"]]
+                        + [int(c) for c in cps])
+        print(format_table(
+            ["scheme", "cross elims", "tiles moved"]
+            + [f"cp @cost {c:g}" for c in costs],
+            rows,
+            title=f"\n{kind} layout, {nodes} nodes, {p} x {q} tiles"))
+
+    print("\nReading: FlatTree's single pivot row talks to every node "
+          "serially;\nBinaryTree localizes its low levels under a block "
+          "layout; PlasmaTree\nwith BS = rows-per-node confines all but "
+          "log2(nodes) merges inside\nnodes — the hierarchical design of "
+          "Demmel et al. [8] / Hadri et al. [11].")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,51 @@
+"""Block orthogonalization of tall-skinny matrices.
+
+Block iterative methods (the introduction's second workload) need an
+orthonormal basis of a tall block at every step.  This example
+orthogonalizes a 3200 x 64 block, in real and complex arithmetic,
+and shows how the elimination tree changes the available parallelism
+(critical path) at identical flop cost.
+
+Run: ``python examples/tall_skinny_orthogonalization.py``
+"""
+
+import numpy as np
+
+from repro import critical_path, tiled_qr, total_weight
+
+
+def orthonormal_basis(a: np.ndarray, nb: int = 32):
+    """Return (Q, R) with orthonormal Q spanning the columns of ``a``."""
+    f = tiled_qr(a, nb=nb, scheme="greedy", backend="lapack")
+    return f.q(), f.r()
+
+
+def main() -> None:
+    rng = np.random.default_rng(3)
+    m, n, nb = 3200, 64, 32
+
+    for label, a in (
+        ("real   ", rng.standard_normal((m, n))),
+        ("complex", rng.standard_normal((m, n))
+         + 1j * rng.standard_normal((m, n))),
+    ):
+        q, r = orthonormal_basis(a, nb)
+        orth = np.linalg.norm(q.conj().T @ q - np.eye(n))
+        span = np.linalg.norm(a - q @ r) / np.linalg.norm(a)
+        print(f"{label}: Q {q.shape}, ||Q^H Q - I|| = {orth:.2e}, "
+              f"||A - QR||/||A|| = {span:.2e}")
+
+    p, qt = m // nb, n // nb
+    total = total_weight(p, qt)
+    print(f"\ntile grid {p} x {qt}; every tree costs {total} work units, "
+          "but their critical paths differ wildly:")
+    for scheme in ("greedy", "fibonacci", "binary-tree", "flat-tree"):
+        cp = critical_path(scheme, p, qt)
+        print(f"  {scheme:12s} cp = {cp:6.0f} units -> max speedup "
+              f"{total / cp:6.1f}x")
+    print("\nGreedy needs no tuning parameter and achieves the shortest "
+          "path\n(asymptotically optimal: cp <= 22q + 6 log2 p).")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,38 @@
+"""Critical-path analysis, accuracy and performance modelling (S14-S15)."""
+
+from .accuracy import AccuracyReport, assess, compare_schemes
+from .formulas import (
+    binary_tree_cp_exact,
+    fibonacci_cp_bound,
+    flat_tree_cp,
+    greedy_cp_bound,
+    optimal_cp_lower_bound,
+    ts_flat_tree_cp,
+)
+from .model import PerformanceModel, predicted_gflops
+from .optimality import (
+    asymptotic_optimality_ratio,
+    count_column_sequences,
+    exhaustive_optimal_cp,
+)
+from .pipeline import column_period, column_windows, pipeline_overlap
+
+__all__ = [
+    "flat_tree_cp",
+    "ts_flat_tree_cp",
+    "fibonacci_cp_bound",
+    "greedy_cp_bound",
+    "optimal_cp_lower_bound",
+    "binary_tree_cp_exact",
+    "PerformanceModel",
+    "predicted_gflops",
+    "exhaustive_optimal_cp",
+    "count_column_sequences",
+    "asymptotic_optimality_ratio",
+    "AccuracyReport",
+    "assess",
+    "compare_schemes",
+    "column_windows",
+    "column_period",
+    "pipeline_overlap",
+]

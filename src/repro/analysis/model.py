@@ -1,0 +1,73 @@
+"""Roofline-style performance prediction (S15) — Section 4 of the paper.
+
+The paper models the execution time of a tiled algorithm on ``P``
+processors as limited either by the total work or by the critical
+path:
+
+.. math::
+
+    \\gamma_{pred} = \\frac{\\gamma_{seq} \\cdot T}
+                          {\\max\\left(\\frac{T}{P},\\ cp\\right)}
+
+with :math:`\\gamma_{seq}` the sequential kernel performance
+(GFLOP/s), :math:`T` the total task weight (``6pq^2 - 2q^3`` time
+units) and :math:`cp` the critical path length in the same units.  This
+is the predictor behind Figures 1 and 6.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..dag.build import build_dag
+from ..kernels.costs import KernelFamily, total_weight
+from ..schemes.registry import get_scheme
+from ..sim.simulate import simulate_unbounded
+
+__all__ = ["PerformanceModel", "predicted_gflops"]
+
+
+@dataclass(frozen=True)
+class PerformanceModel:
+    """Machine model for the Roofline-style predictor.
+
+    Attributes
+    ----------
+    gamma_seq : float
+        Sequential kernel performance in GFLOP/s (the paper measures
+        3.8440 double / 3.1860 double complex on its Opteron cores).
+    processors : int
+        Worker count (the paper's machine has 48).
+    """
+
+    gamma_seq: float
+    processors: int
+
+    def predict(self, total: float, cp: float) -> float:
+        """Predicted GFLOP/s given total work and critical path (units)."""
+        if total <= 0:
+            return 0.0
+        limit = max(total / self.processors, cp)
+        return self.gamma_seq * total / limit
+
+    def speedup(self, total: float, cp: float) -> float:
+        """Predicted parallel speedup over one core."""
+        return self.predict(total, cp) / self.gamma_seq
+
+
+def predicted_gflops(
+    scheme: str,
+    p: int,
+    q: int,
+    model: PerformanceModel,
+    family: KernelFamily | str = KernelFamily.TT,
+    **params,
+) -> float:
+    """Predicted GFLOP/s of ``scheme`` on a ``p x q`` grid under ``model``.
+
+    Matches the paper's Figures 1a/1c (TT kernels) and 6a/6c (both
+    families) when fed the measured sequential kernel rates.
+    """
+    elims = get_scheme(scheme, p, q, **params)
+    cp = simulate_unbounded(build_dag(elims, family)).makespan
+    return model.predict(float(total_weight(p, q)), cp)

@@ -1,0 +1,155 @@
+"""Optimality searches (S14): the machinery behind Theorem 1(3).
+
+The paper's lower bound ``22q - 30`` comes from an exhaustive search
+over elimination orderings of a *banded* square matrix (three non-zero
+sub-diagonals): with only a constant number of candidate rows per
+column, all pairings can be enumerated, and every optimal algorithm
+needs at least 22 time units per column asymptotically.  Lemma 1 then
+transfers the bound to arbitrary ``p x q`` matrices.
+
+This module re-implements that search (``exhaustive_optimal_cp``) and
+adds helpers to measure how close an algorithm is to the bound
+(``asymptotic_optimality_ratio``), which is how the tests validate
+Theorem 1(4,5) numerically.
+"""
+
+from __future__ import annotations
+
+import math
+from functools import lru_cache
+from itertools import combinations
+
+from ..dag.build import build_dag
+from ..kernels.costs import KernelFamily
+from ..schemes.elimination import Elimination, EliminationList
+from ..schemes.registry import get_scheme
+from ..sim.simulate import simulate_unbounded
+
+__all__ = [
+    "column_sequences",
+    "count_column_sequences",
+    "exhaustive_optimal_cp",
+    "asymptotic_optimality_ratio",
+]
+
+
+def count_column_sequences(n_rows: int) -> int:
+    """Number of ordered elimination sequences for ``n_rows`` candidates.
+
+    At each step with ``m`` alive rows there are ``m(m-1)/2`` choices of
+    ``(pivot < target)``, so the count is ``prod_{m=2}^{n} m(m-1)/2`` —
+    used to bound the search *before* materializing anything (the
+    numbers explode: 18 for 4 rows, ~2.3e9 already for 10 rows).
+    """
+    total = 1
+    for m in range(2, n_rows + 1):
+        total *= m * (m - 1) // 2
+    return total
+
+
+@lru_cache(maxsize=None)
+def column_sequences(rows: tuple[int, ...]) -> tuple[tuple[tuple[int, int], ...], ...]:
+    """All ordered elimination sequences reducing ``rows`` to its minimum.
+
+    Each sequence is a tuple of ``(target, pivot)`` pairs with
+    ``pivot < target`` (Lemma 1 lets us ignore reverse eliminations
+    without loss of optimality); after the sequence only ``min(rows)``
+    remains un-zeroed.  Callers must bound the size with
+    :func:`count_column_sequences` first — this function materializes
+    every sequence.
+    """
+    if len(rows) <= 1:
+        return ((),)
+    out = []
+    alive = sorted(rows)
+    for pos_t in range(1, len(alive)):
+        target = alive[pos_t]
+        for pos_p in range(pos_t):
+            piv = alive[pos_p]
+            rest = tuple(r for r in alive if r != target)
+            for tail in column_sequences(rest):
+                out.append((((target, piv),) + tail))
+    return tuple(out)
+
+
+def exhaustive_optimal_cp(
+    p: int,
+    q: int,
+    band: int | None = None,
+    family: KernelFamily | str = KernelFamily.TT,
+    max_leaves: int = 2_000_000,
+) -> float:
+    """Minimum critical path over *all* valid elimination algorithms.
+
+    Warning: exponential.  Use small grids (``p <= 6, q <= 2`` full, or
+    the banded squares of the paper's proof, ``band = 3, q <= 4``).
+
+    Parameters
+    ----------
+    p, q : int
+        Grid dimensions.
+    band : int or None
+        If given, only tiles ``(i, k)`` with ``i - k <= band`` are
+        initially non-zero (the paper's proof instrument); ``None``
+        searches the full lower triangle.
+    family : KernelFamily
+        Kernel family for the DAG costs.
+    max_leaves : int
+        Safety cap on the number of complete algorithms simulated.
+
+    Returns
+    -------
+    float
+        The optimal critical path length in time units.
+    """
+    qq = min(p, q)
+    col_rows = []
+    for k in range(qq):
+        hi = p if band is None else min(p, k + band + 1)
+        col_rows.append(tuple(range(k, hi)))
+    # bound the search analytically BEFORE materializing any sequence
+    total = math.prod(count_column_sequences(len(rows)) for rows in col_rows)
+    if total > max_leaves:
+        raise ValueError(
+            f"search space has {total} algorithms > max_leaves={max_leaves}")
+    per_col = [column_sequences(rows) for rows in col_rows]
+
+    best = math.inf
+    choice = [0] * qq
+
+    def rec(k: int, partial: list[Elimination]) -> None:
+        nonlocal best
+        if k == qq:
+            elims = EliminationList(p, q, partial, name="search")
+            cp = simulate_unbounded(build_dag(elims, family)).makespan
+            if cp < best:
+                best = cp
+            return
+        for seq in per_col[k]:
+            ext = partial + [Elimination(t, v, k) for t, v in seq]
+            rec(k + 1, ext)
+
+    rec(0, [])
+    return best
+
+
+def asymptotic_optimality_ratio(
+    scheme: str,
+    lam: float,
+    qs: list[int],
+    family: KernelFamily | str = KernelFamily.TT,
+    **params,
+) -> list[float]:
+    """Ratio ``cp(scheme) / 22q`` along ``p = ceil(lam * q)``.
+
+    Theorem 1(4,5): for Fibonacci and Greedy this tends to 1 as ``q``
+    grows (asymptotic optimality for proportional shapes); for
+    FlatTree or BinaryTree it does not.
+    """
+    out = []
+    for q in qs:
+        p = max(q, math.ceil(lam * q))
+        elims = get_scheme(scheme, p, q, **params)
+        cp = simulate_unbounded(build_dag(elims, family)).makespan
+        out.append(cp / (22.0 * q))
+    return out

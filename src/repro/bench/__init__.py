@@ -1,0 +1,15 @@
+"""Benchmark harness substrates (S16-S17)."""
+
+from .autotune import best_plasma_bs
+from .kernel_timing import KernelRates, time_kernels
+from .plotting import ascii_chart
+from .report import format_table, format_series
+
+__all__ = [
+    "best_plasma_bs",
+    "KernelRates",
+    "time_kernels",
+    "format_table",
+    "format_series",
+    "ascii_chart",
+]

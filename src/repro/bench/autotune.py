@@ -1,0 +1,72 @@
+"""Exhaustive PlasmaTree domain-size tuning (S16).
+
+The paper stresses that PlasmaTree's performance hinges on the domain
+size ``BS`` and that "it is not evident what the domain size should be
+for the best performance, hence our exhaustive search".  This module
+performs the same search: try every ``BS`` in ``1..p`` and keep the
+best critical path (or the best predicted performance under a machine
+model).  Greedy needs no such parameter — the paper's key selling
+point.
+"""
+
+from __future__ import annotations
+
+from ..analysis.model import PerformanceModel
+from ..dag.build import build_dag
+from ..kernels.costs import KernelFamily, total_weight
+from ..schemes.plasma_tree import plasma_tree
+from ..sim.simulate import simulate_unbounded
+
+__all__ = ["best_plasma_bs", "plasma_bs_sweep"]
+
+
+def plasma_bs_sweep(
+    p: int,
+    q: int,
+    family: KernelFamily | str = KernelFamily.TT,
+    bs_values: list[int] | None = None,
+) -> dict[int, float]:
+    """Critical path of PlasmaTree for every domain size.
+
+    Returns ``{bs: cp}`` for ``bs`` in ``bs_values`` (default ``1..p``).
+    """
+    if bs_values is None:
+        bs_values = list(range(1, p + 1))
+    out: dict[int, float] = {}
+    for bs in bs_values:
+        elims = plasma_tree(p, q, bs)
+        out[bs] = simulate_unbounded(build_dag(elims, family)).makespan
+    return out
+
+
+def best_plasma_bs(
+    p: int,
+    q: int,
+    family: KernelFamily | str = KernelFamily.TT,
+    model: PerformanceModel | None = None,
+    bs_values: list[int] | None = None,
+) -> tuple[int, float]:
+    """Best PlasmaTree domain size by exhaustive search.
+
+    Parameters
+    ----------
+    model : PerformanceModel or None
+        ``None`` minimizes the critical path (the paper's theoretical
+        Table 5); with a model, maximizes the predicted GFLOP/s
+        (ties broken toward smaller ``BS`` and, since the total work is
+        scheme-independent, this coincides with minimizing ``cp``
+        whenever the critical path is the binding constraint).
+
+    Returns
+    -------
+    (bs, value)
+        Best domain size and its critical path (or predicted GFLOP/s).
+    """
+    sweep = plasma_bs_sweep(p, q, family, bs_values)
+    if model is None:
+        bs = min(sweep, key=lambda b: (sweep[b], b))
+        return bs, sweep[bs]
+    total = float(total_weight(p, q))
+    perf = {b: model.predict(total, cp) for b, cp in sweep.items()}
+    bs = max(perf, key=lambda b: (perf[b], -b))
+    return bs, perf[bs]

@@ -1,0 +1,182 @@
+"""Kernel timing harness: warm and cold cache protocols (S16).
+
+Reproduces the measurement protocol behind the paper's Figures 4-5 and
+the kernel-speed ratios of Section 4.  Two strategies, after
+Whaley & Castaldo [17] / Agullo et al. [1]:
+
+* **warm** ("No Flush") — repeat the kernel on the same tiles, so
+  operands stay resident in cache;
+* **cold** ("MultCallFlushLRU") — cycle through a ring of operand sets
+  whose footprint far exceeds the last-level cache, evicting previous
+  operands between calls.
+
+Each measurement reports effective GFLOP/s using the nominal Table-1
+flop counts (``weight * nb^3/3``, x4 in complex arithmetic), the same
+normalization the paper plots.  The quantities of interest are the
+ratios ``TSQRT : GEQRT+TTQRT`` and ``TSMQR : UNMQR+TTMQR`` (~1.3 in
+the paper), i.e. how much cheaper the TS kernels are than the pair of
+TT kernels doing the same job.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..kernels.backend import KernelBackend, get_backend
+from ..kernels.costs import Kernel, kernel_flops
+
+__all__ = ["KernelRates", "time_kernels", "measure_gamma_seq"]
+
+#: default working-set size (bytes) that the cold protocol cycles through
+_COLD_FOOTPRINT = 64 << 20
+
+
+@dataclass
+class KernelRates:
+    """Measured per-kernel rates, in GFLOP/s and seconds per call."""
+
+    nb: int
+    ib: int
+    dtype: str
+    backend: str
+    strategy: str
+    gflops: dict[Kernel, float] = field(default_factory=dict)
+    seconds: dict[Kernel, float] = field(default_factory=dict)
+
+    def ts_vs_tt_factor_ratio(self) -> float:
+        """Time ratio ``(GEQRT + TTQRT) / TSQRT`` (paper: ~1.33)."""
+        s = self.seconds
+        return (s[Kernel.GEQRT] + s[Kernel.TTQRT]) / s[Kernel.TSQRT]
+
+    def ts_vs_tt_update_ratio(self) -> float:
+        """Time ratio ``(UNMQR + TTMQR) / TSMQR`` (paper: ~1.32)."""
+        s = self.seconds
+        return (s[Kernel.UNMQR] + s[Kernel.TTMQR]) / s[Kernel.TSMQR]
+
+    def weights_seconds(self) -> dict[Kernel, float]:
+        """Per-kernel durations, usable as simulator weights."""
+        return dict(self.seconds)
+
+
+def _operand_ring(nb: int, dtype, strategy: str, rng) -> list[dict]:
+    """Pre-built operand sets; the cold strategy cycles a large ring."""
+    itemsize = np.dtype(dtype).itemsize
+    per_set = 8 * nb * nb * itemsize  # rough footprint of one operand set
+    count = 1 if strategy == "warm" else max(2, _COLD_FOOTPRINT // per_set)
+
+    def mat(shape):
+        a = rng.standard_normal(shape)
+        if np.dtype(dtype).kind == "c":
+            a = a + 1j * rng.standard_normal(shape)
+        return np.ascontiguousarray(a.astype(dtype))
+
+    ring = []
+    for _ in range(count):
+        ring.append({
+            "square": mat((nb, nb)),
+            "square2": mat((nb, nb)),
+            "tri": np.triu(mat((nb, nb))),
+            "tri2": np.triu(mat((nb, nb))),
+            "c1": mat((nb, nb)),
+            "c2": mat((nb, nb)),
+        })
+    return ring
+
+
+def time_kernels(
+    nb: int,
+    ib: int = 32,
+    dtype=np.float64,
+    backend: str | KernelBackend = "lapack",
+    strategy: str = "warm",
+    min_time: float = 0.05,
+    seed: int = 0,
+) -> KernelRates:
+    """Measure all six kernels at tile size ``nb``.
+
+    Parameters
+    ----------
+    strategy : {"warm", "cold"}
+        Cache protocol (see module docstring).
+    min_time : float
+        Minimum accumulated wall time per kernel before reporting.
+
+    Returns
+    -------
+    KernelRates
+    """
+    if strategy not in ("warm", "cold"):
+        raise ValueError(f"unknown strategy {strategy!r}")
+    bk = get_backend(backend)
+    rng = np.random.default_rng(seed)
+    ring = _operand_ring(nb, dtype, strategy, rng)
+    complex_arith = np.dtype(dtype).kind == "c"
+    ibb = min(ib, nb)
+
+    # Pre-factored V/T operands for the update kernels (one per ring set).
+    for s in ring:
+        vg = s["square"].copy()
+        s["t_ge"] = bk.geqrt(vg, ibb)
+        s["v_ge"] = vg
+        rt = s["tri"].copy()
+        vts = s["square2"].copy()
+        s["t_ts"] = bk.tsqrt(rt, vts, ibb)
+        s["v_ts"] = vts
+        rt2 = s["tri"].copy()
+        vtt = s["tri2"].copy()
+        s["t_tt"] = bk.ttqrt(rt2, vtt, ibb)
+        s["v_tt"] = vtt
+
+    def bench(fn) -> float:
+        """Accumulated seconds per call of ``fn(operand_set)``."""
+        # one untimed warm-up call
+        fn(ring[0])
+        idx = 0
+        calls = 0
+        elapsed = 0.0
+        while elapsed < min_time:
+            s = ring[idx % len(ring)]
+            idx += 1
+            t0 = time.perf_counter()
+            fn(s)
+            elapsed += time.perf_counter() - t0
+            calls += 1
+        return elapsed / calls
+
+    timings = {
+        Kernel.GEQRT: bench(lambda s: bk.geqrt(s["square"].copy(), ibb)),
+        Kernel.UNMQR: bench(lambda s: bk.unmqr(s["v_ge"], s["t_ge"], s["c1"])),
+        Kernel.TSQRT: bench(
+            lambda s: bk.tsqrt(s["tri"].copy(), s["square2"].copy(), ibb)),
+        Kernel.TSMQR: bench(
+            lambda s: bk.tsmqr(s["v_ts"], s["t_ts"], s["c1"], s["c2"])),
+        Kernel.TTQRT: bench(
+            lambda s: bk.ttqrt(s["tri"].copy(), s["tri2"].copy(), ibb)),
+        Kernel.TTMQR: bench(
+            lambda s: bk.ttmqr(s["v_tt"], s["t_tt"], s["c1"], s["c2"])),
+    }
+    rates = KernelRates(nb=nb, ib=ibb, dtype=np.dtype(dtype).name,
+                        backend=bk.name, strategy=strategy)
+    for k, sec in timings.items():
+        rates.seconds[k] = sec
+        rates.gflops[k] = kernel_flops(k, nb, complex_arith) / sec / 1e9
+    return rates
+
+
+def measure_gamma_seq(rates: KernelRates) -> float:
+    """Aggregate sequential kernel rate (GFLOP/s) for the Roofline model.
+
+    The weighted harmonic mean of the kernel rates under Table-1 flop
+    weights — i.e. the rate at which one core executes an average unit
+    of tiled-QR work.
+    """
+    total_flops = 0.0
+    total_sec = 0.0
+    for k, sec in rates.seconds.items():
+        f = kernel_flops(k, rates.nb, rates.dtype.startswith("complex"))
+        total_flops += f
+        total_sec += sec
+    return total_flops / total_sec / 1e9

@@ -1,0 +1,100 @@
+"""Terminal line charts for the figure artifacts (S17).
+
+The paper's Figures 1-8 are performance curves; the benchmark drivers
+persist the underlying series as tables.  This module adds an ASCII
+renderer so the artifacts also *look* like the figures — one glyph per
+series, shared axes, no external dependencies.
+
+>>> from repro.bench.plotting import ascii_chart
+>>> print(ascii_chart([1, 2, 3], {"up": [1.0, 2.0, 3.0]},
+...                   height=3, width=12))  # doctest: +SKIP
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+__all__ = ["ascii_chart"]
+
+_GLYPHS = "ox+*#@%&"
+
+
+def ascii_chart(
+    xs: Sequence,
+    series: dict[str, Sequence[float]],
+    height: int = 16,
+    width: int = 72,
+    title: str | None = None,
+    y_label: str = "",
+) -> str:
+    """Render curves as an ASCII chart with a shared linear y-axis.
+
+    Parameters
+    ----------
+    xs : sequence
+        X values (used for the tick labels; points are spaced evenly).
+    series : dict name -> values
+        One curve per entry; all must have ``len(xs)`` points.
+    height, width : int
+        Plot-area size in characters.
+    """
+    if not series:
+        raise ValueError("need at least one series")
+    n = len(xs)
+    for name, ys in series.items():
+        if len(ys) != n:
+            raise ValueError(f"series {name!r} has {len(ys)} points, "
+                             f"x axis has {n}")
+    if n < 2 or height < 2 or width < n:
+        raise ValueError("chart too small for the data")
+    lo = min(min(ys) for ys in series.values())
+    hi = max(max(ys) for ys in series.values())
+    if hi == lo:
+        hi = lo + 1.0
+    grid = [[" "] * width for _ in range(height)]
+    cols = [round(i * (width - 1) / (n - 1)) for i in range(n)]
+
+    def row_of(y: float) -> int:
+        frac = (y - lo) / (hi - lo)
+        return (height - 1) - round(frac * (height - 1))
+
+    for s_idx, (name, ys) in enumerate(series.items()):
+        glyph = _GLYPHS[s_idx % len(_GLYPHS)]
+        prev = None
+        for i, y in enumerate(ys):
+            r, c = row_of(float(y)), cols[i]
+            # connect to the previous point with a sparse vertical run
+            if prev is not None:
+                pr, pc = prev
+                for cc in range(pc + 1, c):
+                    rr = round(pr + (r - pr) * (cc - pc) / (c - pc))
+                    if grid[rr][cc] == " ":
+                        grid[rr][cc] = "."
+            grid[r][c] = glyph
+            prev = (r, c)
+
+    lab_hi = f"{hi:.4g}"
+    lab_lo = f"{lo:.4g}"
+    margin = max(len(lab_hi), len(lab_lo), len(y_label)) + 1
+    lines = []
+    if title:
+        lines.append(title)
+    for r in range(height):
+        label = (lab_hi if r == 0 else lab_lo if r == height - 1
+                 else y_label if r == height // 2 else "")
+        lines.append(f"{label:>{margin}} |" + "".join(grid[r]))
+    axis = " " * margin + " +" + "-" * width
+    lines.append(axis)
+    # sparse x tick labels: first, middle, last
+    ticks = [0, n // 2, n - 1]
+    tick_line = [" "] * (width + 2)
+    for t in ticks:
+        lab = str(xs[t])
+        pos = min(cols[t] + 2, len(tick_line) - len(lab))  # keep in frame
+        for j, ch in enumerate(lab):
+            tick_line[pos + j] = ch
+    lines.append(" " * margin + "".join(tick_line))
+    legend = "   ".join(f"{_GLYPHS[i % len(_GLYPHS)]} = {name}"
+                        for i, name in enumerate(series))
+    lines.append(" " * margin + "  " + legend)
+    return "\n".join(lines)

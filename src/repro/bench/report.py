@@ -1,0 +1,67 @@
+"""Plain-text table and series formatting for the experiment drivers (S17).
+
+The benchmark scripts print the same rows/series the paper's tables and
+figures report; these helpers keep that output consistent and easy to
+diff against ``EXPERIMENTS.md``.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+__all__ = ["format_table", "format_series", "format_step_matrix"]
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence],
+    title: str | None = None,
+    floatfmt: str = ".4f",
+) -> str:
+    """Render an aligned plain-text table."""
+    srows = []
+    for row in rows:
+        srows.append([
+            f"{c:{floatfmt}}" if isinstance(c, float) else str(c) for c in row
+        ])
+    widths = [len(h) for h in headers]
+    for row in srows:
+        for i, c in enumerate(row):
+            widths[i] = max(widths[i], len(c))
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.rjust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in srows:
+        lines.append("  ".join(c.rjust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def format_series(
+    x_label: str,
+    xs: Sequence,
+    series: dict[str, Sequence[float]],
+    title: str | None = None,
+    floatfmt: str = ".2f",
+) -> str:
+    """Render figure-style data: one x column plus one column per curve."""
+    headers = [x_label] + list(series)
+    rows = []
+    for i, x in enumerate(xs):
+        rows.append([x] + [float(series[name][i]) for name in series])
+    return format_table(headers, rows, title=title, floatfmt=floatfmt)
+
+
+def format_step_matrix(steps, title: str | None = None) -> str:
+    """Render a Table-2/3-style time-step matrix (0 entries as dots)."""
+    lines = [] if title is None else [title]
+    mx = int(steps.max()) if steps.size else 0
+    w = max(2, len(str(mx)))
+    for i in range(steps.shape[0]):
+        cells = []
+        for k in range(steps.shape[1]):
+            v = int(steps[i, k])
+            cells.append(str(v).rjust(w) if v else ".".rjust(w))
+        lines.append(" ".join(cells))
+    return "\n".join(lines)

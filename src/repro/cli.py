@@ -1,0 +1,356 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Subcommands
+-----------
+``cp``       critical path of a scheme on a p x q grid
+``table``    zero-out time table (the paper's Tables 2-3 views)
+``sweep``    compare all schemes on one grid
+``tune``     exhaustive PlasmaTree BS search
+``factor``   factor a matrix from a .npy file (or a random one) and
+             report accuracy; optionally save the factorization
+``predict``  measure kernels and predict GFLOP/s (Section 4's model)
+``recommend`` pick the best tree for a grid (optionally model-driven)
+``coarse``   coarse-grain step table (the paper's Table 2 view)
+``optimal``  exhaustive optimal critical path on small grids
+``trace``    bounded-P schedule as ASCII Gantt / CSV / JSON
+
+Examples
+--------
+::
+
+    python -m repro cp greedy 40 10
+    python -m repro table greedy 15 6
+    python -m repro sweep 40 5 --family TS
+    python -m repro tune 40 5
+    python -m repro factor --random 400x200 --nb 50 --scheme greedy
+    python -m repro trace greedy 15 6 --workers 8 --format gantt
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+import numpy as np
+
+__all__ = ["main"]
+
+
+def _add_grid(p: argparse.ArgumentParser) -> None:
+    p.add_argument("scheme", help="elimination tree name")
+    p.add_argument("p", type=int, help="tile rows")
+    p.add_argument("q", type=int, help="tile columns")
+    p.add_argument("--family", default="TT", choices=["TT", "TS"])
+    p.add_argument("--bs", type=int, default=None,
+                   help="domain size (plasma-tree / hadri-tree)")
+    p.add_argument("--k", type=int, default=None,
+                   help="trailing Asap columns (grasap)")
+
+
+def _scheme_params(args) -> dict:
+    params = {}
+    if args.bs is not None:
+        params["bs"] = args.bs
+    if getattr(args, "k", None) is not None:
+        params["k"] = args.k
+    return params
+
+
+def _cmd_cp(args) -> int:
+    from .core.paths import critical_path
+
+    cp = critical_path(args.scheme, args.p, args.q, family=args.family,
+                       **_scheme_params(args))
+    print(f"{args.scheme} on {args.p} x {args.q} ({args.family}): "
+          f"critical path {cp:g} units (nb^3/3 flops each)")
+    return 0
+
+
+def _cmd_table(args) -> int:
+    from .bench.report import format_step_matrix
+    from .core.paths import zero_out_steps
+
+    tb = zero_out_steps(args.scheme, args.p, args.q, family=args.family,
+                        **_scheme_params(args))
+    print(format_step_matrix(
+        tb.astype(int),
+        title=f"{args.scheme} ({args.family}) zero-out times, "
+              f"critical path {int(tb.max())}"))
+    return 0
+
+
+def _cmd_sweep(args) -> int:
+    from .bench.report import format_table
+    from .core.paths import critical_path
+    from .kernels.costs import total_weight
+    from .schemes.registry import available_schemes
+
+    rows = []
+    total = total_weight(args.p, args.q)
+    for scheme in available_schemes():
+        if scheme == "sameh-kuck":
+            continue  # alias of flat-tree
+        params = {"bs": max(1, args.p // 4)} if scheme in (
+            "plasma-tree", "hadri-tree") else {}
+        cp = critical_path(scheme, args.p, args.q, family=args.family,
+                           **params)
+        note = f"BS={params['bs']}" if params else ""
+        rows.append([scheme, int(cp), round(total / cp, 1), note])
+    rows.sort(key=lambda r: r[1])
+    print(format_table(
+        ["scheme", "critical path", "max speedup", ""], rows,
+        title=f"{args.p} x {args.q} grid, {args.family} kernels "
+              f"(total work {total} units)"))
+    return 0
+
+
+def _cmd_tune(args) -> int:
+    from .bench.autotune import plasma_bs_sweep
+    from .bench.report import format_table
+    from .core.paths import critical_path
+
+    sweep = plasma_bs_sweep(args.p, args.q, args.family)
+    best = min(sweep, key=lambda b: (sweep[b], b))
+    rows = [[bs, int(cp), "*" if bs == best else ""]
+            for bs, cp in sorted(sweep.items())]
+    print(format_table(["BS", "critical path", ""], rows,
+                       title=f"PlasmaTree({args.family}) BS sweep on "
+                             f"{args.p} x {args.q}"))
+    g = critical_path("greedy", args.p, args.q, family=args.family)
+    print(f"\nbest BS = {best} (cp {sweep[best]:g}); Greedy achieves {g:g} "
+          "with no parameter")
+    return 0
+
+
+def _cmd_factor(args) -> int:
+    from .analysis.accuracy import assess
+    from .core.serialize import save_factorization
+    from .core.tiled_qr import tiled_qr
+
+    if args.random:
+        m, n = (int(x) for x in args.random.lower().split("x"))
+        a = np.random.default_rng(args.seed).standard_normal((m, n))
+        src = f"random {m} x {n} (seed {args.seed})"
+    elif args.input:
+        a = np.load(args.input)
+        src = args.input
+    else:
+        print("factor: need --random MxN or --input FILE", file=sys.stderr)
+        return 2
+    params = {"bs": args.bs} if args.bs is not None else {}
+    f = tiled_qr(a, nb=args.nb, ib=args.ib, scheme=args.scheme,
+                 family=args.family, backend=args.backend,
+                 workers=args.workers, **params)
+    rep = assess(f, a)
+    print(f"factored {src} with {args.scheme} ({args.family}, "
+          f"{args.backend}, nb={args.nb})")
+    print(f"  backward error   {rep.backward_error:.3e}")
+    print(f"  orthogonality    {rep.orthogonality:.3e}")
+    print(f"  eps multiple     {rep.eps_multiple:.1f}  "
+          f"({'stable' if rep.is_stable() else 'UNSTABLE'})")
+    if args.save:
+        save_factorization(f, args.save)
+        print(f"  saved to {args.save}")
+    return 0
+
+
+def _cmd_predict(args) -> int:
+    from .analysis.model import PerformanceModel, predicted_gflops
+    from .bench.kernel_timing import measure_gamma_seq, time_kernels
+    from .bench.report import format_series
+
+    rates = time_kernels(args.nb, ib=32, backend="lapack", strategy="warm")
+    gamma = measure_gamma_seq(rates)
+    model = PerformanceModel(gamma_seq=gamma, processors=args.cores)
+    qs = [q for q in (1, 2, 4, 5, 8, 10, 20, 30, 40) if q <= args.p]
+    series = {s: [predicted_gflops(s, args.p, q, model) for q in qs]
+              for s in ("greedy", "fibonacci", "flat-tree")}
+    print(f"gamma_seq = {gamma:.3f} GFLOP/s at nb={args.nb}")
+    print(format_series("q", qs, series,
+                        title=f"predicted GFLOP/s, p={args.p}, "
+                              f"{args.cores} cores"))
+    return 0
+
+
+def _cmd_recommend(args) -> int:
+    from .analysis.model import PerformanceModel
+    from .bench.report import format_table
+    from .core.auto import select_scheme
+
+    model = None
+    if args.cores is not None:
+        gamma = args.gamma
+        if gamma is None:
+            from .bench.kernel_timing import measure_gamma_seq, time_kernels
+            rates = time_kernels(args.nb, ib=32, backend="lapack",
+                                 strategy="warm")
+            gamma = measure_gamma_seq(rates)
+            print(f"measured gamma_seq = {gamma:.3f} GFLOP/s at nb={args.nb}")
+        model = PerformanceModel(gamma_seq=gamma, processors=args.cores)
+    choice = select_scheme(args.p, args.q, model=model, family=args.family)
+    rows = []
+    for name, params, cp, gflops in choice.ranking:
+        rows.append([name + (f"(BS={params['bs']})" if params else ""),
+                     int(cp), "-" if gflops is None else round(gflops, 2)])
+    print(format_table(["scheme", "critical path", "pred GFLOP/s"], rows,
+                       title=f"recommendation for {args.p} x {args.q} "
+                             f"({args.family} kernels)"))
+    extra = f" with {choice.params}" if choice.params else ""
+    print(f"\nuse: scheme={choice.scheme!r}{extra}")
+    return 0
+
+
+def _cmd_coarse(args) -> int:
+    from .bench.report import format_step_matrix
+    from .coarse import coarse_fibonacci, coarse_greedy, coarse_sameh_kuck
+
+    factories = {"sameh-kuck": coarse_sameh_kuck,
+                 "fibonacci": coarse_fibonacci,
+                 "greedy": coarse_greedy}
+    try:
+        sched = factories[args.algorithm](args.p, args.q)
+    except KeyError:
+        print(f"coarse: unknown algorithm {args.algorithm!r} "
+              f"(choose from {sorted(factories)})", file=sys.stderr)
+        return 2
+    print(format_step_matrix(
+        sched.steps,
+        title=f"coarse-grain {sched.name}: critical path "
+              f"{sched.critical_path}"))
+    return 0
+
+
+def _cmd_optimal(args) -> int:
+    from .analysis.optimality import exhaustive_optimal_cp
+    from .core.paths import critical_path
+
+    try:
+        opt = exhaustive_optimal_cp(args.p, args.q, band=args.band,
+                                    max_leaves=args.max_leaves)
+    except ValueError as exc:
+        print(f"optimal: {exc}", file=sys.stderr)
+        return 2
+    shape = (f"banded (band={args.band}) " if args.band is not None else "")
+    print(f"optimal critical path of the {shape}{args.p} x {args.q} grid: "
+          f"{opt:g}")
+    for scheme in ("greedy", "fibonacci", "flat-tree", "binary-tree"):
+        cp = critical_path(scheme, args.p, args.q)
+        flag = "  <- optimal" if cp == opt and args.band is None else ""
+        print(f"  {scheme:12s} {cp:g}{flag}")
+    if args.q >= 2:
+        print(f"  (Theorem 1(3) lower bound 22q-30 = {22 * args.q - 30})")
+    return 0
+
+
+def _cmd_trace(args) -> int:
+    from .dag.build import build_dag
+    from .schemes.registry import get_scheme
+    from .sim.simulate import simulate_bounded
+    from .sim.trace import render_gantt, trace_to_csv, trace_to_json
+
+    elims = get_scheme(args.scheme, args.p, args.q, **_scheme_params(args))
+    g = build_dag(elims, args.family)
+    res = simulate_bounded(g, args.workers, priority=args.priority)
+    if args.format == "gantt":
+        print(render_gantt(res, width=args.width))
+    elif args.format == "csv":
+        print(trace_to_csv(res), end="")
+    else:
+        print(trace_to_json(res))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Tiled QR factorization algorithms (Bouwmeester et al., "
+                    "SC'11) — analysis and execution tools",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("cp", help="critical path of a scheme")
+    _add_grid(p)
+    p.set_defaults(fn=_cmd_cp)
+
+    p = sub.add_parser("table", help="zero-out time table")
+    _add_grid(p)
+    p.set_defaults(fn=_cmd_table)
+
+    p = sub.add_parser("sweep", help="compare all schemes on a grid")
+    p.add_argument("p", type=int)
+    p.add_argument("q", type=int)
+    p.add_argument("--family", default="TT", choices=["TT", "TS"])
+    p.set_defaults(fn=_cmd_sweep)
+
+    p = sub.add_parser("tune", help="PlasmaTree BS exhaustive search")
+    p.add_argument("p", type=int)
+    p.add_argument("q", type=int)
+    p.add_argument("--family", default="TT", choices=["TT", "TS"])
+    p.set_defaults(fn=_cmd_tune)
+
+    p = sub.add_parser("factor", help="factor a matrix and report accuracy")
+    p.add_argument("--input", help=".npy file to factor")
+    p.add_argument("--random", help="generate a random MxN matrix")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--nb", type=int, default=64)
+    p.add_argument("--ib", type=int, default=32)
+    p.add_argument("--scheme", default="greedy")
+    p.add_argument("--family", default="TT", choices=["TT", "TS"])
+    p.add_argument("--backend", default="lapack",
+                   choices=["reference", "lapack"])
+    p.add_argument("--workers", type=int, default=None)
+    p.add_argument("--bs", type=int, default=None)
+    p.add_argument("--save", help="save the factorization to this .npz")
+    p.set_defaults(fn=_cmd_factor)
+
+    p = sub.add_parser("predict", help="measure kernels, predict GFLOP/s")
+    p.add_argument("--nb", type=int, default=64)
+    p.add_argument("--cores", type=int, default=48)
+    p.add_argument("--p", type=int, default=40)
+    p.set_defaults(fn=_cmd_predict)
+
+    p = sub.add_parser("recommend", help="pick the best tree for a grid")
+    p.add_argument("p", type=int)
+    p.add_argument("q", type=int)
+    p.add_argument("--family", default="TT", choices=["TT", "TS"])
+    p.add_argument("--cores", type=int, default=None,
+                   help="rank by predicted GFLOP/s on this many cores")
+    p.add_argument("--gamma", type=float, default=None,
+                   help="sequential GFLOP/s (measured if omitted)")
+    p.add_argument("--nb", type=int, default=64,
+                   help="tile size for the measurement")
+    p.set_defaults(fn=_cmd_recommend)
+
+    p = sub.add_parser("coarse", help="coarse-grain step table (Table 2)")
+    p.add_argument("algorithm", help="sameh-kuck | fibonacci | greedy")
+    p.add_argument("p", type=int)
+    p.add_argument("q", type=int)
+    p.set_defaults(fn=_cmd_coarse)
+
+    p = sub.add_parser("optimal",
+                       help="exhaustive optimal critical path (small grids)")
+    p.add_argument("p", type=int)
+    p.add_argument("q", type=int)
+    p.add_argument("--band", type=int, default=None,
+                   help="banded matrix (the Theorem 1(3) instrument)")
+    p.add_argument("--max-leaves", type=int, default=2_000_000)
+    p.set_defaults(fn=_cmd_optimal)
+
+    p = sub.add_parser("trace", help="bounded-P schedule trace")
+    _add_grid(p)
+    p.add_argument("--workers", type=int, default=8)
+    p.add_argument("--priority", default="critical-path")
+    p.add_argument("--format", default="gantt",
+                   choices=["gantt", "csv", "json"])
+    p.add_argument("--width", type=int, default=100)
+    p.set_defaults(fn=_cmd_trace)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

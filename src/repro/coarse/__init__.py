@@ -1,0 +1,21 @@
+"""Coarse-grain (Givens-era) model of parallel QR orderings (S9)."""
+
+from .model import (
+    CoarseSchedule,
+    coarse_critical_path,
+    coarse_fibonacci,
+    coarse_greedy,
+    coarse_sameh_kuck,
+    fibonacci_x,
+    greedy_coarse_counts,
+)
+
+__all__ = [
+    "CoarseSchedule",
+    "coarse_sameh_kuck",
+    "coarse_fibonacci",
+    "coarse_greedy",
+    "coarse_critical_path",
+    "fibonacci_x",
+    "greedy_coarse_counts",
+]

@@ -1,0 +1,225 @@
+"""The coarse-grain model of the 70s/80s Givens-ordering literature (S9).
+
+Section 3.1 of the paper.  In this model the time unit is one
+orthogonal transformation across two matrix rows, independent of row
+length; an algorithm assigns each sub-diagonal entry ``(i, k)`` a
+time-step ``coarse(i, k)`` at which it is zeroed, such that the two
+rows of each rotation are free and ready.
+
+Three classical orderings are implemented:
+
+* **Sameh-Kuck** [15] — the panel row eliminates everything, top-down:
+  ``coarse(i, k) = i + k`` (0-based), critical path ``p + q - 2``.
+* **Fibonacci** [13] — the Fibonacci scheme of order 1; column 0 zeroes
+  ``x, x-1, ...`` entries per step where ``x`` is the least integer
+  with ``x(x+1)/2 >= p - 1``; column ``k`` repeats column ``k-1``
+  shifted down one row and two steps later.  Critical path
+  ``x + 2q - 2``.
+* **Greedy** [6, 7] — at each step, in each column, zero as many
+  entries as possible, bottommost first.  Optimal in this model.
+
+Each function returns a :class:`CoarseSchedule` carrying both the
+time-step table and the elimination pairing (which the tiled
+algorithms of Section 3.2 reuse verbatim).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..schemes.elimination import Elimination
+
+__all__ = [
+    "CoarseSchedule",
+    "coarse_sameh_kuck",
+    "coarse_fibonacci",
+    "coarse_greedy",
+    "coarse_critical_path",
+    "fibonacci_x",
+]
+
+
+@dataclass
+class CoarseSchedule:
+    """A coarse-grain ordering: time-step table plus elimination pairing.
+
+    Attributes
+    ----------
+    p, q : int
+        Grid dimensions.
+    steps : ndarray, shape (p, q), int
+        ``steps[i, k]`` is the time-step at which entry ``(i, k)`` is
+        zeroed (0 for entries on/above the diagonal).
+    eliminations : list of Elimination
+        The pairing, ordered by ``(col, step, row)`` — a valid
+        elimination list order.
+    name : str
+    """
+
+    p: int
+    q: int
+    name: str
+    steps: np.ndarray
+    eliminations: list[Elimination] = field(default_factory=list)
+
+    @property
+    def critical_path(self) -> int:
+        """Last time-step used (the coarse-grain makespan)."""
+        return int(self.steps.max())
+
+    def table(self) -> np.ndarray:
+        """The paper's Table-2-style view (0 above the diagonal)."""
+        return self.steps
+
+
+def _check_pq(p: int, q: int) -> None:
+    if q < 1 or p < q:
+        raise ValueError(f"need p >= q >= 1, got p={p}, q={q}")
+
+
+def fibonacci_x(p: int) -> int:
+    """Least integer ``x`` with ``x(x+1)/2 >= p - 1`` (column-0 makespan)."""
+    if p <= 1:
+        return 0
+    return math.ceil((math.sqrt(8 * (p - 1) + 1) - 1) / 2)
+
+
+def _finish(p: int, q: int, name: str, steps: np.ndarray,
+            pairing: list[tuple[int, int, int, int]]) -> CoarseSchedule:
+    """Sort the pairing into a valid list order and build the schedule."""
+    pairing.sort(key=lambda t: (t[0], t[1], t[2]))  # (col, step, row)
+    elims = [Elimination(row, piv, col) for col, _step, row, piv in pairing]
+    return CoarseSchedule(p=p, q=q, name=name, steps=steps, eliminations=elims)
+
+
+def coarse_sameh_kuck(p: int, q: int) -> CoarseSchedule:
+    """Sameh-Kuck ordering: ``elim(i, k, k)`` top-down in each column."""
+    _check_pq(p, q)
+    steps = np.zeros((p, q), dtype=np.int64)
+    pairing: list[tuple[int, int, int, int]] = []
+    for k in range(min(p, q)):
+        for i in range(k + 1, p):
+            s = i + k  # 1-based: i + k - 2
+            steps[i, k] = s
+            pairing.append((k, s, i, k))
+    return _finish(p, q, "sameh-kuck", steps, pairing)
+
+
+def _fibonacci_col0_steps(p: int) -> list[int]:
+    """Column-0 time-steps of rows ``1..p-1`` (0-based), Fibonacci order 1.
+
+    ``coarse(i, 0) = x - y + 1`` with ``y`` the least integer such that
+    ``i <= y(y+1)/2`` (0-based ``i``).
+    """
+    x = fibonacci_x(p)
+    out = []
+    for i in range(1, p):
+        y = math.ceil((math.sqrt(8 * i + 1) - 1) / 2)
+        out.append(x - y + 1)
+    return out
+
+
+def coarse_fibonacci(p: int, q: int) -> CoarseSchedule:
+    """Fibonacci (Modi-Clarke order-1) ordering.
+
+    Column ``k`` is column ``k-1`` shifted down one row, two steps
+    later: ``coarse(i, k) = coarse(i - k, 0) + 2k``.  Within a step a
+    group of ``z`` consecutive rows is zeroed by the ``z`` rows just
+    above, paired in natural order (``piv(i) = i - z``).
+    """
+    _check_pq(p, q)
+    col0 = _fibonacci_col0_steps(p)
+    steps = np.zeros((p, q), dtype=np.int64)
+    pairing: list[tuple[int, int, int, int]] = []
+    for k in range(min(p, q)):
+        # group rows of this column by step value
+        groups: dict[int, list[int]] = {}
+        for i in range(k + 1, p):
+            s = col0[i - k - 1] + 2 * k
+            steps[i, k] = s
+            groups.setdefault(s, []).append(i)
+        for s, rows in groups.items():
+            z = len(rows)
+            for i in rows:
+                pairing.append((k, s, i, i - z))
+    return _finish(p, q, "fibonacci", steps, pairing)
+
+
+def coarse_greedy(p: int, q: int) -> CoarseSchedule:
+    """Greedy ordering [6, 7]: maximum eliminations per step, bottom first.
+
+    Simulated with the classical recurrence: with ``Z[k](s)`` zeroed
+    entries of column ``k`` after step ``s`` (and ``Z[-1] = p`` rows
+    available to column 0), step ``s+1`` zeroes
+    ``floor((Z[k-1](s) - Z[k](s)) / 2)`` bottommost candidates of each
+    column, using the same number of candidate rows just above them.
+    """
+    _check_pq(p, q)
+    qq = min(p, q)
+    steps = np.zeros((p, q), dtype=np.int64)
+    pairing: list[tuple[int, int, int, int]] = []
+    z = [0] * qq  # zeroed count per column; column k owns rows k+1..p-1
+    target = [p - 1 - k for k in range(qq)]
+    s = 0
+    while any(z[k] < target[k] for k in range(qq)):
+        s += 1
+        z_prev = list(z)
+        for k in range(qq):
+            avail = p if k == 0 else z_prev[k - 1]  # rows ready for column k
+            e = (avail - z_prev[k]) // 2
+            e = min(e, target[k] - z_prev[k])
+            if e <= 0:
+                continue
+            # bottom block of nonzero candidates: rows p-z-e .. p-z-1,
+            # pivots the e candidate rows directly above.
+            lo = p - z_prev[k] - e
+            for i in range(lo, p - z_prev[k]):
+                steps[i, k] = s
+                pairing.append((k, s, i, i - e))
+            z[k] = z_prev[k] + e
+    return _finish(p, q, "greedy", steps, pairing)
+
+
+def greedy_coarse_counts(p: int, q: int) -> list[list[int]]:
+    """Per-step elimination counts of coarse Greedy, without pairings.
+
+    Runs the classical count recurrence only (no step table, no
+    elimination list), which is O(q * steps) instead of O(p * q) —
+    usable for very large grids, and the cross-check for
+    :func:`coarse_greedy`.  Returns ``counts[k][s]`` = eliminations of
+    column ``k`` at step ``s + 1``.
+    """
+    _check_pq(p, q)
+    qq = min(p, q)
+    z = [0] * qq
+    target = [p - 1 - k for k in range(qq)]
+    counts: list[list[int]] = [[] for _ in range(qq)]
+    while any(z[k] < target[k] for k in range(qq)):
+        z_prev = list(z)
+        for k in range(qq):
+            avail = p if k == 0 else z_prev[k - 1]
+            e = min((avail - z_prev[k]) // 2, target[k] - z_prev[k])
+            counts[k].append(max(e, 0))
+            z[k] = z_prev[k] + max(e, 0)
+    return counts
+
+
+def coarse_critical_path(name: str, p: int, q: int) -> int:
+    """Closed-form coarse-grain critical paths where known (Section 3.1).
+
+    * ``sameh-kuck``: ``p + q - 2`` (rectangular, p > q), ``2q - 3`` (square)
+    * ``fibonacci``: ``x + 2q - 2`` (rectangular), ``x + 2q - 4`` (square)
+    * ``greedy``: no closed form — computed by simulation.
+    """
+    _check_pq(p, q)
+    if name == "sameh-kuck":
+        return 2 * q - 3 if p == q else p + q - 2
+    if name == "fibonacci":
+        x = fibonacci_x(p)
+        return x + 2 * q - 4 if p == q else x + 2 * q - 2
+    if name == "greedy":
+        return coarse_greedy(p, q).critical_path
+    raise ValueError(f"unknown coarse algorithm {name!r}")

@@ -1,0 +1,17 @@
+"""Public API of the tiled QR library (S13)."""
+
+from .auto import SchemeChoice, select_scheme
+from .paths import critical_path, zero_out_steps
+from .serialize import load_factorization, save_factorization
+from .tiled_qr import TiledQRFactorization, tiled_qr
+
+__all__ = [
+    "tiled_qr",
+    "TiledQRFactorization",
+    "critical_path",
+    "zero_out_steps",
+    "save_factorization",
+    "load_factorization",
+    "select_scheme",
+    "SchemeChoice",
+]

@@ -1,0 +1,109 @@
+"""Automatic elimination-tree selection (S13).
+
+The paper's practical takeaway is a decision rule: Greedy for tall
+grids (no tuning), kernels by arithmetic/locality, PlasmaTree only if
+you must use TS kernels and can afford the BS search.  This module
+encodes that rule as a function — given the grid and an optional
+machine model it returns the best scheme by predicted performance,
+searching PlasmaTree's BS where requested, so users get the paper's
+conclusion as one call:
+
+>>> from repro.core.auto import select_scheme
+>>> select_scheme(40, 5).scheme
+'greedy'
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..analysis.model import PerformanceModel
+from ..bench.autotune import plasma_bs_sweep
+from ..dag.build import build_dag
+from ..kernels.costs import KernelFamily, total_weight
+from ..schemes.registry import get_scheme
+from ..sim.simulate import simulate_unbounded
+
+__all__ = ["SchemeChoice", "select_scheme"]
+
+
+@dataclass
+class SchemeChoice:
+    """Outcome of :func:`select_scheme`.
+
+    Attributes
+    ----------
+    scheme : str
+        Winning scheme name (pass to :func:`repro.tiled_qr`).
+    params : dict
+        Scheme parameters (``{"bs": ...}`` when PlasmaTree wins).
+    critical_path : float
+        Its critical path in time units.
+    predicted_gflops : float or None
+        Prediction under the supplied machine model (None without one).
+    ranking : list
+        All candidates as ``(scheme, params, cp, gflops)``, best first.
+    """
+
+    scheme: str
+    params: dict
+    critical_path: float
+    predicted_gflops: float | None
+    ranking: list = field(default_factory=list)
+
+
+def select_scheme(
+    p: int,
+    q: int,
+    model: PerformanceModel | None = None,
+    family: KernelFamily | str = KernelFamily.TT,
+    include_plasma: bool = True,
+    candidates: list[str] | None = None,
+) -> SchemeChoice:
+    """Pick the best elimination tree for a ``p x q`` grid.
+
+    Without a machine model the criterion is the critical path (the
+    unbounded-parallelism view); with one, the Roofline-predicted
+    GFLOP/s — which can prefer a longer-path tree once the work bound
+    dominates (square-ish grids on few cores).
+
+    Parameters
+    ----------
+    include_plasma : bool
+        Also search PlasmaTree over all BS (the exhaustive search the
+        paper performs); it is reported with its best ``bs``.
+    candidates : list of str or None
+        Scheme names to consider (default: greedy, fibonacci,
+        binary-tree, flat-tree).
+    """
+    if candidates is None:
+        candidates = ["greedy", "fibonacci", "binary-tree", "flat-tree"]
+    total = float(total_weight(p, q))
+    entries: list[tuple[str, dict, float]] = []
+    for name in candidates:
+        cp = simulate_unbounded(build_dag(get_scheme(name, p, q), family)
+                                ).makespan
+        entries.append((name, {}, cp))
+    if include_plasma:
+        sweep = plasma_bs_sweep(p, q, family)
+        bs = min(sweep, key=lambda b: (sweep[b], b))
+        entries.append(("plasma-tree", {"bs": bs}, sweep[bs]))
+
+    def score(entry) -> tuple:
+        name, params, cp = entry
+        if model is None:
+            return (cp, len(params), name)
+        return (-model.predict(total, cp), len(params), name)
+
+    entries.sort(key=score)
+    ranking = [(name, params, cp,
+                model.predict(total, cp) if model else None)
+               for name, params, cp in entries]
+    best, params, cp = entries[0]
+    return SchemeChoice(
+        scheme=best,
+        params=params,
+        critical_path=cp,
+        predicted_gflops=model.predict(total, cp) if model else None,
+        ranking=ranking,
+    )

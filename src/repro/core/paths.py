@@ -1,0 +1,57 @@
+"""Critical-path queries — the paper's central metric (S13).
+
+Convenience wrappers tying schemes, DAG construction and simulation
+together:
+
+>>> from repro.core import critical_path
+>>> critical_path("greedy", 15, 6)
+128.0
+>>> critical_path("flat-tree", 15, 6)   # 6p + 16q - 22
+164.0
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..dag.build import build_dag
+from ..kernels.costs import KernelFamily
+from ..schemes.registry import get_scheme
+from ..sim.simulate import simulate_unbounded
+
+__all__ = ["critical_path", "zero_out_steps"]
+
+
+def critical_path(
+    scheme: str, p: int, q: int,
+    family: KernelFamily | str = KernelFamily.TT,
+    **params,
+) -> float:
+    """Critical path length of ``scheme`` on a ``p x q`` grid.
+
+    Expressed in the paper's time unit (``nb^3/3`` flops); computed by
+    unbounded-processor simulation of the kernel DAG.
+
+    Parameters
+    ----------
+    scheme : str
+        Algorithm name (see :func:`repro.schemes.available_schemes`).
+    p, q : int
+        Tile-grid dimensions.
+    family : KernelFamily
+        ``TT`` (default) or ``TS``.
+    **params
+        Scheme parameters (``bs`` for plasma-tree, ``k`` for grasap).
+    """
+    elims = get_scheme(scheme, p, q, **params)
+    return simulate_unbounded(build_dag(elims, family)).makespan
+
+
+def zero_out_steps(
+    scheme: str, p: int, q: int,
+    family: KernelFamily | str = KernelFamily.TT,
+    **params,
+) -> np.ndarray:
+    """Table-3-style matrix of tile zero-out times for ``scheme``."""
+    elims = get_scheme(scheme, p, q, **params)
+    return simulate_unbounded(build_dag(elims, family)).zero_out_table()

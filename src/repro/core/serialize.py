@@ -1,0 +1,101 @@
+"""Save / load tiled QR factorizations (S13).
+
+A :class:`~repro.core.tiled_qr.TiledQRFactorization` keeps ``Q`` in
+factored form (Householder vectors in the tiles + ``T`` side table), so
+persisting it means persisting the working array, the elimination list
+and every ``T`` factor.  ``save_factorization`` packs all of that into
+a single ``.npz`` archive; ``load_factorization`` restores an object
+that can apply ``Q``/``Q^H`` and solve least-squares problems without
+refactoring — the standard workflow for reusing one expensive
+factorization against many right-hand sides.
+
+Both kernel backends are supported (the reference backend's block-list
+``TFactor`` and the LAPACK backend's packed ``LapackT``).
+"""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+
+from ..dag.build import build_dag
+from ..kernels.backend import get_backend
+from ..kernels.costs import KernelFamily
+from ..kernels.geqrt import TFactor
+from ..kernels.lapack import LapackT
+from ..runtime.executor import ExecutionContext
+from ..schemes.elimination import Elimination, EliminationList
+from ..tiles.layout import TiledMatrix
+from .tiled_qr import TiledQRFactorization
+
+__all__ = ["save_factorization", "load_factorization"]
+
+_FORMAT_VERSION = 1
+
+
+def save_factorization(f: TiledQRFactorization, path) -> None:
+    """Persist a factorization to ``path`` (an ``.npz`` archive)."""
+    ctx = f.context
+    meta = {
+        "version": _FORMAT_VERSION,
+        "m": f.m,
+        "n": f.n,
+        "nb": f.nb,
+        "ib": ctx.ib,
+        "backend": ctx.backend.name,
+        "family": "TS" if "[TS]" in f.graph.name else "TT",
+        "scheme_name": f.scheme.name,
+        "p": f.scheme.p,
+        "q": f.scheme.q,
+        "eliminations": [list(e) for e in f.scheme],
+        "tkeys": [],
+    }
+    arrays: dict[str, np.ndarray] = {"work": ctx.tiled.array}
+    for idx, ((row, col, kind), t) in enumerate(sorted(ctx.tfactors.items())):
+        if isinstance(t, TFactor):
+            entry = {"row": row, "col": col, "kind": kind, "type": "blocks",
+                     "ib": t.ib, "nblocks": len(t.blocks)}
+            for b, blk in enumerate(t.blocks):
+                arrays[f"t{idx}_b{b}"] = blk
+        elif isinstance(t, LapackT):
+            entry = {"row": row, "col": col, "kind": kind, "type": "lapack",
+                     "ib": t.ib, "l": t.l}
+            arrays[f"t{idx}"] = t.t
+        else:  # pragma: no cover - backends are closed
+            raise TypeError(f"unknown T factor type {type(t)!r}")
+        meta["tkeys"].append(entry)
+    arrays["meta"] = np.frombuffer(
+        json.dumps(meta).encode("utf-8"), dtype=np.uint8)
+    np.savez_compressed(path, **arrays)
+
+
+def load_factorization(path) -> TiledQRFactorization:
+    """Restore a factorization saved by :func:`save_factorization`."""
+    with np.load(path) as data:
+        meta = json.loads(bytes(data["meta"]).decode("utf-8"))
+        if meta.get("version") != _FORMAT_VERSION:
+            raise ValueError(
+                f"unsupported factorization format {meta.get('version')!r}")
+        work = np.ascontiguousarray(data["work"])
+        tfactors = {}
+        for idx, entry in enumerate(meta["tkeys"]):
+            key = (entry["row"], entry["col"], entry["kind"])
+            if entry["type"] == "blocks":
+                blocks = [np.ascontiguousarray(data[f"t{idx}_b{b}"])
+                          for b in range(entry["nblocks"])]
+                tfactors[key] = TFactor(blocks=blocks, ib=entry["ib"])
+            else:
+                tfactors[key] = LapackT(np.ascontiguousarray(data[f"t{idx}"]),
+                                        entry["ib"], entry["l"])
+    elims = EliminationList(
+        meta["p"], meta["q"],
+        [Elimination(*e) for e in meta["eliminations"]],
+        name=meta["scheme_name"])
+    graph = build_dag(elims, KernelFamily(meta["family"]))
+    tiled = TiledMatrix(work, meta["nb"])
+    ctx = ExecutionContext(tiled=tiled, graph=graph,
+                           backend=get_backend(meta["backend"]),
+                           ib=meta["ib"], tfactors=tfactors)
+    return TiledQRFactorization(m=meta["m"], n=meta["n"], nb=meta["nb"],
+                                scheme=elims, graph=graph, context=ctx)

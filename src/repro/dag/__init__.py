@@ -1,0 +1,7 @@
+"""Kernel task DAG construction (S10)."""
+
+from .build import build_dag
+from .dot import to_dot
+from .tasks import Task, TaskGraph
+
+__all__ = ["Task", "TaskGraph", "build_dag", "to_dot"]

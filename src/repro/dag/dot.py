@@ -1,0 +1,57 @@
+"""Graphviz DOT export of kernel DAGs (S10).
+
+Renders a :class:`~repro.dag.tasks.TaskGraph` as DOT text for external
+visualization (``dot -Tsvg``), with one color per kernel class and
+panel columns grouped into clusters — the picture PLASMA papers draw of
+their dataflow graphs.
+"""
+
+from __future__ import annotations
+
+from ..kernels.costs import Kernel
+from .tasks import TaskGraph
+
+__all__ = ["to_dot"]
+
+_COLORS = {
+    Kernel.GEQRT: "#1b9e77",
+    Kernel.UNMQR: "#66c2a5",
+    Kernel.TSQRT: "#d95f02",
+    Kernel.TSMQR: "#fc8d62",
+    Kernel.TTQRT: "#7570b3",
+    Kernel.TTMQR: "#8da0cb",
+}
+
+
+def to_dot(graph: TaskGraph, cluster_columns: bool = True) -> str:
+    """Serialize ``graph`` as Graphviz DOT text.
+
+    Parameters
+    ----------
+    cluster_columns : bool
+        Group tasks of each panel column into a ``subgraph cluster``.
+    """
+    lines = [
+        f'digraph "{graph.name or "tiled-qr"}" {{',
+        "  rankdir=TB;",
+        '  node [shape=box, style=filled, fontname="monospace"];',
+    ]
+    by_col: dict[int, list] = {}
+    for t in graph.tasks:
+        by_col.setdefault(t.col, []).append(t)
+    for k in sorted(by_col):
+        if cluster_columns:
+            lines.append(f"  subgraph cluster_col{k} {{")
+            lines.append(f'    label="column {k + 1}"; color=gray;')
+        indent = "    " if cluster_columns else "  "
+        for t in by_col[k]:
+            lines.append(
+                f'{indent}t{t.tid} [label="{t}", fillcolor="{_COLORS[t.kernel]}"];'
+            )
+        if cluster_columns:
+            lines.append("  }")
+    for t in graph.tasks:
+        for d in t.deps:
+            lines.append(f"  t{d} -> t{t.tid};")
+    lines.append("}")
+    return "\n".join(lines)

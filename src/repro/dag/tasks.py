@@ -1,0 +1,147 @@
+"""Task and task-graph containers for the tiled QR kernel DAG (S10).
+
+A :class:`Task` is one kernel invocation — ``GEQRT(i,k)``,
+``UNMQR(i,k,j)``, ``TSQRT/TTQRT(i,piv,k)`` or ``TSMQR/TTMQR(i,piv,k,j)``
+— with its Table-1 weight and its predecessor list.  A
+:class:`TaskGraph` is the full DAG of a factorization, in a
+topologically valid emission order (program order of the elimination
+list), ready for the discrete-event simulator or a runtime executor.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, Optional
+
+from ..kernels.costs import KERNEL_WEIGHTS, Kernel
+
+__all__ = ["Task", "TaskGraph"]
+
+
+@dataclass(slots=True)
+class Task:
+    """One kernel invocation in the factorization DAG.
+
+    Attributes
+    ----------
+    tid : int
+        Dense task index (position in :attr:`TaskGraph.tasks`).
+    kernel : Kernel
+        Which of the six kernels.
+    row : int
+        The row the kernel factors/updates (for the stacked kernels,
+        the *eliminated* row ``i``).
+    piv : int or None
+        Pivot row for the stacked kernels, ``None`` for GEQRT/UNMQR.
+    col : int
+        Panel column ``k``.
+    j : int or None
+        Target column for update kernels (``j > col``), ``None`` for
+        panel kernels.
+    weight : float
+        Duration in model time units (Table 1 by default).
+    deps : list of int
+        Predecessor task ids.
+    """
+
+    tid: int
+    kernel: Kernel
+    row: int
+    piv: Optional[int]
+    col: int
+    j: Optional[int]
+    weight: float
+    deps: list[int] = field(default_factory=list)
+
+    def __str__(self) -> str:
+        args = [str(self.row + 1)]
+        if self.piv is not None:
+            args.append(str(self.piv + 1))
+        args.append(str(self.col + 1))
+        if self.j is not None:
+            args.append(str(self.j + 1))
+        return f"{self.kernel}({','.join(args)})"
+
+
+class TaskGraph:
+    """The kernel DAG of one tiled QR factorization.
+
+    Tasks are stored in a topologically valid order (dependencies point
+    to earlier indices).  ``zero_task[(i, k)]`` maps each sub-diagonal
+    tile to the id of the task that zeroes it (its TSQRT/TTQRT), which
+    is what the paper's "time-step at which the tile is zeroed out"
+    tables report.
+    """
+
+    def __init__(self, p: int, q: int, name: str = ""):
+        self.p = p
+        self.q = q
+        self.name = name
+        self.tasks: list[Task] = []
+        self.zero_task: dict[tuple[int, int], int] = {}
+
+    def add(
+        self,
+        kernel: Kernel,
+        row: int,
+        piv: Optional[int],
+        col: int,
+        j: Optional[int],
+        deps: list[int],
+        weight: Optional[float] = None,
+    ) -> Task:
+        """Append a task; ``weight`` defaults to the Table-1 cost."""
+        w = float(KERNEL_WEIGHTS[kernel]) if weight is None else float(weight)
+        # dedupe cheaply (dependency lists are tiny: typically 1-5 entries)
+        uniq: list[int] = []
+        for d in deps:
+            if d is not None and d not in uniq:
+                uniq.append(d)
+        t = Task(tid=len(self.tasks), kernel=kernel, row=row, piv=piv,
+                 col=col, j=j, weight=w, deps=uniq)
+        self.tasks.append(t)
+        if kernel in (Kernel.TSQRT, Kernel.TTQRT):
+            self.zero_task[(row, col)] = t.tid
+        return t
+
+    def __len__(self) -> int:
+        return len(self.tasks)
+
+    def __iter__(self) -> Iterator[Task]:
+        return iter(self.tasks)
+
+    def total_weight(self) -> float:
+        """Sum of task weights (the Section-2.2 invariant ``6pq^2-2q^3``)."""
+        return sum(t.weight for t in self.tasks)
+
+    def successors(self) -> list[list[int]]:
+        """Adjacency list of successors (computed on demand)."""
+        succ: list[list[int]] = [[] for _ in self.tasks]
+        for t in self.tasks:
+            for d in t.deps:
+                succ[d].append(t.tid)
+        return succ
+
+    def to_networkx(self):
+        """Export as a :class:`networkx.DiGraph` (requires networkx)."""
+        import networkx as nx
+
+        g = nx.DiGraph(p=self.p, q=self.q, name=self.name)
+        for t in self.tasks:
+            g.add_node(t.tid, label=str(t), kernel=t.kernel.value, weight=t.weight)
+        for t in self.tasks:
+            for d in t.deps:
+                g.add_edge(d, t.tid)
+        return g
+
+    def rescale(self, weights: dict[Kernel, float]) -> "TaskGraph":
+        """Return a copy with per-kernel weights replaced.
+
+        Used to feed *measured* kernel times (seconds) into the
+        simulator for the experimental-performance reproduction.
+        """
+        out = TaskGraph(self.p, self.q, self.name)
+        for t in self.tasks:
+            out.add(t.kernel, t.row, t.piv, t.col, t.j, list(t.deps),
+                    weight=weights[t.kernel])
+        return out

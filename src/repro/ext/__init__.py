@@ -1,0 +1,32 @@
+"""Extensions beyond the paper's core study (S18).
+
+Section 5 of the paper lists three future-work directions; two are
+prototyped here as model extensions:
+
+* :mod:`repro.ext.hetero` — robustness to *variations in processor
+  speeds* (heterogeneous workers, slowdown injection);
+* :mod:`repro.ext.comm` — *refining the model to account for
+  communications* (per-kernel data-movement surcharge, which shifts
+  the TS/TT trade-off).
+"""
+
+from .comm import CommunicationModel, comm_adjusted_weights
+from .distributed import (DistributedLayout, communication_volume,
+                          distributed_graph, simulate_distributed)
+from .failures import Failure, simulate_with_failures
+from .hetero import simulate_heterogeneous
+from .rect_tiles import RectTileModel, rect_weights
+
+__all__ = [
+    "simulate_heterogeneous",
+    "CommunicationModel",
+    "comm_adjusted_weights",
+    "DistributedLayout",
+    "communication_volume",
+    "distributed_graph",
+    "simulate_distributed",
+    "Failure",
+    "simulate_with_failures",
+    "RectTileModel",
+    "rect_weights",
+]

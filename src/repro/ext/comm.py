@@ -1,0 +1,67 @@
+"""Communication-aware cost model (S18, paper §5 future work).
+
+"Refining the model to account for communications" — the paper's
+Table-1 weights count flops only; TS kernels move fewer tiles per unit
+of work than TT kernels (Section 2.1: "TS kernels provide more data
+locality").  This module charges each kernel an additional
+:math:`\\alpha \\cdot (\\text{tiles touched})` time units, where one
+unit is still ``nb^3/3`` flops, so ``alpha`` expresses how many
+flop-units one tile transfer costs:
+
+=========  ============== =========================
+Kernel      tiles touched  comment
+=========  ============== =========================
+``GEQRT``   1              the panel tile
+``UNMQR``   2              V/T + target tile
+``TSQRT``   2              triangle + square
+``TSMQR``   3              V/T + two targets
+``TTQRT``   2              two triangles
+``TTMQR``   3              V/T + two targets
+=========  ============== =========================
+
+Per elimination with ``u = q - k`` trailing updates the totals are
+``TS: 2 + 3u`` extra vs ``TT: (1 + 2u) + 2 + 3u`` counting the extra
+GEQRT/UNMQR of the eliminated row — TT moves more data, so a growing
+``alpha`` progressively erodes its critical-path advantage.  The
+ablation benchmark ``benchmarks/bench_ablation_comm.py`` sweeps
+``alpha`` to locate the crossover.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..kernels.costs import KERNEL_WEIGHTS, Kernel
+
+__all__ = ["CommunicationModel", "comm_adjusted_weights"]
+
+#: tiles read or written by one invocation of each kernel
+TILES_TOUCHED: dict[Kernel, int] = {
+    Kernel.GEQRT: 1,
+    Kernel.UNMQR: 2,
+    Kernel.TSQRT: 2,
+    Kernel.TSMQR: 3,
+    Kernel.TTQRT: 2,
+    Kernel.TTMQR: 3,
+}
+
+
+@dataclass(frozen=True)
+class CommunicationModel:
+    """Charge ``alpha`` time units per tile touched, on top of Table 1.
+
+    ``alpha = 0`` recovers the paper's pure-flop model.
+    """
+
+    alpha: float = 0.0
+
+    def weight(self, kernel: Kernel) -> float:
+        return KERNEL_WEIGHTS[kernel] + self.alpha * TILES_TOUCHED[kernel]
+
+    def weights(self) -> dict[Kernel, float]:
+        return {k: self.weight(k) for k in Kernel}
+
+
+def comm_adjusted_weights(alpha: float) -> dict[Kernel, float]:
+    """Convenience: Table-1 weights plus the ``alpha`` surcharge."""
+    return CommunicationModel(alpha).weights()

@@ -1,0 +1,196 @@
+"""Distributed-memory model (S18, paper §5 future work).
+
+"Extending [the model] to fully distributed architectures would lay the
+ground to the design of MPI implementations of the new algorithms."
+This module provides that model layer: tile rows are distributed over
+``nodes`` memories (block or cyclic layout), every stacked kernel whose
+two rows live on different nodes pays a per-tile transfer surcharge,
+and the elimination trees can then be compared by *communication
+volume* as well as by critical path.
+
+The qualitative outcome (see ``benchmarks/bench_ablation_distributed``):
+with a block layout, FlatTree localizes all but ``O(q)`` eliminations
+inside nodes, while BinaryTree/Greedy cross node boundaries on every
+merge level — the same locality-vs-parallelism trade-off that motivates
+the hierarchical trees of Demmel et al. [8] and Hadri et al. [11].
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..dag.tasks import TaskGraph
+from ..kernels.costs import Kernel
+from ..schemes.elimination import EliminationList
+from ..sim.simulate import SimResult, bottom_levels
+
+__all__ = [
+    "DistributedLayout",
+    "communication_volume",
+    "distributed_graph",
+    "simulate_distributed",
+]
+
+
+@dataclass(frozen=True)
+class DistributedLayout:
+    """Row-block distribution of a ``p x q`` tile grid.
+
+    Attributes
+    ----------
+    p : int
+        Number of tile rows.
+    nodes : int
+        Number of distributed memories.
+    kind : {"block", "cyclic"}
+        ``block`` gives node ``n`` rows ``[n*ceil(p/nodes), ...)``;
+        ``cyclic`` deals rows round-robin (``i % nodes``).
+    """
+
+    p: int
+    nodes: int
+    kind: str = "block"
+
+    def __post_init__(self):
+        if self.nodes < 1:
+            raise ValueError(f"need at least one node, got {self.nodes}")
+        if self.kind not in ("block", "cyclic"):
+            raise ValueError(f"unknown layout kind {self.kind!r}")
+
+    def owner(self, row: int) -> int:
+        """Node owning tile row ``row``."""
+        if not (0 <= row < self.p):
+            raise ValueError(f"row {row} outside 0..{self.p - 1}")
+        if self.kind == "cyclic":
+            return row % self.nodes
+        rows_per_node = -(-self.p // self.nodes)
+        return row // rows_per_node
+
+    def crosses(self, i: int, piv: int) -> bool:
+        """True if rows ``i`` and ``piv`` live on different nodes."""
+        return self.owner(i) != self.owner(piv)
+
+
+def communication_volume(
+    elims: EliminationList, layout: DistributedLayout
+) -> dict[str, int]:
+    """Inter-node communication of an elimination tree under ``layout``.
+
+    Counts one message per cross-node elimination in the panel (the
+    triangle exchanged by TTQRT/TSQRT) plus one per trailing update
+    column (the row tiles combined by TTMQR/TSMQR), the dominant
+    volume of an MPI port.
+
+    Returns
+    -------
+    dict with ``messages`` (count), ``tiles`` (tile transfers) and
+    ``cross_eliminations``.
+    """
+    messages = tiles = cross = 0
+    for e in elims:
+        if layout.crosses(e.row, e.piv):
+            cross += 1
+            trailing = elims.q - e.col - 1
+            messages += 1 + trailing
+            tiles += 1 + trailing
+    return {"messages": messages, "tiles": tiles, "cross_eliminations": cross}
+
+
+def simulate_distributed(
+    graph: TaskGraph,
+    layout: DistributedLayout,
+    workers_per_node: int,
+    tile_comm_cost: float = 0.0,
+) -> SimResult:
+    """Owner-computes list scheduling over node-local worker pools.
+
+    The standard distributed-memory execution model for tiled QR: each
+    task runs on the node owning the row it *writes* (the eliminated
+    row for stacked kernels, the factored/updated row otherwise), on
+    one of that node's ``workers_per_node`` workers; cross-node stacked
+    kernels additionally pay ``tile_comm_cost`` for fetching the remote
+    tile.  This is the machine the paper's §5 MPI outlook describes,
+    so elimination trees can be ranked under it directly.
+    """
+    if workers_per_node < 1:
+        raise ValueError(
+            f"need at least one worker per node, got {workers_per_node}")
+    n = len(graph.tasks)
+    prio = -bottom_levels(graph)
+    stacked = (Kernel.TSQRT, Kernel.TTQRT, Kernel.TSMQR, Kernel.TTMQR)
+
+    def duration(t) -> float:
+        w = t.weight
+        if t.kernel in stacked and layout.crosses(t.row, t.piv):
+            w += tile_comm_cost
+        return w
+
+    home = [layout.owner(t.row) for t in graph.tasks]
+    start = np.zeros(n)
+    finish = np.zeros(n)
+    worker = np.full(n, -1, dtype=np.int64)
+    indeg = np.array([len(t.deps) for t in graph.tasks], dtype=np.int64)
+    succ = graph.successors()
+
+    # per-node ready queues and idle pools
+    ready: list[list[tuple[float, int]]] = [[] for _ in range(layout.nodes)]
+    for t in graph.tasks:
+        if indeg[t.tid] == 0:
+            heapq.heappush(ready[home[t.tid]], (prio[t.tid], t.tid))
+    idle = [list(range(workers_per_node)) for _ in range(layout.nodes)]
+    running: list[tuple[float, int, int, int]] = []  # (fin, tid, node, w)
+    now = 0.0
+    done = 0
+    while done < n:
+        for node in range(layout.nodes):
+            while ready[node] and idle[node]:
+                _, tid = heapq.heappop(ready[node])
+                w = idle[node].pop()
+                start[tid] = now
+                finish[tid] = now + duration(graph.tasks[tid])
+                worker[tid] = node * workers_per_node + w
+                heapq.heappush(running, (finish[tid], tid, node, w))
+        if not running:
+            raise RuntimeError("deadlock: nothing running, work remains")
+        now, tid, node, w = heapq.heappop(running)
+        batch = [(tid, node, w)]
+        while running and running[0][0] == now:
+            _, t2, n2, w2 = heapq.heappop(running)
+            batch.append((t2, n2, w2))
+        for t2, n2, w2 in batch:
+            done += 1
+            idle[n2].append(w2)
+            for s in succ[t2]:
+                indeg[s] -= 1
+                if indeg[s] == 0:
+                    heapq.heappush(ready[home[s]], (prio[s], s))
+    return SimResult(graph=graph, start=start, finish=finish,
+                     makespan=float(finish.max()) if n else 0.0,
+                     processors=layout.nodes * workers_per_node,
+                     worker=worker)
+
+
+def distributed_graph(
+    graph: TaskGraph,
+    layout: DistributedLayout,
+    tile_comm_cost: float,
+) -> TaskGraph:
+    """Copy ``graph`` charging ``tile_comm_cost`` to cross-node kernels.
+
+    Every stacked kernel (TSQRT/TTQRT/TSMQR/TTMQR) whose two rows live
+    on different nodes pays one tile transfer on top of its Table-1
+    weight; node-local kernels are unchanged.  The result feeds the
+    usual simulators, giving distributed-aware critical paths.
+    """
+    out = TaskGraph(graph.p, graph.q,
+                    name=f"{graph.name}@{layout.nodes}nodes")
+    stacked = (Kernel.TSQRT, Kernel.TTQRT, Kernel.TSMQR, Kernel.TTMQR)
+    for t in graph.tasks:
+        w = t.weight
+        if t.kernel in stacked and layout.crosses(t.row, t.piv):
+            w += tile_comm_cost
+        out.add(t.kernel, t.row, t.piv, t.col, t.j, list(t.deps), weight=w)
+    return out

@@ -1,0 +1,127 @@
+"""Worker-failure model (S18, paper §5 future work).
+
+"...or even resource failures, is a challenging but crucial task to
+fully benefit from future platforms with a huge number of cores."
+
+This module simulates fail-stop worker losses under list scheduling
+with task re-execution: when a worker dies, its in-flight task is lost
+and immediately re-queued (tiled QR tasks are idempotent at the model
+level — inputs are consumed only at successful completion, matching a
+checkpoint-on-write runtime).  The recovery benchmark measures how much
+makespan each elimination tree loses per failure.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..dag.tasks import TaskGraph
+from ..sim.simulate import SimResult, bottom_levels
+
+__all__ = ["Failure", "simulate_with_failures"]
+
+
+@dataclass(frozen=True)
+class Failure:
+    """A fail-stop event: worker ``worker`` dies at time ``time``."""
+
+    worker: int
+    time: float
+
+
+def simulate_with_failures(
+    graph: TaskGraph,
+    processors: int,
+    failures: list[Failure],
+) -> SimResult:
+    """List scheduling with fail-stop workers and task re-execution.
+
+    Failures are detected immediately: the victim's in-flight task is
+    re-queued at the failure instant and the worker never receives work
+    again.
+
+    Parameters
+    ----------
+    processors : int
+        Initial worker count; at least one worker must survive.
+    failures : list of Failure
+        Fail-stop events (a worker listed twice dies at the earliest
+        time).
+
+    Returns
+    -------
+    SimResult
+        ``start``/``finish`` reflect each task's *successful* run;
+        ``worker`` its surviving executor.
+    """
+    if processors < 1:
+        raise ValueError(f"need at least one processor, got {processors}")
+    death: dict[int, float] = {}
+    for f in failures:
+        if not (0 <= f.worker < processors):
+            raise ValueError(f"failure references worker {f.worker}")
+        death[f.worker] = min(death.get(f.worker, np.inf), f.time)
+    if len(death) >= processors:
+        raise ValueError("at least one worker must survive")
+
+    n = len(graph.tasks)
+    prio = -bottom_levels(graph)
+    start = np.zeros(n)
+    finish = np.zeros(n)
+    worker = np.full(n, -1, dtype=np.int64)
+    indeg = np.array([len(t.deps) for t in graph.tasks], dtype=np.int64)
+    succ = graph.successors()
+
+    ready = [(prio[t.tid], t.tid) for t in graph.tasks if indeg[t.tid] == 0]
+    heapq.heapify(ready)
+    alive = set(range(processors)) - {w for w, t in death.items() if t <= 0}
+    idle = sorted(alive)
+    current: dict[int, int] = {}  # worker -> in-flight task
+
+    # unified event heap: (time, kind, payload); kind 0 = failure
+    # (processed before completions at equal times), kind 1 = completion
+    events: list[tuple[float, int, int]] = []
+    for w, t in death.items():
+        if t > 0:
+            heapq.heappush(events, (t, 0, w))
+
+    now = 0.0
+    done = 0
+    while done < n:
+        while ready and idle:
+            _, tid = heapq.heappop(ready)
+            w = idle.pop()
+            current[w] = tid
+            start[tid] = now
+            heapq.heappush(events, (now + graph.tasks[tid].weight, 1, w))
+        if not events:
+            raise RuntimeError("deadlock: no events pending, work remains")
+        now, kind, w = heapq.heappop(events)
+        if kind == 0:  # failure
+            if w in alive:
+                alive.discard(w)
+                if w in idle:
+                    idle.remove(w)
+                tid = current.pop(w, None)
+                if tid is not None:
+                    heapq.heappush(ready, (prio[tid], tid))
+            continue
+        # completion event — ignore if the worker already died (its
+        # task was re-queued by the failure handler)
+        if w not in alive or w not in current:
+            continue
+        tid = current.pop(w)
+        finish[tid] = now
+        worker[tid] = w
+        idle.append(w)
+        done += 1
+        for s in succ[tid]:
+            indeg[s] -= 1
+            if indeg[s] == 0:
+                heapq.heappush(ready, (prio[s], s))
+    return SimResult(graph=graph, start=start, finish=finish,
+                     makespan=float(finish.max()) if n else 0.0,
+                     processors=processors, worker=worker)

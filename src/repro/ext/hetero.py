@@ -1,0 +1,93 @@
+"""Heterogeneous-speed list scheduling (S18, paper §5 future work).
+
+"The design of robust algorithms, capable of achieving efficient
+performance despite variations in processor speeds, or even resource
+failures" — this module provides the simulation instrument: a bounded
+list scheduler where each worker has its own speed (a task of weight
+``w`` takes ``w / speed`` on that worker).  A degenerate speed of 0
+models a failed core.  The ablation benchmark
+``benchmarks/bench_ablation_hetero.py`` uses it to compare how
+gracefully the elimination trees tolerate slow cores.
+"""
+
+from __future__ import annotations
+
+import heapq
+
+import numpy as np
+
+from ..dag.tasks import TaskGraph
+from ..sim.simulate import SimResult, bottom_levels
+
+__all__ = ["simulate_heterogeneous"]
+
+
+def simulate_heterogeneous(
+    graph: TaskGraph,
+    speeds: list[float],
+    priority: str = "critical-path",
+) -> SimResult:
+    """List scheduling on workers with per-worker speeds.
+
+    Ready tasks are dispatched in priority order; among idle workers the
+    fastest is chosen (a standard heterogeneous-list heuristic).
+
+    Parameters
+    ----------
+    speeds : list of float
+        One positive speed per worker (1.0 = nominal; 0 disallowed —
+        drop the worker from the list to model a failure).
+    """
+    if not speeds:
+        raise ValueError("need at least one worker")
+    if any(s <= 0 for s in speeds):
+        raise ValueError("speeds must be positive; drop failed workers instead")
+    n = len(graph.tasks)
+    if priority == "critical-path":
+        prio = -bottom_levels(graph)
+    elif priority == "fifo":
+        prio = np.arange(n, dtype=float)
+    else:
+        raise ValueError(f"unknown priority {priority!r}")
+
+    start = np.zeros(n)
+    finish = np.zeros(n)
+    worker = np.full(n, -1, dtype=np.int64)
+    indeg = np.array([len(t.deps) for t in graph.tasks], dtype=np.int64)
+    succ = graph.successors()
+
+    ready: list[tuple[float, int]] = [
+        (prio[t.tid], t.tid) for t in graph.tasks if indeg[t.tid] == 0
+    ]
+    heapq.heapify(ready)
+    # idle workers sorted fastest-first: heap of (-speed, worker)
+    idle = [(-s, w) for w, s in enumerate(speeds)]
+    heapq.heapify(idle)
+    running: list[tuple[float, int, int]] = []
+    now = 0.0
+    done = 0
+    while done < n:
+        while ready and idle:
+            _, tid = heapq.heappop(ready)
+            negs, w = heapq.heappop(idle)
+            start[tid] = now
+            finish[tid] = now + graph.tasks[tid].weight / (-negs)
+            worker[tid] = w
+            heapq.heappush(running, (finish[tid], tid, w))
+        if not running:
+            raise RuntimeError("deadlock: no running tasks but work remains")
+        now, tid, w = heapq.heappop(running)
+        batch = [(tid, w)]
+        while running and running[0][0] == now:
+            _, t2, w2 = heapq.heappop(running)
+            batch.append((t2, w2))
+        for t2, w2 in batch:
+            done += 1
+            heapq.heappush(idle, (-speeds[w2], w2))
+            for s in succ[t2]:
+                indeg[s] -= 1
+                if indeg[s] == 0:
+                    heapq.heappush(ready, (prio[s], s))
+    return SimResult(graph=graph, start=start, finish=finish,
+                     makespan=float(finish.max()) if n else 0.0,
+                     processors=len(speeds), worker=worker)

@@ -1,0 +1,87 @@
+"""Rectangular-tile cost model (S18, paper §5 future work).
+
+"First, using rectangular tiles instead of square tiles could lead to
+efficient algorithms, with more locality and still the same potential
+for parallelism."
+
+The paper's Table-1 weights assume square ``nb x nb`` tiles.  This
+module generalizes them to ``mb x nb`` tiles (aspect ratio
+``rho = mb / nb``), from the standard Householder flop counts:
+
+* ``GEQRT`` on an ``mb x nb`` tile: ``2 nb^2 (mb - nb/3)`` flops,
+* ``UNMQR`` update of an ``mb x nb`` tile: ``4 nb^2 (mb - nb/2)``
+  ... and the stacked kernels analogously (triangle-on-square spans
+  ``mb + nb`` rows, triangle-on-triangle ``2 nb``).
+
+Expressed in the paper's unit (``nb^3/3`` flops) the weights become
+functions of ``rho`` that reduce exactly to Table 1 at ``rho = 1``:
+
+=========  =====================  =========
+kernel     weight(rho)            rho = 1
+=========  =====================  =========
+``GEQRT``  ``6 rho - 2``             4
+``UNMQR``  ``12 rho - 6``            6
+``TSQRT``  ``6 rho``                 6
+``TSMQR``  ``12 rho``               12
+``TTQRT``  ``2``                     2
+``TTMQR``  ``6``                     6
+=========  =====================  =========
+
+(TT kernels operate on the ``nb x nb`` triangles regardless of ``mb``,
+so only the GEQRT/UNMQR/TS costs stretch with the aspect ratio, while
+the *number* of tile rows shrinks as ``p = m / (rho nb)`` — the
+locality-vs-parallelism dial the paper anticipates.)  The ablation
+benchmark sweeps ``rho`` at fixed total matrix size.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from ..kernels.costs import Kernel
+
+__all__ = ["RectTileModel", "rect_weights"]
+
+
+@dataclass(frozen=True)
+class RectTileModel:
+    """Cost model for ``mb x nb`` tiles with ``rho = mb / nb >= 1``."""
+
+    rho: float = 1.0
+
+    def __post_init__(self):
+        if self.rho < 1.0:
+            raise ValueError(
+                f"aspect ratio must be >= 1 (tall tiles), got {self.rho}")
+
+    def weight(self, kernel: Kernel) -> float:
+        r = self.rho
+        if kernel is Kernel.GEQRT:
+            return 6.0 * r - 2.0
+        if kernel is Kernel.UNMQR:
+            return 12.0 * r - 6.0
+        if kernel is Kernel.TSQRT:
+            return 6.0 * r
+        if kernel is Kernel.TSMQR:
+            return 12.0 * r
+        if kernel is Kernel.TTQRT:
+            return 2.0
+        return 6.0  # TTMQR
+
+    def weights(self) -> dict[Kernel, float]:
+        return {k: self.weight(k) for k in Kernel}
+
+    def grid(self, m: int, n: int, nb: int) -> tuple[int, int]:
+        """Tile-grid shape for an ``m x n`` matrix with these tiles."""
+        mb = int(round(self.rho * nb))
+        return -(-m // mb), -(-n // nb)
+
+    def rows_for(self, p_square: int) -> int:
+        """Tile rows replacing ``p_square`` square-tile rows."""
+        return max(1, math.ceil(p_square / self.rho))
+
+
+def rect_weights(rho: float) -> dict[Kernel, float]:
+    """Convenience: the ``mb = rho * nb`` kernel weights."""
+    return RectTileModel(rho).weights()

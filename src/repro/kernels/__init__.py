@@ -1,0 +1,46 @@
+"""Tile kernels of the tiled QR factorization (Section 2.1 of the paper).
+
+Two interchangeable backends are provided:
+
+* :mod:`repro.kernels` top level — pure NumPy reference kernels,
+  implemented from scratch (Householder reflectors + compact WY), fully
+  documented, supporting real and complex dtypes and ragged tiles.
+* :mod:`repro.kernels.lapack` — thin wrappers over LAPACK's
+  ``?geqrt/?gemqrt/?tpqrt/?tpmqrt`` via :mod:`scipy.linalg.lapack`, used
+  for performance benchmarking.
+
+Both expose the same six operations and are cross-checked in the test
+suite.
+"""
+
+from .apply import unmqr
+from .costs import (
+    KERNEL_WEIGHTS,
+    Kernel,
+    KernelFamily,
+    UNIT_FLOPS,
+    kernel_flops,
+    qr_flops,
+    total_weight,
+)
+from .geqrt import TFactor, geqr2, geqrt
+from .tsqrt import tsmqr, tsqrt
+from .ttqrt import ttmqr, ttqrt
+
+__all__ = [
+    "Kernel",
+    "KernelFamily",
+    "KERNEL_WEIGHTS",
+    "UNIT_FLOPS",
+    "TFactor",
+    "geqr2",
+    "geqrt",
+    "unmqr",
+    "tsqrt",
+    "tsmqr",
+    "ttqrt",
+    "ttmqr",
+    "kernel_flops",
+    "qr_flops",
+    "total_weight",
+]

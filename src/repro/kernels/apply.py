@@ -1,0 +1,72 @@
+"""``UNMQR``: apply the transformation of a GEQRT panel to a tile (S2).
+
+Tile analogue of LAPACK ``?unmqr``/``?ormqr`` restricted to the form
+used by the tiled QR algorithms: apply :math:`Q^{\\mathsf H}` (from the
+left) of a tile previously factored by :func:`repro.kernels.geqrt.geqrt`
+to a tile sitting in the same row, panel by panel.
+
+Cost in the paper's unit: **6** (Table 1).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .geqrt import TFactor, panel_starts
+
+__all__ = ["unmqr"]
+
+
+def unmqr(
+    v: np.ndarray,
+    t: TFactor,
+    c: np.ndarray,
+    adjoint: bool = True,
+    side: str = "L",
+) -> None:
+    """Apply the orthogonal factor of a GEQRT'd tile to ``c`` in place.
+
+    Parameters
+    ----------
+    v : ndarray, shape (mb, nb)
+        The factored tile: Householder vectors below the diagonal
+        (the upper triangle — ``R`` — is ignored).
+    t : TFactor
+        The ``T`` blocks produced by ``geqrt``.
+    c : ndarray
+        Tile to update in place: ``(mb, n)`` for ``side="L"``
+        (compute ``op(Q) @ c``), ``(n, mb)`` for ``side="R"``
+        (compute ``c @ op(Q)``).
+    adjoint : bool
+        Apply ``Q^H`` (True, factorization direction) or ``Q``.
+    side : {"L", "R"}
+        Multiply from the left (default) or the right.
+    """
+    m, n = v.shape
+    k = min(m, n)
+    panels = panel_starts(k, t.ib)
+    if len(panels) != len(t.blocks):
+        raise ValueError(
+            f"T factor has {len(t.blocks)} blocks but the tile implies {len(panels)}"
+        )
+    if side not in ("L", "R"):
+        raise ValueError(f"side must be 'L' or 'R', got {side!r}")
+    # With Q = B_0 B_1 ... (one block reflector per panel):
+    #   Q^H C     applies blocks left-to-right (adjoint each),
+    #   Q C       right-to-left,
+    #   C Q       left-to-right,
+    #   C Q^H     right-to-left (adjoint each).
+    forward = adjoint if side == "L" else not adjoint
+    order = range(len(panels)) if forward else range(len(panels) - 1, -1, -1)
+    for idx in order:
+        j0, jb = panels[idx]
+        vmat = np.tril(v[j0:, j0 : j0 + jb], -1)
+        np.fill_diagonal(vmat, 1.0)
+        tblk = t.blocks[idx]
+        tb = tblk.conj().T if adjoint else tblk
+        if side == "L":
+            w = vmat.conj().T @ c[j0:, :]
+            c[j0:, :] -= vmat @ (tb @ w)
+        else:
+            w = c[:, j0:] @ vmat
+            c[:, j0:] -= (w @ tb) @ vmat.conj().T

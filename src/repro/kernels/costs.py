@@ -1,0 +1,104 @@
+"""Kernel cost model (S4) — Table 1 of the paper.
+
+The unit of time is :math:`n_b^3/3` floating-point operations, where
+``nb`` is the tile size.  These weights drive the discrete-event
+simulator and every critical-path result in the paper:
+
+=========  =====================================  ======
+Kernel     Operation                              Weight
+=========  =====================================  ======
+``GEQRT``  factor square into triangle (panel)       4
+``UNMQR``  ... update                                6
+``TSQRT``  zero square with triangle on top           6
+``TSMQR``  ... update                                12
+``TTQRT``  zero triangle with triangle on top         2
+``TTMQR``  ... update                                 6
+=========  =====================================  ======
+
+A TS elimination costs ``10 + 18(q-k)`` units and so does a TT one —
+the *total* weight of any tiled QR algorithm on a ``p x q`` tile matrix
+is the invariant ``6pq^2 - 2q^3`` (Section 2.2), i.e. the classical
+``2mn^2 - 2n^3/3`` flops.
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+
+__all__ = [
+    "Kernel",
+    "KernelFamily",
+    "KERNEL_WEIGHTS",
+    "UNIT_FLOPS",
+    "total_weight",
+    "qr_flops",
+    "kernel_flops",
+]
+
+
+class Kernel(str, Enum):
+    """The six tile kernels of the tiled QR factorization."""
+
+    GEQRT = "GEQRT"
+    UNMQR = "UNMQR"
+    TSQRT = "TSQRT"
+    TSMQR = "TSMQR"
+    TTQRT = "TTQRT"
+    TTMQR = "TTMQR"
+
+    def __str__(self) -> str:  # keep trace output compact
+        return self.value
+
+
+class KernelFamily(str, Enum):
+    """Which elimination implementation an algorithm uses (Section 2.1)."""
+
+    TT = "TT"  #: triangle on top of triangle — more parallel
+    TS = "TS"  #: triangle on top of square — more locality
+
+    def __str__(self) -> str:
+        return self.value
+
+
+#: Table 1 weights, in units of ``nb^3/3`` flops.
+KERNEL_WEIGHTS: dict[Kernel, int] = {
+    Kernel.GEQRT: 4,
+    Kernel.UNMQR: 6,
+    Kernel.TSQRT: 6,
+    Kernel.TSMQR: 12,
+    Kernel.TTQRT: 2,
+    Kernel.TTMQR: 6,
+}
+
+
+def UNIT_FLOPS(nb: int) -> float:
+    """Flops per model time unit: ``nb^3 / 3``."""
+    return nb**3 / 3.0
+
+
+def total_weight(p: int, q: int) -> int:
+    """Total task weight of any tiled QR algorithm on ``p x q`` tiles.
+
+    Section 2.2: the invariant ``6 p q^2 - 2 q^3`` holds for every valid
+    elimination list, with either kernel family, and for any tiling.
+    """
+    if p < q:
+        raise ValueError(f"need p >= q, got p={p}, q={q}")
+    return 6 * p * q * q - 2 * q**3
+
+
+def qr_flops(m: int, n: int, complex_arith: bool = False) -> float:
+    """Classical flop count of a Householder QR: ``2mn^2 - 2n^3/3``.
+
+    With ``complex_arith=True`` the count is scaled by 4, matching the
+    convention used when reporting complex GFLOP/s (one complex FMA =
+    8 real flops vs 2 for real).
+    """
+    flops = 2.0 * m * n * n - 2.0 * n**3 / 3.0
+    return 4.0 * flops if complex_arith else flops
+
+
+def kernel_flops(kernel: Kernel, nb: int, complex_arith: bool = False) -> float:
+    """Nominal flops of a single kernel invocation on ``nb x nb`` tiles."""
+    flops = KERNEL_WEIGHTS[kernel] * UNIT_FLOPS(nb)
+    return 4.0 * flops if complex_arith else flops

@@ -1,0 +1,101 @@
+"""Workload matrix generators used by tests, examples and benchmarks.
+
+The paper evaluates on dense random matrices; real deployments of tiled
+QR meet more structured inputs.  This module collects reproducible
+generators for the workload families the introduction motivates
+(least squares, block orthogonalization) and for accuracy studies
+(graded/ill-conditioned inputs where Householder QR's unconditional
+stability matters — the paper's argument for QR over LU in Section 1).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "random_dense",
+    "graded",
+    "vandermonde",
+    "kahan",
+    "near_rank_deficient",
+    "banded_lower",
+]
+
+
+def _rng(seed):
+    return seed if isinstance(seed, np.random.Generator) else \
+        np.random.default_rng(seed)
+
+
+def random_dense(m: int, n: int, dtype=np.float64, seed=0) -> np.ndarray:
+    """I.i.d. standard normal entries (complex when ``dtype`` is)."""
+    rng = _rng(seed)
+    a = rng.standard_normal((m, n))
+    if np.dtype(dtype).kind == "c":
+        a = a + 1j * rng.standard_normal((m, n))
+    return np.ascontiguousarray(a.astype(dtype))
+
+
+def graded(m: int, n: int, condition: float = 1e12, dtype=np.float64,
+           seed=0) -> np.ndarray:
+    """Random matrix with geometrically graded column scales.
+
+    Column ``j`` is scaled by ``condition**(-j/(n-1))``, giving a
+    2-norm condition number close to ``condition`` — the classical
+    stress test for orthogonalization accuracy.
+    """
+    if n < 2:
+        raise ValueError("graded needs at least two columns")
+    a = random_dense(m, n, dtype, seed)
+    scales = condition ** (-np.arange(n) / (n - 1))
+    return a * scales
+
+
+def vandermonde(m: int, n: int, dtype=np.float64, seed=None) -> np.ndarray:
+    """Vandermonde matrix on ``m`` Chebyshev-like points in [-1, 1].
+
+    The least-squares workload of the introduction; moderately
+    ill-conditioned as ``n`` grows.
+    """
+    t = np.cos(np.pi * (np.arange(m) + 0.5) / m)
+    return np.vander(t, n, increasing=True).astype(dtype)
+
+
+def kahan(n: int, theta: float = 1.2, dtype=np.float64) -> np.ndarray:
+    """The Kahan matrix: upper triangular, famously deceptive for
+    rank-revealing factorizations; a classic QR accuracy probe."""
+    c, s = np.cos(theta), np.sin(theta)
+    a = -c * np.triu(np.ones((n, n)), 1) + np.eye(n)
+    scale = s ** np.arange(n)
+    return (scale[:, None] * a).astype(dtype)
+
+
+def near_rank_deficient(m: int, n: int, rank: int, gap: float = 1e-10,
+                        dtype=np.float64, seed=0) -> np.ndarray:
+    """Matrix with ``rank`` dominant singular values and an ``gap``-sized
+    tail — exercises the factorization near singularity."""
+    if not (0 < rank <= n <= m):
+        raise ValueError(f"need 0 < rank <= n <= m, got {rank}, {n}, {m}")
+    rng = _rng(seed)
+    u, _ = np.linalg.qr(rng.standard_normal((m, n)))
+    v, _ = np.linalg.qr(rng.standard_normal((n, n)))
+    sv = np.concatenate([np.linspace(1.0, 2.0, rank),
+                         np.full(n - rank, gap)])
+    return (u * sv) @ v.T.astype(dtype)
+
+
+def banded_lower(p: int, q: int, band: int, nb: int = 1, dtype=np.float64,
+                 seed=0) -> np.ndarray:
+    """Dense matrix whose tile pattern is banded below the diagonal.
+
+    Tiles ``(i, k)`` with ``i - k > band`` are exactly zero — the
+    structure used in the paper's Theorem 1(3) lower-bound argument.
+    """
+    rng = _rng(seed)
+    a = np.zeros((p * nb, q * nb), dtype=dtype)
+    for i in range(p):
+        for k in range(q):
+            if i - k <= band:
+                a[i * nb:(i + 1) * nb, k * nb:(k + 1) * nb] = \
+                    rng.standard_normal((nb, nb))
+    return a

@@ -1,0 +1,5 @@
+"""Execution runtimes for kernel task graphs (S12)."""
+
+from .executor import ExecutionContext, execute_graph
+
+__all__ = ["ExecutionContext", "execute_graph"]

@@ -1,0 +1,240 @@
+"""Task-graph executors: sequential and threaded dataflow (S12).
+
+Given a :class:`~repro.dag.tasks.TaskGraph` and a
+:class:`~repro.tiles.layout.TiledMatrix`, the executors run the actual
+numeric kernels.  Two modes:
+
+* **sequential** — tasks in emission (topological) order; the baseline
+  and reference for correctness.
+* **threaded** — a dynamic dataflow scheduler on a thread pool: a task
+  is submitted the moment its last dependency retires, mirroring
+  PLASMA's runtime.  NumPy/LAPACK kernels release the GIL inside BLAS,
+  so genuine parallelism is possible, though Python-level scheduling
+  overhead limits scaling for small tiles (this is the documented
+  substitution for the paper's 48-core C runtime; see DESIGN.md §2).
+
+The executor owns the side table of ``T`` factors produced by the
+factor kernels and consumed by the update kernels; it is returned as an
+:class:`ExecutionContext` so the Q factor can later be applied to
+arbitrary right-hand sides by replaying the panel tasks
+(:meth:`ExecutionContext.apply_q`).
+"""
+
+from __future__ import annotations
+
+import threading
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
+from typing import Any
+
+import numpy as np
+
+from ..dag.tasks import Task, TaskGraph
+from ..kernels.backend import KernelBackend, get_backend
+from ..kernels.costs import Kernel
+from ..tiles.layout import TiledMatrix
+
+__all__ = ["ExecutionContext", "execute_graph"]
+
+#: which T-factor slot each kernel reads/writes
+_KIND = {
+    Kernel.GEQRT: "ge", Kernel.UNMQR: "ge",
+    Kernel.TSQRT: "ts", Kernel.TSMQR: "ts",
+    Kernel.TTQRT: "tt", Kernel.TTMQR: "tt",
+}
+
+
+@dataclass
+class ExecutionContext:
+    """State of an executed factorization: tiles, T factors, task order."""
+
+    tiled: TiledMatrix
+    graph: TaskGraph
+    backend: KernelBackend
+    ib: int
+    tfactors: dict[tuple[int, int, str], Any] = field(default_factory=dict)
+
+    # ------------------------------------------------------------------
+    def run_task(self, t: Task) -> None:
+        """Execute one kernel task against the tile views."""
+        bk, tiles, tf = self.backend, self.tiled, self.tfactors
+        if t.kernel is Kernel.GEQRT:
+            tf[(t.row, t.col, "ge")] = bk.geqrt(tiles.tile(t.row, t.col), self.ib)
+        elif t.kernel is Kernel.UNMQR:
+            bk.unmqr(tiles.tile(t.row, t.col), tf[(t.row, t.col, "ge")],
+                     tiles.tile(t.row, t.j))
+        elif t.kernel is Kernel.TSQRT:
+            tf[(t.row, t.col, "ts")] = bk.tsqrt(
+                tiles.tile(t.piv, t.col), tiles.tile(t.row, t.col), self.ib)
+        elif t.kernel is Kernel.TSMQR:
+            bk.tsmqr(tiles.tile(t.row, t.col), tf[(t.row, t.col, "ts")],
+                     tiles.tile(t.piv, t.j), tiles.tile(t.row, t.j))
+        elif t.kernel is Kernel.TTQRT:
+            tf[(t.row, t.col, "tt")] = bk.ttqrt(
+                tiles.tile(t.piv, t.col), tiles.tile(t.row, t.col), self.ib)
+        elif t.kernel is Kernel.TTMQR:
+            bk.ttmqr(tiles.tile(t.row, t.col), tf[(t.row, t.col, "tt")],
+                     tiles.tile(t.piv, t.j), tiles.tile(t.row, t.j))
+        else:  # pragma: no cover - enum is closed
+            raise ValueError(f"unknown kernel {t.kernel}")
+
+    # ------------------------------------------------------------------
+    def apply_q_right(self, c: np.ndarray, adjoint: bool = False) -> np.ndarray:
+        """Apply ``Q`` (or ``Q^H``) of the factorization to ``c`` from
+        the right, in place.
+
+        ``c`` must have ``m`` columns.  ``C @ Q`` replays the panel
+        tasks in emission order (``Q = Q_1 Q_2 ...``), ``C @ Q^H`` in
+        reverse with adjoints.
+        """
+        if c.shape[1] != self.tiled.m:
+            raise ValueError(
+                f"c has {c.shape[1]} columns, factorization has {self.tiled.m}")
+        nb = self.tiled.nb
+        bk, tiles, tf = self.backend, self.tiled, self.tfactors
+
+        def block(i: int) -> np.ndarray:
+            return c[:, i * nb : min((i + 1) * nb, self.tiled.m)]
+
+        panel_tasks = [t for t in self.graph.tasks
+                       if t.kernel in (Kernel.GEQRT, Kernel.TSQRT, Kernel.TTQRT)]
+        order = reversed(panel_tasks) if adjoint else panel_tasks
+        for t in order:
+            if t.kernel is Kernel.GEQRT:
+                bk.unmqr(tiles.tile(t.row, t.col), tf[(t.row, t.col, "ge")],
+                         block(t.row), adjoint=adjoint, side="R")
+            elif t.kernel is Kernel.TSQRT:
+                bk.tsmqr(tiles.tile(t.row, t.col), tf[(t.row, t.col, "ts")],
+                         block(t.piv), block(t.row), adjoint=adjoint, side="R")
+            else:
+                bk.ttmqr(tiles.tile(t.row, t.col), tf[(t.row, t.col, "tt")],
+                         block(t.piv), block(t.row), adjoint=adjoint, side="R")
+        return c
+
+    def apply_q(self, c: np.ndarray, adjoint: bool = True) -> np.ndarray:
+        """Apply ``Q`` or ``Q^H`` of the factorization to ``c`` in place.
+
+        ``c`` must have ``m`` rows (padded rows included if the
+        factorization padded).  The panel tasks are replayed in
+        emission order for ``Q^H`` (the factorization direction) and in
+        reverse order with un-adjointed reflectors for ``Q``; any
+        linearization of the DAG yields the same product because
+        concurrent transformations touch disjoint row blocks.
+        """
+        if c.shape[0] != self.tiled.m:
+            raise ValueError(
+                f"c has {c.shape[0]} rows, factorization has {self.tiled.m}")
+        nb = self.tiled.nb
+        bk, tiles, tf = self.backend, self.tiled, self.tfactors
+
+        def block(i: int) -> np.ndarray:
+            return c[i * nb : min((i + 1) * nb, self.tiled.m), :]
+
+        panel_tasks = [t for t in self.graph.tasks
+                       if t.kernel in (Kernel.GEQRT, Kernel.TSQRT, Kernel.TTQRT)]
+        order = panel_tasks if adjoint else reversed(panel_tasks)
+        for t in order:
+            if t.kernel is Kernel.GEQRT:
+                bk.unmqr(tiles.tile(t.row, t.col), tf[(t.row, t.col, "ge")],
+                         block(t.row), adjoint=adjoint)
+            elif t.kernel is Kernel.TSQRT:
+                bk.tsmqr(tiles.tile(t.row, t.col), tf[(t.row, t.col, "ts")],
+                         block(t.piv), block(t.row), adjoint=adjoint)
+            else:
+                bk.ttmqr(tiles.tile(t.row, t.col), tf[(t.row, t.col, "tt")],
+                         block(t.piv), block(t.row), adjoint=adjoint)
+        return c
+
+
+def execute_graph(
+    graph: TaskGraph,
+    tiled: TiledMatrix,
+    backend: str | KernelBackend = "reference",
+    ib: int = 32,
+    workers: int | None = None,
+    on_task_done=None,
+) -> ExecutionContext:
+    """Run every kernel of ``graph`` against ``tiled``.
+
+    Parameters
+    ----------
+    graph : TaskGraph
+        The factorization DAG (from :func:`repro.dag.build_dag`).
+    tiled : TiledMatrix
+        Tile views over the working array (mutated in place).
+    backend : str or KernelBackend
+        ``"reference"`` or ``"lapack"``.
+    ib : int
+        Inner blocking size for the kernels.
+    workers : int or None
+        ``None`` or ``1`` runs sequentially; otherwise a threaded
+        dataflow scheduler with that many workers.
+    on_task_done : callable or None
+        Optional observer ``(task, done_count, total) -> None`` invoked
+        after each kernel retires (progress bars, logging, tracing).
+        In threaded mode it is called from worker threads, serialized
+        under the scheduler lock; keep it fast.
+
+    Returns
+    -------
+    ExecutionContext
+    """
+    ctx = ExecutionContext(tiled=tiled, graph=graph,
+                           backend=get_backend(backend), ib=ib)
+    if workers is None or workers <= 1:
+        total = len(graph.tasks)
+        for i, t in enumerate(graph.tasks, start=1):
+            ctx.run_task(t)
+            if on_task_done is not None:
+                on_task_done(t, i, total)
+        return ctx
+
+    # threaded dataflow scheduler
+    n = len(graph.tasks)
+    succ = graph.successors()
+    indeg = [len(t.deps) for t in graph.tasks]
+    lock = threading.Lock()
+    done = threading.Event()
+    remaining = [n]
+    errors: list[BaseException] = []
+    if n == 0:
+        return ctx
+    # Snapshot the initially ready set *before* any worker can start
+    # decrementing indeg, otherwise a task whose dependencies retire
+    # while we are still submitting would be dispatched twice.
+    initial = [t.tid for t in graph.tasks if indeg[t.tid] == 0]
+
+    with ThreadPoolExecutor(max_workers=workers) as pool:
+
+        def retire(tid: int) -> None:
+            newly_ready = []
+            with lock:
+                remaining[0] -= 1
+                done_count = n - remaining[0]
+                if on_task_done is not None:
+                    on_task_done(graph.tasks[tid], done_count, n)
+                if remaining[0] == 0:
+                    done.set()
+                for s in succ[tid]:
+                    indeg[s] -= 1
+                    if indeg[s] == 0:
+                        newly_ready.append(s)
+            for s in newly_ready:
+                pool.submit(run, s)
+
+        def run(tid: int) -> None:
+            try:
+                ctx.run_task(graph.tasks[tid])
+            except BaseException as exc:  # propagate to the caller
+                with lock:
+                    errors.append(exc)
+                done.set()
+                return
+            retire(tid)
+
+        for tid in initial:
+            pool.submit(run, tid)
+        done.wait()
+    if errors:
+        raise errors[0]
+    return ctx

@@ -1,0 +1,33 @@
+"""Elimination trees / tiled QR algorithms (S6-S8).
+
+Static schemes build an :class:`~repro.schemes.elimination.EliminationList`
+directly; dynamic schemes (Asap, Grasap) derive one from an
+unbounded-processor policy simulation.
+"""
+
+from .asap import AsapResult, asap, grasap
+from .binary_tree import binary_tree
+from .elimination import Elimination, EliminationList
+from .fibonacci import fibonacci
+from .flat_tree import flat_tree
+from .greedy import greedy
+from .hadri_tree import hadri_tree
+from .plasma_tree import plasma_tree
+from .registry import SCHEMES, available_schemes, get_scheme
+
+__all__ = [
+    "Elimination",
+    "EliminationList",
+    "flat_tree",
+    "binary_tree",
+    "fibonacci",
+    "greedy",
+    "hadri_tree",
+    "plasma_tree",
+    "asap",
+    "grasap",
+    "AsapResult",
+    "SCHEMES",
+    "available_schemes",
+    "get_scheme",
+]

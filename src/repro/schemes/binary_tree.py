@@ -1,0 +1,30 @@
+"""BinaryTree elimination scheme (S7).
+
+In each panel column the sub-diagonal rows are reduced by a binary
+tree: round ``r`` pairs rows at stride ``2^(r-1)``.  Best for ``q = 1``
+(tall and skinny), but Proposition 1 shows the critical path is
+``6q log2 p + o(q log2 p)`` — not asymptotically optimal for general
+shapes, because consecutive columns cannot pipeline as tightly as in
+Fibonacci/Greedy.
+"""
+
+from __future__ import annotations
+
+from .elimination import Elimination, EliminationList
+
+__all__ = ["binary_tree"]
+
+
+def binary_tree(p: int, q: int) -> EliminationList:
+    """Build the BinaryTree elimination list for a ``p x q`` tile grid."""
+    elims: list[Elimination] = []
+    for k in range(min(p, q)):
+        stride = 1
+        while k + stride < p:
+            # pair (base, base + stride) for bases aligned to 2*stride
+            base = k
+            while base + stride < p:
+                elims.append(Elimination(base + stride, base, k))
+                base += 2 * stride
+            stride *= 2
+    return EliminationList(p, q, elims, name="binary-tree")

@@ -1,0 +1,198 @@
+"""Elimination lists: the formal definition of a tiled QR algorithm (S6).
+
+Section 2.2 of the paper: *any* tiled QR algorithm is characterized by
+its **elimination list** — the ordered sequence of transformations
+``elim(i, piv(i,k), k)`` that zero out every tile below the diagonal.
+The list is valid iff, for each entry:
+
+1. **rows ready** — all tiles left of the panel in rows ``i`` and
+   ``piv`` have already been zeroed out (their eliminations precede
+   this one in the list), and
+2. **pivot alive** — tile ``(piv, k)`` has not been zeroed out yet
+   (its own elimination, if any, follows this one).
+
+This module provides the :class:`EliminationList` container with
+validation, the Lemma-1 canonicalization (rewrite the list so that
+every elimination satisfies ``i > piv`` without changing the execution
+time), and small analysis helpers.
+
+All indices are **0-based** (rows ``0..p-1``, columns ``0..q-1``); the
+paper's tables use 1-based indices, so its ``elim(2, 1, 1)`` is our
+``Elimination(row=1, piv=0, col=0)``.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, NamedTuple
+
+__all__ = ["Elimination", "EliminationList"]
+
+
+class Elimination(NamedTuple):
+    """One orthogonal transformation ``elim(row, piv, col)``.
+
+    Zeroes tile ``(row, col)`` by combining rows ``row`` and ``piv``
+    (0-based).
+    """
+
+    row: int
+    piv: int
+    col: int
+
+    def __str__(self) -> str:  # paper-style 1-based rendering
+        return f"elim({self.row + 1},{self.piv + 1},{self.col + 1})"
+
+
+class EliminationList:
+    """An ordered elimination list for a ``p x q`` tile matrix.
+
+    Parameters
+    ----------
+    p, q : int
+        Tile-grid dimensions, ``p >= q >= 1``.
+    eliminations : iterable of Elimination
+        Ordered transformations.  Use :meth:`validate` to check the
+        Section 2.2 conditions.
+    name : str
+        Human-readable algorithm name (for reports and traces).
+    """
+
+    def __init__(
+        self,
+        p: int,
+        q: int,
+        eliminations: Iterable[Elimination | tuple[int, int, int]],
+        name: str = "custom",
+    ):
+        if q < 1 or p < q:
+            raise ValueError(f"need p >= q >= 1, got p={p}, q={q}")
+        self.p = p
+        self.q = q
+        self.name = name
+        self.eliminations: list[Elimination] = [
+            e if isinstance(e, Elimination) else Elimination(*e) for e in eliminations
+        ]
+
+    def __iter__(self) -> Iterator[Elimination]:
+        return iter(self.eliminations)
+
+    def __len__(self) -> int:
+        return len(self.eliminations)
+
+    def __repr__(self) -> str:
+        return (f"EliminationList({self.name!r}, p={self.p}, q={self.q}, "
+                f"{len(self.eliminations)} eliminations)")
+
+    # ------------------------------------------------------------------
+    # validation
+    # ------------------------------------------------------------------
+    def expected_count(self) -> int:
+        """Number of sub-diagonal tiles: ``sum_k (p - 1 - k)`` for each panel."""
+        return sum(self.p - 1 - k for k in range(min(self.p, self.q)))
+
+    def validate(self) -> None:
+        """Check the two Section 2.2 validity conditions; raise on failure.
+
+        Also checks completeness (every sub-diagonal tile zeroed exactly
+        once) and index sanity.
+        """
+        p, q = self.p, self.q
+        seen: dict[tuple[int, int], int] = {}
+        for pos, e in enumerate(self.eliminations):
+            if not (0 <= e.col < q):
+                raise ValueError(f"{e} at position {pos}: column out of range")
+            if not (e.col < e.row < p):
+                raise ValueError(f"{e} at position {pos}: must zero below diagonal")
+            if not (0 <= e.piv < p) or e.piv == e.row:
+                raise ValueError(f"{e} at position {pos}: bad pivot")
+            key = (e.row, e.col)
+            if key in seen:
+                raise ValueError(f"{e} at position {pos}: tile zeroed twice "
+                                 f"(first at position {seen[key]})")
+            seen[key] = pos
+        missing = [(i, k) for k in range(min(p, q)) for i in range(k + 1, p)
+                   if (i, k) not in seen]
+        if missing:
+            raise ValueError(f"{len(missing)} sub-diagonal tiles never zeroed, "
+                             f"e.g. {missing[:5]}")
+        # condition 1: rows ready — every elimination of (i, k') and
+        # (piv, k') for k' < k precedes; condition 2: pivot alive.
+        for pos, e in enumerate(self.eliminations):
+            for r in (e.row, e.piv):
+                for kp in range(min(e.col, r)):
+                    # only sub-diagonal tiles need zeroing: (r, kp), r > kp
+                    if r > kp and seen[(r, kp)] > pos:
+                        raise ValueError(
+                            f"{e} at position {pos}: row {r + 1} not ready — "
+                            f"tile ({r + 1},{kp + 1}) zeroed later"
+                        )
+            pkey = (e.piv, e.col)
+            if pkey in seen and seen[pkey] < pos:
+                raise ValueError(
+                    f"{e} at position {pos}: pivot row {e.piv + 1} already "
+                    f"zeroed in column {e.col + 1}"
+                )
+
+    # ------------------------------------------------------------------
+    # Lemma 1 — remove reverse eliminations
+    # ------------------------------------------------------------------
+    def canonicalize(self) -> "EliminationList":
+        """Return an equivalent list where every elimination has ``row > piv``.
+
+        Lemma 1: any generic tiled algorithm can be modified, without
+        changing its execution time, so that each tile is zeroed out by
+        a row *above* it.  Column by column, the rewrite exchanges the
+        roles of the largest reverse pivot ``i0`` and the row ``i1`` of
+        its first *reverse* use, from that position onward (the two
+        rows are symmetric in the kernel DAG from there on, so the
+        schedule is untouched).  Earlier *normal* uses of ``i0`` as a
+        pivot are left alone — restricting the swap to the reverse
+        suffix is what guarantees the largest reverse pivot strictly
+        decreases, i.e. termination (the paper's proof sketch glosses
+        over pivots with mixed normal/reverse uses).
+        """
+        elims = list(self.eliminations)
+        for k in range(self.q):
+            while True:
+                # largest row index serving as a pivot *below* its target
+                reverse = [(pos, e) for pos, e in enumerate(elims)
+                           if e.col == k and e.row < e.piv]
+                if not reverse:
+                    break
+                i0 = max(e.piv for _, e in reverse)
+                p0, first = min((pos, e) for pos, e in reverse if e.piv == i0)
+                i1 = first.row  # i1 < i0 by construction
+                # Exchange the roles of rows i0 and i1 from position p0
+                # onward — in column k AND in every later column, since
+                # the rows' zeroing order (hence their readiness for
+                # subsequent panels) swaps with them.  Eliminations of
+                # earlier columns never reference i0/i1 after p0 (both
+                # rows were already column-(k-1)-ready before p0), so a
+                # uniform label swap is exact and keeps the kernel DAG,
+                # and therefore the execution time, unchanged.
+                swap = {i0: i1, i1: i0}
+                for pos in range(p0, len(elims)):
+                    e = elims[pos]
+                    if e.col < k:
+                        continue
+                    if e.row in swap or e.piv in swap:
+                        elims[pos] = Elimination(
+                            swap.get(e.row, e.row), swap.get(e.piv, e.piv),
+                            e.col)
+        out = EliminationList(self.p, self.q, elims, name=f"{self.name}-canonical")
+        return out
+
+    # ------------------------------------------------------------------
+    # helpers
+    # ------------------------------------------------------------------
+    def column(self, k: int) -> list[Elimination]:
+        """Eliminations of panel column ``k``, in list order."""
+        return [e for e in self.eliminations if e.col == k]
+
+    def pivots(self, k: int) -> set[int]:
+        """Rows serving as pivots in column ``k``."""
+        return {e.piv for e in self.eliminations if e.col == k}
+
+    def pivot_of(self) -> dict[tuple[int, int], int]:
+        """Map ``(row, col) -> piv`` for every zeroed tile."""
+        return {(e.row, e.col): e.piv for e in self.eliminations}

@@ -1,0 +1,23 @@
+"""Fibonacci tiled elimination scheme (S7) — one of the paper's two new
+algorithms.
+
+The tiled algorithm keeps the elimination list of the coarse-grain
+Fibonacci ordering of Modi & Clarke [13] (Section 3.2: "each
+coarse-grain algorithm can be transformed into a tiled algorithm,
+simply by keeping the same elimination list").  Theorem 1(2): critical
+path at most ``22q + 6 ceil(sqrt(2p))``; asymptotically optimal for
+``p = q^2 f(q)`` with ``lim f = 0``.
+"""
+
+from __future__ import annotations
+
+from ..coarse.model import coarse_fibonacci
+from .elimination import EliminationList
+
+__all__ = ["fibonacci"]
+
+
+def fibonacci(p: int, q: int) -> EliminationList:
+    """Build the Fibonacci elimination list for a ``p x q`` tile grid."""
+    sched = coarse_fibonacci(p, q)
+    return EliminationList(p, q, sched.eliminations, name="fibonacci")

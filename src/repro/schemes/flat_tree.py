@@ -1,0 +1,31 @@
+"""FlatTree (= Sameh-Kuck on tiles) elimination scheme (S7).
+
+In each panel column the diagonal row eliminates every lower row,
+top-down.  This is the original PLASMA tiled QR ordering of Buttari et
+al. [4, 5]; with TT kernels the paper calls it ``FlatTree``, with TS
+kernels ``TS-FlatTree``.  Critical path (Theorem 1(1) / Proposition 2):
+
+======  ==================  ==================
+shape    TT kernels          TS kernels
+======  ==================  ==================
+q = 1    ``2p + 2``          ``6p - 2``
+p > q    ``6p + 16q - 22``   ``12p + 18q - 32``
+p = q    ``22p - 24``        ``30p - 34``
+======  ==================  ==================
+"""
+
+from __future__ import annotations
+
+from .elimination import Elimination, EliminationList
+
+__all__ = ["flat_tree"]
+
+
+def flat_tree(p: int, q: int) -> EliminationList:
+    """Build the FlatTree elimination list for a ``p x q`` tile grid."""
+    elims = [
+        Elimination(i, k, k)
+        for k in range(min(p, q))
+        for i in range(k + 1, p)
+    ]
+    return EliminationList(p, q, elims, name="flat-tree")

@@ -1,0 +1,24 @@
+"""Greedy tiled elimination scheme (S7) — the paper's flagship algorithm.
+
+The tiled algorithm keeps the elimination list of the coarse-grain
+Greedy ordering of Cosnard, Muller & Robert [6, 7]; Algorithm 4 of the
+paper generates exactly the same (column, round) groups and pairings.
+Theorem 1(2): critical path at most ``22q + 6 ceil(log2 p)``;
+asymptotically optimal for ``log2 p = q f(q)`` with ``lim f = 0`` —
+in particular whenever ``p`` and ``q`` are proportional.
+
+Unlike PlasmaTree, Greedy has **no tuning parameter**.
+"""
+
+from __future__ import annotations
+
+from ..coarse.model import coarse_greedy
+from .elimination import EliminationList
+
+__all__ = ["greedy"]
+
+
+def greedy(p: int, q: int) -> EliminationList:
+    """Build the Greedy elimination list for a ``p x q`` tile grid."""
+    sched = coarse_greedy(p, q)
+    return EliminationList(p, q, sched.eliminations, name="greedy")

@@ -1,0 +1,64 @@
+"""Semi-Parallel / Fully-Parallel trees of Hadri et al. [10, 11] (S7).
+
+Section 4 of the paper: "Part of our comprehensive study also involved
+comparisons made to the Semi-Parallel Tile and Fully-Parallel Tile CAQR
+algorithms found in [10] ...  As with PLASMA, the tuning parameter BS
+controls the domain size upon which a flat tree is used to zero out
+tiles below the root tile within the domain and a binary tree is used
+to merge these domains.  **Unlike PLASMA, it is not the bottom domain
+whose size decreases as the algorithm progresses through the columns,
+but instead is the top domain.**  In this study, we found that the
+PLASMA algorithms performed identically or better".
+
+So the only structural difference from
+:func:`repro.schemes.plasma_tree.plasma_tree` is the domain anchoring:
+boundaries are fixed at multiples of ``BS`` from the top of the matrix,
+so as the panel moves down it is the *top* domain that shrinks.  The
+paper's "Semi-Parallel" flavour runs this tree on TS kernels (domains
+eliminate squares, merges join triangles) and "Fully-Parallel" is its
+TT-kernel mapping — in this library that is the ``family`` argument of
+:func:`repro.dag.build_dag`, exactly the conversion of Section 2.1.
+
+The benchmark ``benchmarks/bench_hadri_comparison.py`` reproduces the
+paper's (unreported-in-detail) finding that PlasmaTree is never worse.
+"""
+
+from __future__ import annotations
+
+from .elimination import Elimination, EliminationList
+
+__all__ = ["hadri_tree"]
+
+
+def hadri_tree(p: int, q: int, bs: int) -> EliminationList:
+    """Build the Hadri et al. domain tree with top-anchored domains.
+
+    Parameters
+    ----------
+    p, q : int
+        Tile-grid dimensions.
+    bs : int
+        Domain size, ``1 <= bs <= p``; domain boundaries sit at fixed
+        multiples of ``bs`` from row 0.
+    """
+    if not (1 <= bs <= p):
+        raise ValueError(f"domain size must satisfy 1 <= BS <= p, got {bs}")
+    elims: list[Elimination] = []
+    for k in range(min(p, q)):
+        # fixed boundaries: domain j covers rows [j*bs, (j+1)*bs) n [k, p)
+        first_dom = k // bs
+        heads = []
+        for j in range(first_dom, -(-p // bs)):
+            lo = max(k, j * bs)
+            hi = min(p, (j + 1) * bs)
+            if lo >= hi:
+                continue
+            heads.append(lo)
+            for i in range(lo + 1, hi):
+                elims.append(Elimination(i, lo, k))
+        stride = 1
+        while stride < len(heads):
+            for idx in range(0, len(heads) - stride, 2 * stride):
+                elims.append(Elimination(heads[idx + stride], heads[idx], k))
+            stride *= 2
+    return EliminationList(p, q, elims, name=f"hadri-tree(BS={bs})")

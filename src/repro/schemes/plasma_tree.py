@@ -1,0 +1,54 @@
+"""PlasmaTree elimination scheme (S7): PLASMA's domain-based trees.
+
+Section 3.2: the PLASMA library's tree algorithms trade off between
+FlatTree and BinaryTree via a **domain size** parameter ``BS``
+(1 <= BS <= p):
+
+* rows of each panel column are cut into domains of ``BS`` consecutive
+  rows, allocated from the diagonal row downwards (the bottom domain
+  holds the remainder and shrinks as the factorization progresses
+  through the columns, until there is one less domain — unlike Hadri et
+  al. [10] where the *top* domain shrinks);
+* within a domain the first row acts as a local panel and zeroes all
+  other rows of the domain, flat-tree style;
+* the domain heads are then merged by a binary tree reduction.
+
+``BS = 1`` degenerates to BinaryTree and ``BS = p`` to FlatTree.
+Choosing the best ``BS`` requires an exhaustive search (the paper does
+this; so does :func:`repro.bench.autotune.best_plasma_bs`).
+"""
+
+from __future__ import annotations
+
+from .elimination import Elimination, EliminationList
+
+__all__ = ["plasma_tree"]
+
+
+def plasma_tree(p: int, q: int, bs: int) -> EliminationList:
+    """Build the PlasmaTree elimination list with domain size ``bs``.
+
+    Parameters
+    ----------
+    p, q : int
+        Tile-grid dimensions.
+    bs : int
+        Domain size, ``1 <= bs <= p``.
+    """
+    if not (1 <= bs <= p):
+        raise ValueError(f"domain size must satisfy 1 <= BS <= p, got {bs}")
+    elims: list[Elimination] = []
+    for k in range(min(p, q)):
+        # domains of bs rows starting at the panel row; the bottom one
+        # keeps the remainder
+        heads = list(range(k, p, bs))
+        for h in heads:
+            for i in range(h + 1, min(h + bs, p)):
+                elims.append(Elimination(i, h, k))
+        # binary tree merge of the domain heads
+        stride = 1
+        while stride < len(heads):
+            for idx in range(0, len(heads) - stride, 2 * stride):
+                elims.append(Elimination(heads[idx + stride], heads[idx], k))
+            stride *= 2
+    return EliminationList(p, q, elims, name=f"plasma-tree(BS={bs})")

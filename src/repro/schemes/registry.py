@@ -1,0 +1,80 @@
+"""Scheme registry: resolve algorithm names to elimination lists (S7/S8).
+
+The registry is the single entry point the public API, the benchmark
+harness and the examples use to obtain an algorithm:
+
+>>> from repro.schemes import get_scheme
+>>> get_scheme("greedy", 8, 4).name
+'greedy'
+>>> get_scheme("plasma-tree", 8, 4, bs=3).name
+'plasma-tree(BS=3)'
+
+Dynamic algorithms (``asap``, ``grasap``) are resolved by running the
+unbounded-processor policy simulation and returning the elimination
+list it produced; replaying that list through the static DAG builder
+yields the same schedule (a property the tests verify).
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from .asap import asap, grasap
+from .binary_tree import binary_tree
+from .elimination import EliminationList
+from .fibonacci import fibonacci
+from .flat_tree import flat_tree
+from .greedy import greedy
+from .hadri_tree import hadri_tree
+from .plasma_tree import plasma_tree
+
+__all__ = ["SCHEMES", "get_scheme", "available_schemes"]
+
+
+def _asap_list(p: int, q: int) -> EliminationList:
+    return asap(p, q).elims
+
+
+def _grasap_list(p: int, q: int, k: int = 1) -> EliminationList:
+    return grasap(p, q, k).elims
+
+
+SCHEMES: dict[str, Callable[..., EliminationList]] = {
+    "flat-tree": flat_tree,
+    "sameh-kuck": flat_tree,  # the paper renames Sameh-Kuck to FlatTree
+    "binary-tree": binary_tree,
+    "fibonacci": fibonacci,
+    "greedy": greedy,
+    "plasma-tree": plasma_tree,
+    "hadri-tree": hadri_tree,
+    "asap": _asap_list,
+    "grasap": _grasap_list,
+}
+
+
+def available_schemes() -> list[str]:
+    """Names accepted by :func:`get_scheme`."""
+    return sorted(SCHEMES)
+
+
+def get_scheme(name: str, p: int, q: int, **params) -> EliminationList:
+    """Build the elimination list of algorithm ``name`` for a ``p x q`` grid.
+
+    Parameters
+    ----------
+    name : str
+        One of :func:`available_schemes`; ``plasma-tree`` requires a
+        ``bs`` keyword (domain size) and ``grasap`` accepts ``k``
+        (number of trailing Asap columns, default 1).
+    p, q : int
+        Tile-grid dimensions, ``p >= q``.
+    **params
+        Scheme-specific parameters.
+    """
+    try:
+        factory = SCHEMES[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown scheme {name!r}; available: {available_schemes()}"
+        ) from None
+    return factory(p, q, **params)

@@ -1,0 +1,21 @@
+"""Discrete-event simulation of kernel DAGs (S11)."""
+
+from .priorities import PRIORITIES, priority_vector
+from .simulate import SimResult, simulate_unbounded, simulate_bounded, zero_out_table
+from .trace import (Gantt, render_gantt, trace_events, trace_to_csv,
+                    trace_to_json, utilization)
+
+__all__ = [
+    "SimResult",
+    "simulate_unbounded",
+    "simulate_bounded",
+    "zero_out_table",
+    "Gantt",
+    "render_gantt",
+    "trace_events",
+    "trace_to_csv",
+    "trace_to_json",
+    "utilization",
+    "PRIORITIES",
+    "priority_vector",
+]

@@ -1,0 +1,88 @@
+"""Scheduling priority policies for the bounded-P list scheduler (S11).
+
+The paper's experiments rely on PLASMA's dynamic scheduler; exactly
+which ready task a free core grabs is a degree of freedom the paper
+does not explore.  This module collects the classical policies so the
+ablation benchmark (``benchmarks/bench_ablation_priority.py``) can
+quantify how much the elimination *tree* matters relative to the
+dispatch *order* — the answer: the tree dominates, dispatch order
+perturbs makespans by only a few percent, confirming the paper's
+framing of critical path as the right metric.
+
+Every policy maps a :class:`~repro.dag.tasks.TaskGraph` to an array of
+priorities (lower = dispatched first).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..dag.tasks import TaskGraph
+from ..kernels.costs import Kernel
+from .simulate import bottom_levels
+
+__all__ = ["PRIORITIES", "priority_vector"]
+
+
+def critical_path_priority(graph: TaskGraph) -> np.ndarray:
+    """Largest bottom level first — the standard CP heuristic."""
+    return -bottom_levels(graph)
+
+
+def fifo_priority(graph: TaskGraph) -> np.ndarray:
+    """Emission (program) order."""
+    return np.arange(len(graph.tasks), dtype=float)
+
+
+def panel_first_priority(graph: TaskGraph) -> np.ndarray:
+    """Factor kernels before update kernels, then program order.
+
+    Mirrors PLASMA's practice of prioritizing the panel to expose new
+    parallelism early.
+    """
+    n = len(graph.tasks)
+    prio = np.arange(n, dtype=float)
+    panel = {Kernel.GEQRT, Kernel.TSQRT, Kernel.TTQRT}
+    for t in graph.tasks:
+        if t.kernel in panel:
+            prio[t.tid] -= n  # strictly ahead of every update kernel
+    return prio
+
+
+def column_major_priority(graph: TaskGraph) -> np.ndarray:
+    """Leftmost panel column first (greedy pipeline draining)."""
+    n = len(graph.tasks)
+    return np.array([t.col * n + t.tid for t in graph.tasks], dtype=float)
+
+
+def heaviest_first_priority(graph: TaskGraph) -> np.ndarray:
+    """Longest processing time (LPT) first, tie-broken by program order."""
+    n = len(graph.tasks)
+    return np.array([-t.weight * n + t.tid for t in graph.tasks], dtype=float)
+
+
+def random_priority(graph: TaskGraph, seed: int = 0) -> np.ndarray:
+    """Uniformly random dispatch order (the ablation's control arm)."""
+    rng = np.random.default_rng(seed)
+    return rng.permutation(len(graph.tasks)).astype(float)
+
+
+PRIORITIES = {
+    "critical-path": critical_path_priority,
+    "fifo": fifo_priority,
+    "panel-first": panel_first_priority,
+    "column-major": column_major_priority,
+    "heaviest-first": heaviest_first_priority,
+    "random": random_priority,
+}
+
+
+def priority_vector(graph: TaskGraph, name: str, **kwargs) -> np.ndarray:
+    """Resolve a policy by name and compute its priority vector."""
+    try:
+        fn = PRIORITIES[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown priority {name!r}; available: {sorted(PRIORITIES)}"
+        ) from None
+    return fn(graph, **kwargs)

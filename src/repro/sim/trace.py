@@ -1,0 +1,123 @@
+"""Execution traces and ASCII Gantt rendering (S11).
+
+Small utilities to inspect a :class:`~repro.sim.simulate.SimResult`:
+per-worker timelines and a terminal-friendly Gantt chart, which the
+``examples/scheme_explorer.py`` script uses to visualize how the
+elimination trees differ.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+from dataclasses import dataclass
+
+from .simulate import SimResult
+
+__all__ = ["Gantt", "render_gantt", "trace_events", "trace_to_csv",
+           "trace_to_json", "utilization"]
+
+
+@dataclass
+class Gantt:
+    """Per-worker list of ``(start, finish, label)`` segments."""
+
+    lanes: list[list[tuple[float, float, str]]]
+    makespan: float
+
+
+def build_gantt(result: SimResult) -> Gantt:
+    """Group a bounded simulation's tasks by worker."""
+    if result.worker is None:
+        raise ValueError("Gantt requires a bounded simulation (with workers)")
+    nw = int(result.worker.max()) + 1 if len(result.worker) else 0
+    lanes: list[list[tuple[float, float, str]]] = [[] for _ in range(nw)]
+    for t in result.graph.tasks:
+        w = int(result.worker[t.tid])
+        lanes[w].append((float(result.start[t.tid]), float(result.finish[t.tid]), str(t)))
+    for lane in lanes:
+        lane.sort()
+    return Gantt(lanes=lanes, makespan=result.makespan)
+
+
+def trace_events(result: SimResult) -> list[dict]:
+    """Flat event records of a simulation, one per task.
+
+    Fields: ``task``, ``kernel``, ``row``, ``piv``, ``col``, ``j``,
+    ``start``, ``finish``, ``worker`` (-1 when unbounded).  The format
+    is stable and feeds :func:`trace_to_csv` / :func:`trace_to_json`,
+    e.g. for external trace viewers.
+    """
+    events = []
+    for t in result.graph.tasks:
+        events.append({
+            "task": str(t),
+            "kernel": t.kernel.value,
+            "row": t.row,
+            "piv": t.piv,
+            "col": t.col,
+            "j": t.j,
+            "start": float(result.start[t.tid]),
+            "finish": float(result.finish[t.tid]),
+            "worker": int(result.worker[t.tid]) if result.worker is not None
+                      else -1,
+        })
+    return events
+
+
+def trace_to_csv(result: SimResult) -> str:
+    """Render the event trace as CSV text."""
+    events = trace_events(result)
+    buf = io.StringIO()
+    writer = csv.DictWriter(buf, fieldnames=list(events[0]) if events else
+                            ["task"])
+    writer.writeheader()
+    writer.writerows(events)
+    return buf.getvalue()
+
+
+def trace_to_json(result: SimResult) -> str:
+    """Render the event trace as a JSON array."""
+    return json.dumps(trace_events(result), indent=1)
+
+
+def utilization(result: SimResult) -> float:
+    """Fraction of worker-time spent computing (bounded runs).
+
+    ``total work / (processors * makespan)`` — 1.0 means a perfectly
+    packed schedule; the gap to 1.0 is critical-path idling.
+    """
+    if result.processors is None:
+        raise ValueError("utilization requires a bounded simulation")
+    if result.makespan == 0:
+        return 1.0
+    return result.graph.total_weight() / (result.processors * result.makespan)
+
+
+def render_gantt(result: SimResult, width: int = 100) -> str:
+    """Render a bounded simulation as an ASCII Gantt chart.
+
+    Each worker is one text row; kernels are drawn with one character
+    per class (``G`` GEQRT, ``U`` UNMQR, ``S`` TSQRT, ``s`` TSMQR,
+    ``T`` TTQRT, ``t`` TTMQR, ``.`` idle).
+    """
+    gantt = build_gantt(result)
+    if gantt.makespan <= 0:
+        return "(empty schedule)"
+    glyph = {"GEQRT": "G", "UNMQR": "U", "TSQRT": "S", "TSMQR": "s",
+             "TTQRT": "T", "TTMQR": "t"}
+    scale = width / gantt.makespan
+    rows = []
+    for w, lane in enumerate(gantt.lanes):
+        row = ["."] * width
+        for s, f, label in lane:
+            a = int(s * scale)
+            b = max(a + 1, int(f * scale))
+            ch = glyph.get(label.split("(")[0], "?")
+            for x in range(a, min(b, width)):
+                row[x] = ch
+        rows.append(f"P{w:<3d} |{''.join(row)}|")
+    header = (f"{result.graph.name}: makespan {gantt.makespan:g} on "
+              f"{result.processors} processors")
+    return "\n".join([header] + rows)

@@ -1,0 +1,5 @@
+"""Tiled matrix layout (S5)."""
+
+from .layout import TiledMatrix
+
+__all__ = ["TiledMatrix"]

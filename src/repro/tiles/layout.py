@@ -1,0 +1,76 @@
+"""Tiled view over a dense matrix (S5).
+
+The tiled QR algorithms operate on ``p x q`` grids of ``nb x nb`` tiles
+(Section 2).  :class:`TiledMatrix` carves a dense NumPy array into tile
+*views* — no copies — so kernels mutate the backing array directly, the
+way PLASMA operates on its tile layout.  Ragged edges (``m`` or ``n``
+not divisible by ``nb``) are supported: border tiles are simply
+smaller, which all kernels in :mod:`repro.kernels` accept.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["TiledMatrix"]
+
+
+class TiledMatrix:
+    """A ``p x q`` grid of tile views over a dense ``m x n`` array.
+
+    Parameters
+    ----------
+    a : ndarray, shape (m, n)
+        Backing array.  Tile views alias this array; kernel operations
+        through the views mutate it in place.
+    nb : int
+        Tile size.  Border tiles are ``m % nb`` / ``n % nb`` smaller.
+
+    Examples
+    --------
+    >>> import numpy as np
+    >>> tm = TiledMatrix(np.zeros((10, 7)), nb=4)
+    >>> (tm.p, tm.q)
+    (3, 2)
+    >>> tm.tile(2, 1).shape   # ragged corner tile
+    (2, 3)
+    """
+
+    def __init__(self, a: np.ndarray, nb: int):
+        if a.ndim != 2:
+            raise ValueError(f"expected a 2-D array, got ndim={a.ndim}")
+        if nb <= 0:
+            raise ValueError(f"tile size must be positive, got {nb}")
+        self.array = a
+        self.nb = int(nb)
+        self.m, self.n = a.shape
+        self.p = -(-self.m // nb)  # ceil division
+        self.q = -(-self.n // nb)
+
+    def tile(self, i: int, j: int) -> np.ndarray:
+        """Return the (writable) view of tile ``(i, j)``, 0-indexed."""
+        if not (0 <= i < self.p and 0 <= j < self.q):
+            raise IndexError(f"tile ({i}, {j}) outside {self.p} x {self.q} grid")
+        nb = self.nb
+        return self.array[i * nb : min((i + 1) * nb, self.m),
+                          j * nb : min((j + 1) * nb, self.n)]
+
+    def row_height(self, i: int) -> int:
+        """Number of matrix rows in tile row ``i``."""
+        return min(self.nb, self.m - i * self.nb)
+
+    def col_width(self, j: int) -> int:
+        """Number of matrix columns in tile column ``j``."""
+        return min(self.nb, self.n - j * self.nb)
+
+    @property
+    def shape(self) -> tuple[int, int]:
+        return (self.m, self.n)
+
+    @property
+    def grid(self) -> tuple[int, int]:
+        return (self.p, self.q)
+
+    def __repr__(self) -> str:
+        return (f"TiledMatrix(m={self.m}, n={self.n}, nb={self.nb}, "
+                f"p={self.p}, q={self.q}, dtype={self.array.dtype})")

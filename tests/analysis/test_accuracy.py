@@ -1,0 +1,49 @@
+"""Tests for the numerical-accuracy assessment module."""
+
+import numpy as np
+import pytest
+
+from repro import tiled_qr
+from repro.analysis.accuracy import assess, compare_schemes
+from repro.matrices import graded, random_dense
+
+
+class TestAssess:
+    def test_well_conditioned(self):
+        a = random_dense(40, 20, seed=1)
+        rep = assess(tiled_qr(a, nb=8), a)
+        assert rep.backward_error < 1e-14
+        assert rep.orthogonality < 1e-13
+        assert rep.is_stable()
+        assert rep.eps_multiple < 10
+
+    def test_ill_conditioned_still_backward_stable(self):
+        """The paper's stability claim: Householder QR is backward
+        stable regardless of conditioning."""
+        a = graded(48, 16, condition=1e14, seed=3)
+        rep = assess(tiled_qr(a, nb=8), a)
+        assert rep.is_stable()
+        assert rep.orthogonality < 1e-12  # orthogonality is unconditional
+
+    def test_single_precision_scale(self):
+        a = random_dense(32, 16, seed=4).astype(np.float32)
+        rep = assess(tiled_qr(a, nb=8), a)
+        # eps(float32) ~ 1e-7; metric normalizes by float64 eps in
+        # `a`'s *real* dtype
+        assert rep.backward_error < 1e-5
+
+
+class TestCompareSchemes:
+    def test_all_trees_equally_stable(self):
+        a = graded(48, 16, condition=1e12, seed=0)
+        reports = compare_schemes(a, nb=8)
+        errs = [r.backward_error for r in reports.values()]
+        assert max(errs) < 1e-13
+        # no tree is more than 10x worse than the best
+        assert max(errs) / max(min(errs), 1e-300) < 10
+
+    def test_families_equally_stable(self):
+        a = random_dense(32, 16, seed=7)
+        tt = compare_schemes(a, nb=8, schemes=["greedy"], family="TT")
+        ts = compare_schemes(a, nb=8, schemes=["greedy"], family="TS")
+        assert tt["greedy"].is_stable() and ts["greedy"].is_stable()

@@ -1,0 +1,54 @@
+"""Tests for the Roofline-style performance predictor (Section 4)."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import PerformanceModel, predicted_gflops
+from repro.core import critical_path
+from repro.kernels.costs import total_weight
+
+#: the paper's measured sequential rates (GFLOP/s)
+PAPER_DOUBLE = PerformanceModel(gamma_seq=3.8440, processors=48)
+PAPER_COMPLEX = PerformanceModel(gamma_seq=3.1860, processors=48)
+
+
+class TestPerformanceModel:
+    def test_work_bound_regime(self):
+        """Square-ish matrices: T/P >> cp, performance ~ P * gamma."""
+        m = PerformanceModel(gamma_seq=2.0, processors=4)
+        g = m.predict(total=1000.0, cp=10.0)
+        assert np.isclose(g, 2.0 * 4)
+
+    def test_cp_bound_regime(self):
+        m = PerformanceModel(gamma_seq=2.0, processors=1000)
+        g = m.predict(total=100.0, cp=50.0)
+        assert np.isclose(g, 2.0 * 100 / 50)
+
+    def test_zero_work(self):
+        assert PerformanceModel(1.0, 4).predict(0.0, 0.0) == 0.0
+
+    def test_speedup_bounded_by_p(self):
+        m = PerformanceModel(gamma_seq=3.0, processors=48)
+        for q in (1, 5, 20, 40):
+            t = float(total_weight(40, q))
+            cp = critical_path("greedy", 40, q)
+            assert m.speedup(t, cp) <= 48 + 1e-9
+
+    def test_predicted_gflops_paper_shape(self):
+        """Figure 1a/1c shape: Greedy's predicted curve dominates
+        PlasmaTree's and Fibonacci's for tall matrices."""
+        for q in (2, 4, 5, 10):
+            g = predicted_gflops("greedy", 40, q, PAPER_COMPLEX)
+            f = predicted_gflops("fibonacci", 40, q, PAPER_COMPLEX)
+            assert g >= f - 1e-9
+
+    def test_predictions_increase_with_q(self):
+        """More columns -> more parallelism -> higher predicted rate."""
+        vals = [predicted_gflops("greedy", 40, q, PAPER_DOUBLE)
+                for q in (1, 2, 5, 10, 20, 40)]
+        assert vals == sorted(vals)
+
+    def test_peak_at_full_machine(self):
+        """At q = 40 every algorithm is work-bound: ~48x sequential."""
+        g = predicted_gflops("greedy", 40, 40, PAPER_DOUBLE)
+        assert g > 0.9 * 48 * PAPER_DOUBLE.gamma_seq

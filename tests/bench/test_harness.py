@@ -1,0 +1,101 @@
+"""Tests for the benchmark-support substrates."""
+
+import numpy as np
+import pytest
+
+from repro.bench import best_plasma_bs, format_series, format_table, time_kernels
+from repro.bench.autotune import plasma_bs_sweep
+from repro.bench.kernel_timing import measure_gamma_seq
+from repro.bench.report import format_step_matrix
+from repro.analysis import PerformanceModel
+from repro.core import critical_path
+from repro.kernels.costs import Kernel
+
+
+class TestAutotune:
+    def test_sweep_covers_all_bs(self):
+        sweep = plasma_bs_sweep(6, 2)
+        assert set(sweep) == set(range(1, 7))
+
+    def test_best_is_minimum(self):
+        sweep = plasma_bs_sweep(12, 3)
+        bs, cp = best_plasma_bs(12, 3)
+        assert cp == min(sweep.values())
+        assert sweep[bs] == cp
+
+    def test_extremes_consistent(self):
+        """BS = 1 is BinaryTree, BS = p is FlatTree."""
+        sweep = plasma_bs_sweep(10, 3)
+        assert sweep[1] == critical_path("binary-tree", 10, 3)
+        assert sweep[10] == critical_path("flat-tree", 10, 3)
+
+    def test_with_model(self):
+        model = PerformanceModel(gamma_seq=1.0, processors=48)
+        bs, gflops = best_plasma_bs(40, 5, model=model)
+        assert gflops > 0
+        # model-optimal BS minimizes cp when cp-bound
+        bs_cp, _ = best_plasma_bs(40, 5)
+        assert bs == bs_cp
+
+    def test_restricted_bs_values(self):
+        sweep = plasma_bs_sweep(10, 2, bs_values=[1, 5])
+        assert set(sweep) == {1, 5}
+
+
+class TestKernelTiming:
+    @pytest.mark.parametrize("backend", ["reference", "lapack"])
+    def test_rates_positive(self, backend):
+        r = time_kernels(24, 8, backend=backend, strategy="warm", min_time=0.01)
+        assert set(r.gflops) == set(Kernel)
+        assert all(v > 0 for v in r.gflops.values())
+        assert all(v > 0 for v in r.seconds.values())
+
+    def test_complex_dtype(self):
+        r = time_kernels(24, 8, dtype=np.complex128, min_time=0.01)
+        assert r.dtype == "complex128"
+
+    def test_ratios_finite(self):
+        r = time_kernels(24, 8, min_time=0.01)
+        assert r.ts_vs_tt_factor_ratio() > 0
+        assert r.ts_vs_tt_update_ratio() > 0
+
+    def test_cold_strategy_runs(self):
+        r = time_kernels(16, 8, strategy="cold", min_time=0.01)
+        assert all(v > 0 for v in r.seconds.values())
+
+    def test_unknown_strategy(self):
+        with pytest.raises(ValueError):
+            time_kernels(16, 8, strategy="lukewarm")
+
+    def test_gamma_seq_aggregate(self):
+        r = time_kernels(24, 8, min_time=0.01)
+        g = measure_gamma_seq(r)
+        assert min(r.gflops.values()) <= g <= max(r.gflops.values())
+
+    def test_weights_usable_by_simulator(self):
+        from repro.dag import build_dag
+        from repro.schemes import greedy
+        from repro.sim import simulate_unbounded
+        r = time_kernels(16, 8, min_time=0.01)
+        g = build_dag(greedy(5, 2), "TT").rescale(r.weights_seconds())
+        assert simulate_unbounded(g).makespan > 0
+
+
+class TestReport:
+    def test_format_table(self):
+        text = format_table(["a", "bb"], [[1, 2.5], [10, 3.25]], title="T")
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "bb" in lines[1]
+        assert "3.2500" in text
+
+    def test_format_series(self):
+        text = format_series("q", [1, 2], {"greedy": [1.0, 2.0],
+                                           "flat": [0.5, 1.5]})
+        assert "greedy" in text and "flat" in text
+
+    def test_format_step_matrix(self):
+        import numpy as np
+        m = np.array([[0, 0], [3, 0], [5, 12]])
+        text = format_step_matrix(m)
+        assert "." in text and "12" in text

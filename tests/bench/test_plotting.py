@@ -1,0 +1,48 @@
+"""Tests for the ASCII chart renderer."""
+
+import pytest
+
+from repro.bench import ascii_chart
+
+
+class TestAsciiChart:
+    def test_basic_structure(self):
+        out = ascii_chart([1, 2, 3], {"a": [1.0, 2.0, 3.0]},
+                          height=5, width=20, title="T")
+        lines = out.splitlines()
+        assert lines[0] == "T"
+        assert sum(1 for l in lines if "|" in l) == 5
+        assert any("+" in l and "-" in l for l in lines)
+        assert "a" in lines[-1]  # legend
+
+    def test_extremes_on_first_and_last_rows(self):
+        out = ascii_chart([0, 1], {"a": [0.0, 10.0]}, height=4, width=10)
+        lines = [l for l in out.splitlines() if "|" in l]
+        assert "o" in lines[0]    # the max lands on the top row
+        assert "o" in lines[-1]   # the min on the bottom row
+        assert "10" in out and "0" in out
+
+    def test_multiple_series_distinct_glyphs(self):
+        out = ascii_chart([1, 2], {"a": [1, 2], "b": [2, 1]},
+                          height=4, width=10)
+        assert "o = a" in out and "x = b" in out
+
+    def test_constant_series(self):
+        out = ascii_chart([1, 2, 3], {"flat": [5.0, 5.0, 5.0]},
+                          height=4, width=12)
+        assert "o" in out
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ascii_chart([1, 2], {})
+        with pytest.raises(ValueError):
+            ascii_chart([1, 2], {"a": [1.0]})
+        with pytest.raises(ValueError):
+            ascii_chart([1], {"a": [1.0]}, height=4, width=10)
+        with pytest.raises(ValueError):
+            ascii_chart([1, 2, 3], {"a": [1, 2, 3]}, width=2)
+
+    def test_tick_labels_in_frame(self):
+        out = ascii_chart(list(range(100, 106)),
+                          {"a": [1, 2, 3, 4, 5, 6]}, height=4, width=30)
+        assert "105" in out  # last tick not clipped

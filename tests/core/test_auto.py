@@ -1,0 +1,72 @@
+"""Tests for automatic scheme selection."""
+
+import pytest
+
+from repro import critical_path, select_scheme
+from repro.analysis import PerformanceModel
+
+
+class TestSelectByCriticalPath:
+    def test_tall_grid_picks_greedy(self):
+        choice = select_scheme(40, 5)
+        assert choice.scheme == "greedy"
+        assert choice.params == {}
+        assert choice.critical_path == critical_path("greedy", 40, 5)
+
+    def test_single_column_ties_resolve_deterministically(self):
+        """q=1: greedy, binary-tree and plasma(bs=1) all achieve the
+        optimal reduction; parameter-free schemes are preferred, names
+        tie-break alphabetically."""
+        choice = select_scheme(16, 1)
+        assert choice.critical_path == critical_path("binary-tree", 16, 1)
+        assert choice.params == {}
+
+    def test_ranking_sorted(self):
+        choice = select_scheme(20, 4)
+        cps = [cp for _, _, cp, _ in choice.ranking]
+        assert cps == sorted(cps)
+        assert choice.ranking[0][0] == choice.scheme
+
+    def test_plasma_included_with_bs(self):
+        choice = select_scheme(15, 6)
+        plasma = [r for r in choice.ranking if r[0] == "plasma-tree"]
+        assert len(plasma) == 1
+        # the exhaustive search beats Table 3's illustrative BS=5 (166):
+        # BS=7 achieves 154 on the 15 x 6 grid
+        assert plasma[0][1]["bs"] == 7
+        assert plasma[0][2] == 154
+
+    def test_exclude_plasma(self):
+        choice = select_scheme(15, 6, include_plasma=False)
+        assert all(r[0] != "plasma-tree" for r in choice.ranking)
+
+    def test_custom_candidates(self):
+        choice = select_scheme(12, 3, include_plasma=False,
+                               candidates=["flat-tree", "binary-tree"])
+        assert {r[0] for r in choice.ranking} == {"flat-tree", "binary-tree"}
+
+
+class TestSelectByModel:
+    def test_work_bound_regime_is_indifferent(self):
+        """On few cores every tree is work-bound: predictions tie, so
+        the parameter-free name order decides — never plasma."""
+        model = PerformanceModel(gamma_seq=1.0, processors=2)
+        choice = select_scheme(20, 10, model=model)
+        assert choice.predicted_gflops == pytest.approx(2.0)
+        assert choice.params == {}
+
+    def test_cp_bound_regime_matches_cp_choice(self):
+        model = PerformanceModel(gamma_seq=1.0, processors=10_000)
+        a = select_scheme(40, 5, model=model)
+        b = select_scheme(40, 5)
+        assert a.scheme == b.scheme == "greedy"
+
+    def test_predictions_populated(self):
+        model = PerformanceModel(gamma_seq=3.0, processors=48)
+        choice = select_scheme(24, 6, model=model)
+        assert choice.predicted_gflops is not None
+        assert all(g is not None for *_, g in choice.ranking)
+
+    def test_no_model_predictions_none(self):
+        choice = select_scheme(10, 3)
+        assert choice.predicted_gflops is None

@@ -1,0 +1,109 @@
+"""Edge cases and degenerate inputs for the factorization API."""
+
+import numpy as np
+import pytest
+
+from repro import tiled_qr
+from tests.conftest import random_matrix
+
+
+class TestDegenerateMatrices:
+    def test_zero_matrix(self):
+        a = np.zeros((16, 8))
+        f = tiled_qr(a, nb=4)
+        assert np.allclose(f.r(), 0)
+        # Q is still well-defined (identity-ish reflector chain)
+        q = f.q()
+        assert np.allclose(q.T @ q, np.eye(8), atol=1e-12)
+
+    def test_identity(self):
+        a = np.eye(12, 8)
+        f = tiled_qr(a, nb=4)
+        assert f.residual(a) < 1e-14
+        assert np.allclose(np.abs(f.r()), np.eye(8), atol=1e-12)
+
+    def test_rank_deficient(self, rng):
+        """Duplicate columns: QR still exact, R singular."""
+        base = random_matrix(rng, 20, 4)
+        a = np.hstack([base, base])
+        f = tiled_qr(a, nb=4)
+        assert f.residual(a) < 1e-13
+        r = f.r()
+        assert abs(np.diag(r)[4:]).max() < 1e-12
+
+    def test_single_column(self, rng):
+        a = random_matrix(rng, 32, 1)
+        f = tiled_qr(a, nb=8)
+        assert f.residual(a) < 1e-14
+        assert np.isclose(abs(f.r()[0, 0]), np.linalg.norm(a))
+
+    def test_single_element(self):
+        f = tiled_qr(np.array([[3.0]]), nb=4)
+        assert np.isclose(abs(f.r()[0, 0]), 3.0)
+
+    def test_huge_scale(self, rng):
+        a = random_matrix(rng, 16, 8) * 1e150
+        f = tiled_qr(a, nb=4)
+        assert f.residual(a) < 1e-13
+
+    def test_tiny_scale(self, rng):
+        a = random_matrix(rng, 16, 8) * 1e-150
+        f = tiled_qr(a, nb=4)
+        assert f.residual(a) < 1e-13
+
+    def test_nan_propagates_not_crashes(self):
+        a = np.ones((8, 4))
+        a[3, 1] = np.nan
+        f = tiled_qr(a, nb=4)
+        assert np.isnan(f.r()).any()
+
+
+class TestDtypes:
+    @pytest.mark.parametrize("dt,tol", [(np.float32, 1e-5),
+                                        (np.float64, 1e-12),
+                                        (np.complex64, 1e-5),
+                                        (np.complex128, 1e-12)])
+    def test_all_inexact_dtypes_reference(self, rng, dt, tol):
+        a = random_matrix(rng, 24, 12, np.complex128 if
+                          np.dtype(dt).kind == "c" else np.float64).astype(dt)
+        f = tiled_qr(a, nb=8, backend="reference")
+        assert f.residual(a) < tol
+        assert f.r().dtype == dt
+
+    @pytest.mark.parametrize("dt,tol", [(np.float32, 1e-5),
+                                        (np.complex64, 1e-5)])
+    def test_single_precision_lapack(self, rng, dt, tol):
+        a = random_matrix(rng, 24, 12, np.complex128 if
+                          np.dtype(dt).kind == "c" else np.float64).astype(dt)
+        f = tiled_qr(a, nb=8, backend="lapack")
+        assert f.residual(a) < tol
+
+    def test_fortran_ordered_input(self, rng):
+        a = np.asfortranarray(random_matrix(rng, 20, 10))
+        f = tiled_qr(a, nb=8)
+        assert f.residual(np.ascontiguousarray(a)) < 1e-13
+
+
+class TestParameterEdges:
+    def test_ib_one(self, rng):
+        a = random_matrix(rng, 16, 8)
+        f = tiled_qr(a, nb=8, ib=1)
+        assert f.residual(a) < 1e-13
+
+    def test_ib_clamped_to_nb(self, rng):
+        a = random_matrix(rng, 16, 8)
+        f = tiled_qr(a, nb=4, ib=999)
+        assert f.residual(a) < 1e-13
+
+    def test_grasap_k_bounds(self, rng):
+        from repro.schemes import grasap
+        with pytest.raises(ValueError):
+            grasap(8, 4, 5)
+        with pytest.raises(ValueError):
+            grasap(8, 4, -1)
+
+    def test_workers_one_is_sequential(self, rng):
+        a = random_matrix(rng, 16, 8)
+        f1 = tiled_qr(a, nb=8, workers=1)
+        f2 = tiled_qr(a, nb=8, workers=None)
+        assert np.array_equal(f1.r(), f2.r())

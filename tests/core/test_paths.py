@@ -1,0 +1,43 @@
+"""Tests for the critical-path convenience API."""
+
+import numpy as np
+import pytest
+
+from repro import critical_path, zero_out_steps
+
+
+class TestCriticalPath:
+    def test_known_values(self):
+        assert critical_path("greedy", 15, 6) == 128
+        assert critical_path("flat-tree", 15, 6) == 164
+        assert critical_path("fibonacci", 15, 6) == 136
+
+    def test_ts_family(self):
+        assert critical_path("flat-tree", 15, 6, family="TS") == 12 * 15 + 18 * 6 - 32
+
+    def test_plasma_params_forwarded(self):
+        assert critical_path("plasma-tree", 15, 6, bs=5) == 166
+
+    def test_tt_beats_ts_flat_tree(self):
+        for p, q in [(10, 4), (20, 8)]:
+            assert (critical_path("flat-tree", p, q, family="TT")
+                    < critical_path("flat-tree", p, q, family="TS"))
+
+    def test_single_tile(self):
+        assert critical_path("greedy", 1, 1) == 4
+
+
+class TestZeroOutSteps:
+    def test_shape_and_support(self):
+        tb = zero_out_steps("greedy", 8, 3)
+        assert tb.shape == (8, 3)
+        assert tb[0, 0] == 0
+        assert (tb[np.tril_indices(8, -1, 3)][
+            [i for i in range(len(np.tril_indices(8, -1, 3)[0]))]] > 0).all()
+
+    def test_columns_monotone_per_row(self):
+        """A row is always zeroed later in later columns."""
+        tb = zero_out_steps("greedy", 10, 4)
+        for i in range(4, 10):
+            row = tb[i, :4]
+            assert (np.diff(row) > 0).all()

@@ -1,0 +1,65 @@
+"""Tests for factorization save/load."""
+
+import numpy as np
+import pytest
+
+from repro import load_factorization, save_factorization, tiled_qr
+from tests.conftest import random_matrix
+
+
+@pytest.mark.parametrize("backend", ["reference", "lapack"])
+@pytest.mark.parametrize("family", ["TT", "TS"])
+class TestRoundtrip:
+    def test_r_and_q_survive(self, tmp_path, rng, backend, family, dtype):
+        a = random_matrix(rng, 40, 24, dtype)
+        f = tiled_qr(a, nb=8, ib=4, scheme="greedy", backend=backend,
+                     family=family)
+        path = tmp_path / "f.npz"
+        save_factorization(f, path)
+        g = load_factorization(path)
+        assert np.array_equal(g.r(), f.r())
+        assert np.allclose(g.q(), f.q(), atol=1e-14)
+
+    def test_solve_after_load(self, tmp_path, rng, backend, family, dtype):
+        a = random_matrix(rng, 32, 16, dtype)
+        b = random_matrix(rng, 32, 1, dtype)[:, 0]
+        f = tiled_qr(a, nb=8, ib=4, backend=backend, family=family)
+        path = tmp_path / "f.npz"
+        save_factorization(f, path)
+        g = load_factorization(path)
+        assert np.allclose(g.solve_lstsq(b), f.solve_lstsq(b), atol=1e-12)
+
+
+class TestMetadata:
+    def test_scheme_preserved(self, tmp_path, rng):
+        a = random_matrix(rng, 24, 8)
+        f = tiled_qr(a, nb=8, scheme="plasma-tree", bs=2)
+        path = tmp_path / "f.npz"
+        save_factorization(f, path)
+        g = load_factorization(path)
+        assert g.scheme.name == "plasma-tree(BS=2)"
+        assert [tuple(e) for e in g.scheme] == [tuple(e) for e in f.scheme]
+
+    def test_ragged_shapes_preserved(self, tmp_path, rng):
+        a = random_matrix(rng, 29, 13)
+        f = tiled_qr(a, nb=8)
+        path = tmp_path / "f.npz"
+        save_factorization(f, path)
+        g = load_factorization(path)
+        assert (g.m, g.n) == (29, 13)
+        assert g.residual(a) < 1e-12
+
+    def test_version_check(self, tmp_path, rng):
+        import json
+        a = random_matrix(rng, 16, 8)
+        f = tiled_qr(a, nb=8)
+        path = tmp_path / "f.npz"
+        save_factorization(f, path)
+        data = dict(np.load(path))
+        meta = json.loads(bytes(data["meta"]).decode())
+        meta["version"] = 99
+        data["meta"] = np.frombuffer(json.dumps(meta).encode(),
+                                     dtype=np.uint8)
+        np.savez(path, **data)
+        with pytest.raises(ValueError, match="format"):
+            load_factorization(path)

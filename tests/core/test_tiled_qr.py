@@ -1,0 +1,181 @@
+"""End-to-end factorization tests for the public API."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import tiled_qr
+from tests.conftest import random_matrix
+
+SCHEMES = ["flat-tree", "binary-tree", "fibonacci", "greedy"]
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize("scheme", SCHEMES)
+    @pytest.mark.parametrize("family", ["TT", "TS"])
+    def test_all_schemes_families(self, rng, dtype, scheme, family):
+        a = random_matrix(rng, 40, 24, dtype)
+        f = tiled_qr(a, nb=8, ib=4, scheme=scheme, family=family)
+        assert f.residual(a) < 1e-13
+        assert f.orthogonality() < 1e-12
+
+    @pytest.mark.parametrize("backend", ["reference", "lapack"])
+    def test_backends(self, rng, dtype, backend):
+        a = random_matrix(rng, 32, 16, dtype)
+        f = tiled_qr(a, nb=8, scheme="greedy", backend=backend)
+        assert f.residual(a) < 1e-13
+
+    def test_plasma_tree_with_bs(self, rng):
+        a = random_matrix(rng, 48, 16)
+        f = tiled_qr(a, nb=8, scheme="plasma-tree", bs=3)
+        assert f.residual(a) < 1e-13
+
+    def test_dynamic_schemes(self, rng):
+        a = random_matrix(rng, 40, 16)
+        for kw in (dict(scheme="asap"), dict(scheme="grasap", k=1)):
+            f = tiled_qr(a, nb=8, **kw)
+            assert f.residual(a) < 1e-13
+
+    def test_r_matches_numpy(self, rng, dtype):
+        a = random_matrix(rng, 32, 16, dtype)
+        f = tiled_qr(a, nb=8, scheme="greedy")
+        _, r_np = np.linalg.qr(a)
+        assert np.allclose(np.abs(f.r()), np.abs(r_np), atol=1e-11)
+
+    def test_r_upper_triangular(self, rng):
+        f = tiled_qr(random_matrix(rng, 24, 16), nb=8)
+        r = f.r()
+        assert np.allclose(r, np.triu(r))
+        assert r.shape == (16, 16)
+        assert f.r(full=True).shape == (24, 16)
+
+
+class TestShapes:
+    @pytest.mark.parametrize("m,n,nb", [
+        (8, 8, 8),      # single tile
+        (16, 8, 8),     # tall exact
+        (17, 8, 8),     # ragged rows (padding path)
+        (24, 13, 8),    # ragged columns
+        (53, 23, 8),    # ragged both
+        (9, 9, 4),      # ragged square
+        (10, 1, 4),     # single column
+        (100, 3, 8),    # very tall and skinny
+    ])
+    def test_shape_matrix(self, rng, m, n, nb):
+        a = random_matrix(rng, m, n)
+        f = tiled_qr(a, nb=nb, ib=4, scheme="greedy")
+        assert f.residual(a) < 1e-12
+        assert f.orthogonality() < 1e-11
+
+    def test_nb_larger_than_matrix(self, rng):
+        a = random_matrix(rng, 6, 4)
+        f = tiled_qr(a, nb=64)
+        assert f.residual(a) < 1e-13
+
+    def test_rejects_wide(self, rng):
+        with pytest.raises(ValueError, match="m >= n"):
+            tiled_qr(random_matrix(rng, 4, 8), nb=4)
+
+    def test_rejects_vector(self):
+        with pytest.raises(ValueError, match="matrix"):
+            tiled_qr(np.zeros(8), nb=4)
+
+    def test_integer_input_promoted(self):
+        a = np.arange(24).reshape(6, 4) % 7 + np.eye(6, 4)
+        f = tiled_qr(a, nb=2)
+        assert f.residual(a.astype(float)) < 1e-13
+
+    def test_original_not_modified(self, rng):
+        a = random_matrix(rng, 16, 8)
+        a0 = a.copy()
+        tiled_qr(a, nb=8)
+        assert np.array_equal(a, a0)
+
+
+class TestQOperations:
+    def test_q_thin_shape(self, rng, dtype):
+        f = tiled_qr(random_matrix(rng, 24, 16, dtype), nb=8)
+        q = f.q()
+        assert q.shape == (24, 16)
+        assert np.allclose(q.conj().T @ q, np.eye(16), atol=1e-12)
+
+    def test_q_full_orthogonal(self, rng):
+        f = tiled_qr(random_matrix(rng, 16, 8), nb=8)
+        q = f.q(full=True)
+        assert q.shape == (16, 16)
+        assert np.allclose(q @ q.T, np.eye(16), atol=1e-12)
+
+    def test_qh_q_roundtrip(self, rng, dtype):
+        a = random_matrix(rng, 24, 16, dtype)
+        f = tiled_qr(a, nb=8)
+        c = random_matrix(rng, 24, 3, dtype)
+        back = f.q_matmul(f.qh_matmul(c))
+        assert np.allclose(back, c, atol=1e-12)
+
+    def test_qh_a_equals_r(self, rng):
+        a = random_matrix(rng, 24, 16)
+        f = tiled_qr(a, nb=8)
+        qha = f.qh_matmul(a)
+        assert np.allclose(qha[:16], f.r(), atol=1e-12)
+        assert np.allclose(qha[16:], 0, atol=1e-12)
+
+    def test_vector_rhs(self, rng):
+        a = random_matrix(rng, 16, 8)
+        f = tiled_qr(a, nb=8)
+        b = random_matrix(rng, 16, 1)[:, 0]
+        y = f.qh_matmul(b)
+        assert y.shape == (16,)
+
+    def test_wrong_rhs_rows(self, rng):
+        f = tiled_qr(random_matrix(rng, 16, 8), nb=8)
+        with pytest.raises(ValueError, match="rows"):
+            f.qh_matmul(np.zeros(15))
+
+
+class TestLeastSquares:
+    @pytest.mark.parametrize("scheme", ["greedy", "flat-tree"])
+    def test_matches_numpy(self, rng, dtype, scheme):
+        a = random_matrix(rng, 40, 12, dtype)
+        b = random_matrix(rng, 40, 1, dtype)[:, 0]
+        f = tiled_qr(a, nb=8, scheme=scheme)
+        x = f.solve_lstsq(b)
+        x_ref, *_ = np.linalg.lstsq(a, b, rcond=None)
+        assert np.allclose(x, x_ref, atol=1e-10)
+
+    def test_exact_system(self, rng):
+        a = random_matrix(rng, 12, 12)
+        x_true = random_matrix(rng, 12, 1)[:, 0]
+        f = tiled_qr(a, nb=4)
+        x = f.solve_lstsq(a @ x_true)
+        assert np.allclose(x, x_true, atol=1e-10)
+
+    def test_residual_orthogonal_to_range(self, rng):
+        a = random_matrix(rng, 30, 10)
+        b = random_matrix(rng, 30, 1)[:, 0]
+        f = tiled_qr(a, nb=8)
+        x = f.solve_lstsq(b)
+        r = b - a @ x
+        assert np.allclose(a.T @ r, 0, atol=1e-10)
+
+    def test_singular_r_raises(self):
+        a = np.zeros((8, 4))
+        a[:, 0] = 1.0
+        f = tiled_qr(a, nb=4)
+        with pytest.raises(np.linalg.LinAlgError):
+            f.solve_lstsq(np.ones(8))
+
+
+class TestProperty:
+    @given(st.integers(min_value=1, max_value=30),
+           st.integers(min_value=1, max_value=12),
+           st.sampled_from([2, 3, 5, 8]),
+           st.sampled_from(SCHEMES))
+    @settings(max_examples=25, deadline=None)
+    def test_property_factorization(self, m, n, nb, scheme):
+        n = min(m, n)
+        rng = np.random.default_rng(m * 1000 + n * 10 + nb)
+        a = rng.standard_normal((m, n))
+        f = tiled_qr(a, nb=nb, ib=4, scheme=scheme)
+        assert f.residual(a) < 1e-11
+        assert f.orthogonality() < 1e-10

@@ -1,0 +1,43 @@
+"""Tests for the Graphviz DOT export."""
+
+import re
+
+from repro.dag import build_dag, to_dot
+from repro.schemes import greedy
+
+
+class TestDot:
+    def test_well_formed(self):
+        g = build_dag(greedy(5, 2), "TT")
+        dot = to_dot(g)
+        assert dot.startswith("digraph")
+        assert dot.rstrip().endswith("}")
+        assert dot.count("{") == dot.count("}")
+
+    def test_one_node_per_task(self):
+        g = build_dag(greedy(5, 2), "TT")
+        dot = to_dot(g)
+        nodes = re.findall(r"t\d+ \[label=", dot)
+        assert len(nodes) == len(g.tasks)
+
+    def test_one_edge_per_dependency(self):
+        g = build_dag(greedy(5, 2), "TT")
+        dot = to_dot(g)
+        edges = re.findall(r"t\d+ -> t\d+;", dot)
+        assert len(edges) == sum(len(t.deps) for t in g.tasks)
+
+    def test_clusters_per_column(self):
+        g = build_dag(greedy(6, 3), "TT")
+        dot = to_dot(g)
+        assert dot.count("subgraph cluster_col") == 3
+
+    def test_no_clusters_option(self):
+        g = build_dag(greedy(5, 2), "TT")
+        dot = to_dot(g, cluster_columns=False)
+        assert "subgraph" not in dot
+
+    def test_kernel_labels_present(self):
+        g = build_dag(greedy(5, 2), "TT")
+        dot = to_dot(g)
+        assert "GEQRT(1,1)" in dot
+        assert "TTQRT" in dot

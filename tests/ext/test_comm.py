@@ -1,0 +1,55 @@
+"""Tests for the communication-surcharge model (paper §5 extension)."""
+
+import pytest
+
+from repro.dag import build_dag
+from repro.ext import CommunicationModel, comm_adjusted_weights
+from repro.ext.comm import TILES_TOUCHED
+from repro.kernels.costs import KERNEL_WEIGHTS, Kernel
+from repro.schemes import flat_tree, greedy
+from repro.sim import simulate_unbounded
+
+
+class TestModel:
+    def test_alpha_zero_recovers_table1(self):
+        assert comm_adjusted_weights(0.0) == {k: float(v) for k, v in
+                                              KERNEL_WEIGHTS.items()}
+
+    def test_surcharge_proportional(self):
+        m = CommunicationModel(alpha=2.0)
+        for k in Kernel:
+            assert m.weight(k) == KERNEL_WEIGHTS[k] + 2.0 * TILES_TOUCHED[k]
+
+    def test_ts_moves_fewer_tiles_per_elimination(self):
+        """One TS elimination touches fewer tiles than the TT pair
+        doing the same job (the locality argument of Section 2.1)."""
+        ts = TILES_TOUCHED[Kernel.TSQRT] + TILES_TOUCHED[Kernel.TSMQR]
+        tt = (TILES_TOUCHED[Kernel.GEQRT] + TILES_TOUCHED[Kernel.UNMQR]
+              + TILES_TOUCHED[Kernel.TTQRT] + TILES_TOUCHED[Kernel.TTMQR])
+        assert ts < tt
+
+
+class TestCommAblation:
+    def _cp(self, scheme_factory, family, alpha, p=16, q=4):
+        g = build_dag(scheme_factory(p, q), family)
+        g = g.rescale(comm_adjusted_weights(alpha))
+        return simulate_unbounded(g).makespan
+
+    def test_alpha_zero_matches_base(self):
+        base = simulate_unbounded(build_dag(greedy(16, 4), "TT")).makespan
+        assert self._cp(greedy, "TT", 0.0) == base
+
+    def test_cp_increases_with_alpha(self):
+        cps = [self._cp(greedy, "TT", a) for a in (0.0, 1.0, 4.0)]
+        assert cps == sorted(cps)
+        assert cps[0] < cps[-1]
+
+    def test_tt_advantage_shrinks_with_alpha(self):
+        """Communication charges erode the TT critical-path advantage
+        over TS (flat tree on both families)."""
+        gaps = []
+        for alpha in (0.0, 2.0, 8.0):
+            tt = self._cp(flat_tree, "TT", alpha)
+            ts = self._cp(flat_tree, "TS", alpha)
+            gaps.append(ts / tt)
+        assert gaps[0] > gaps[-1]

@@ -1,0 +1,79 @@
+"""Tests for the rectangular-tile cost model."""
+
+import pytest
+
+from repro.dag import build_dag
+from repro.ext.rect_tiles import RectTileModel, rect_weights
+from repro.kernels.costs import KERNEL_WEIGHTS, Kernel
+from repro.schemes import greedy
+from repro.sim import simulate_unbounded
+
+
+class TestWeights:
+    def test_rho_one_is_table1(self):
+        w = rect_weights(1.0)
+        assert w == {k: float(v) for k, v in KERNEL_WEIGHTS.items()}
+
+    def test_tt_kernels_unaffected(self):
+        for rho in (1.0, 2.0, 4.0):
+            w = rect_weights(rho)
+            assert w[Kernel.TTQRT] == 2.0
+            assert w[Kernel.TTMQR] == 6.0
+
+    def test_panel_kernels_scale_linearly(self):
+        w2, w4 = rect_weights(2.0), rect_weights(4.0)
+        assert w2[Kernel.GEQRT] == 10.0 and w4[Kernel.GEQRT] == 22.0
+        assert w2[Kernel.TSQRT] == 12.0 and w4[Kernel.TSQRT] == 24.0
+
+    def test_rejects_flat_tiles(self):
+        with pytest.raises(ValueError):
+            RectTileModel(0.5)
+
+    def test_grid(self):
+        m = RectTileModel(2.0)
+        assert m.grid(160, 80, nb=20) == (4, 4)
+        assert m.rows_for(8) == 4
+
+
+class TestTradeoff:
+    def test_total_weight_preserved_in_flops(self):
+        """Halving the row count with rho=2 tiles keeps the total work
+        within the model's rounding: the invariant is in flops, not in
+        tile counts."""
+        nb = 1
+        p_sq, q = 16, 4
+        base = simulate_unbounded(build_dag(greedy(p_sq, q), "TT")).graph
+        total_sq = base.total_weight()
+        model = RectTileModel(2.0)
+        g = build_dag(greedy(model.rows_for(p_sq), q), "TT")
+        total_rect = g.rescale(model.weights()).total_weight()
+        # 2mn^2-ish totals agree within the boundary-tile slack
+        assert abs(total_rect - total_sq) / total_sq < 0.35
+
+    def test_taller_tiles_shorten_column_chains(self):
+        """rho > 1 halves the tile rows: fewer eliminations per column
+        (locality), at the price of heavier panel kernels — for a flat
+        tree on a tall grid the trade-off pays off."""
+        from repro.schemes import flat_tree
+        q = 2
+        cp_sq = simulate_unbounded(build_dag(flat_tree(32, q), "TT")).makespan
+        model = RectTileModel(2.0)
+        g = build_dag(flat_tree(16, q), "TT").rescale(model.weights())
+        cp_rect = simulate_unbounded(g).makespan
+        assert cp_rect < cp_sq
+
+    def test_greedy_gains_less_from_tall_tiles(self):
+        """Greedy's log-depth columns already amortize the panel, so
+        rectangular tiles help it less than they help FlatTree —
+        quantifying the paper's 'more locality, same parallelism'."""
+        from repro.schemes import flat_tree
+        q = 2
+        model = RectTileModel(2.0)
+
+        def ratio(scheme_fn, p_sq):
+            cp_sq = simulate_unbounded(
+                build_dag(scheme_fn(p_sq, q), "TT")).makespan
+            g = build_dag(scheme_fn(p_sq // 2, q), "TT").rescale(model.weights())
+            return simulate_unbounded(g).makespan / cp_sq
+
+        assert ratio(greedy, 32) > ratio(flat_tree, 32)

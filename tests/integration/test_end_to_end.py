@@ -1,0 +1,108 @@
+"""Integration tests spanning the whole stack."""
+
+import numpy as np
+import pytest
+
+from repro import available_schemes, critical_path, get_scheme, tiled_qr
+from repro.analysis import PerformanceModel, predicted_gflops
+from repro.dag import build_dag
+from repro.kernels.costs import total_weight
+from repro.sim import simulate_bounded, simulate_unbounded
+from tests.conftest import random_matrix
+
+
+class TestPipelineConsistency:
+    """The same elimination list drives analysis AND numerics."""
+
+    def test_simulated_and_executed_task_sets_match(self, rng):
+        a = random_matrix(rng, 40, 24)
+        f = tiled_qr(a, nb=8, scheme="greedy")
+        sim = simulate_unbounded(f.graph)
+        assert sim.makespan == critical_path("greedy", 5, 3)
+        assert len(f.context.tfactors) == sum(
+            1 for t in f.graph.tasks if t.kernel.value.endswith("QRT"))
+
+    def test_scheme_choice_does_not_change_r(self, rng, dtype):
+        """R is unique up to row signs for full-rank A — every
+        elimination tree must agree."""
+        a = random_matrix(rng, 32, 16, dtype)
+        rs = []
+        for scheme in ("greedy", "fibonacci", "flat-tree", "binary-tree"):
+            f = tiled_qr(a, nb=8, scheme=scheme)
+            rs.append(np.abs(f.r()))
+        for r in rs[1:]:
+            assert np.allclose(r, rs[0], atol=1e-10)
+
+    def test_family_choice_does_not_change_r(self, rng):
+        a = random_matrix(rng, 32, 16)
+        r_tt = np.abs(tiled_qr(a, nb=8, family="TT").r())
+        r_ts = np.abs(tiled_qr(a, nb=8, family="TS").r())
+        assert np.allclose(r_tt, r_ts, atol=1e-10)
+
+
+class TestScenarioLeastSquares:
+    def test_overdetermined_regression(self, rng):
+        """The paper's motivating least-squares workload, end to end."""
+        m, n = 200, 40
+        x_true = rng.standard_normal(n)
+        a = random_matrix(rng, m, n)
+        noise = 1e-8 * rng.standard_normal(m)
+        b = a @ x_true + noise
+        f = tiled_qr(a, nb=16, scheme="greedy", workers=4, backend="lapack")
+        x = f.solve_lstsq(b)
+        assert np.linalg.norm(x - x_true) < 1e-6
+
+
+class TestScenarioBlockOrthogonalization:
+    def test_tall_skinny_q(self, rng, dtype):
+        """Orthogonalizing a tall-skinny block — the block iterative
+        methods workload from the introduction."""
+        a = random_matrix(rng, 320, 16, dtype)
+        f = tiled_qr(a, nb=16, scheme="greedy")
+        q = f.q()
+        assert np.allclose(q.conj().T @ q, np.eye(16), atol=1e-12)
+        # span preserved: a = q r
+        assert f.residual(a) < 1e-13
+
+
+class TestPredictedVsSimulated:
+    def test_model_consistency(self):
+        """gamma_pred computed from the model equals the bounded-P
+        simulation when kernels run at exactly gamma_seq...
+        approximately: list scheduling cannot beat the roofline."""
+        p, q, workers = 12, 4, 8
+        g = build_dag(get_scheme("greedy", p, q), "TT")
+        sim = simulate_bounded(g, workers)
+        total = float(total_weight(p, q))
+        cp = simulate_unbounded(g).makespan
+        roofline = max(total / workers, cp)
+        assert sim.makespan >= roofline - 1e-9
+        # list scheduling is within 2x of the roofline (usually ~1.0x)
+        assert sim.makespan <= 2 * roofline
+
+    def test_predictor_orders_schemes_like_simulator(self):
+        model = PerformanceModel(gamma_seq=1.0, processors=48)
+        p = 40
+        for q in (2, 5, 10):
+            pg = predicted_gflops("greedy", p, q, model)
+            pf = predicted_gflops("flat-tree", p, q, model)
+            g = simulate_bounded(build_dag(get_scheme("greedy", p, q), "TT"), 48).makespan
+            f = simulate_bounded(build_dag(get_scheme("flat-tree", p, q), "TT"), 48).makespan
+            assert (pg >= pf) == (g <= f)
+
+
+class TestEveryScheme:
+    @pytest.mark.parametrize("scheme", ["flat-tree", "sameh-kuck",
+                                        "binary-tree", "fibonacci", "greedy",
+                                        "asap"])
+    def test_factorizes(self, rng, scheme):
+        a = random_matrix(rng, 30, 18)
+        f = tiled_qr(a, nb=6, ib=3, scheme=scheme)
+        assert f.residual(a) < 1e-12
+
+    def test_available_schemes_all_usable(self, rng):
+        a = random_matrix(rng, 24, 12)
+        for name in available_schemes():
+            kw = {"bs": 2} if name in ("plasma-tree", "hadri-tree") else {}
+            f = tiled_qr(a, nb=6, scheme=name, **kw)
+            assert f.residual(a) < 1e-12, name

@@ -1,0 +1,78 @@
+"""User-journey tests mirroring the documented workflows."""
+
+import numpy as np
+import pytest
+
+from repro import (available_schemes, critical_path, load_factorization,
+                   save_factorization, tiled_qr, total_weight)
+from tests.conftest import random_matrix
+
+
+class TestQuickstartJourney:
+    """The README quickstart, as a test."""
+
+    def test_full_flow(self, rng):
+        a = rng.standard_normal((600, 300))
+        f = tiled_qr(a, nb=50, scheme="greedy")
+        assert f.residual(a) < 1e-12
+        q, r = f.q(), f.r()
+        assert np.allclose(q @ r, a, atol=1e-10)
+        b = rng.standard_normal(600)
+        x = f.solve_lstsq(b)
+        x_ref, *_ = np.linalg.lstsq(a, b, rcond=None)
+        assert np.allclose(x, x_ref, atol=1e-9)
+        assert critical_path("greedy", 12, 6) <= critical_path("flat-tree", 12, 6)
+
+
+class TestFactorOnceSolveMany:
+    """Persist one factorization, reuse for many right-hand sides."""
+
+    def test_flow(self, tmp_path, rng):
+        a = random_matrix(rng, 80, 40)
+        f = tiled_qr(a, nb=16, backend="lapack")
+        path = tmp_path / "fact.npz"
+        save_factorization(f, path)
+        del f
+        g = load_factorization(path)
+        for _ in range(3):
+            b = random_matrix(rng, 80, 1)[:, 0]
+            x = g.solve_lstsq(b)
+            x_ref, *_ = np.linalg.lstsq(a, b, rcond=None)
+            assert np.allclose(x, x_ref, atol=1e-9)
+
+
+class TestModelDrivenChoice:
+    """Pick the best tree for a machine via the Roofline predictor,
+    then execute with it — analysis and execution must agree on the
+    scheme's identity."""
+
+    def test_flow(self, rng):
+        from repro.analysis import PerformanceModel, predicted_gflops
+        model = PerformanceModel(gamma_seq=3.0, processors=48)
+        p, q = 24, 3
+        candidates = ["greedy", "fibonacci", "flat-tree", "binary-tree"]
+        best = max(candidates,
+                   key=lambda s: predicted_gflops(s, p, q, model))
+        assert best == "greedy"  # tall shape: the paper's conclusion
+        a = random_matrix(rng, p * 8, q * 8)
+        f = tiled_qr(a, nb=8, scheme=best)
+        assert f.residual(a) < 1e-12
+
+
+class TestAnalysisExecutionConsistency:
+    def test_task_counts_match_work(self, rng):
+        """The executed task list carries exactly the invariant work."""
+        a = random_matrix(rng, 48, 24)
+        f = tiled_qr(a, nb=8, scheme="fibonacci")
+        p, q = f.context.tiled.grid
+        assert f.graph.total_weight() == total_weight(p, q)
+
+    def test_every_scheme_same_r_diag_magnitudes(self, rng):
+        a = random_matrix(rng, 32, 16)
+        diags = []
+        for name in available_schemes():
+            kw = {"bs": 3} if name in ("plasma-tree", "hadri-tree") else {}
+            f = tiled_qr(a, nb=8, scheme=name, **kw)
+            diags.append(np.abs(np.diag(f.r())))
+        for d in diags[1:]:
+            assert np.allclose(d, diags[0], atol=1e-11)

@@ -1,0 +1,88 @@
+"""Tests for the Table-1 cost model and flop counting."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.kernels.costs import (
+    KERNEL_WEIGHTS,
+    Kernel,
+    KernelFamily,
+    UNIT_FLOPS,
+    kernel_flops,
+    qr_flops,
+    total_weight,
+)
+
+
+class TestTable1:
+    def test_weights_match_paper(self):
+        assert KERNEL_WEIGHTS[Kernel.GEQRT] == 4
+        assert KERNEL_WEIGHTS[Kernel.UNMQR] == 6
+        assert KERNEL_WEIGHTS[Kernel.TSQRT] == 6
+        assert KERNEL_WEIGHTS[Kernel.TSMQR] == 12
+        assert KERNEL_WEIGHTS[Kernel.TTQRT] == 2
+        assert KERNEL_WEIGHTS[Kernel.TTMQR] == 6
+
+    def test_per_elimination_cost_equal(self):
+        """Both kernel families spend 10 + 18(q-k) per elimination."""
+        for u in range(0, 5):  # u = q - k trailing columns
+            ts = (KERNEL_WEIGHTS[Kernel.GEQRT] + KERNEL_WEIGHTS[Kernel.TSQRT]
+                  + u * (KERNEL_WEIGHTS[Kernel.UNMQR] + KERNEL_WEIGHTS[Kernel.TSMQR]))
+            tt = (2 * KERNEL_WEIGHTS[Kernel.GEQRT] + KERNEL_WEIGHTS[Kernel.TTQRT]
+                  + u * (2 * KERNEL_WEIGHTS[Kernel.UNMQR] + KERNEL_WEIGHTS[Kernel.TTMQR]))
+            assert ts == tt == 10 + 18 * u
+
+    def test_tt_parallel_elimination_shorter(self):
+        """Unbounded-processor elimination: TT takes 16 units, TS 22."""
+        ts = (KERNEL_WEIGHTS[Kernel.GEQRT] + KERNEL_WEIGHTS[Kernel.TSQRT]
+              + KERNEL_WEIGHTS[Kernel.TSMQR])
+        tt = (KERNEL_WEIGHTS[Kernel.GEQRT] + KERNEL_WEIGHTS[Kernel.TTQRT]
+              + KERNEL_WEIGHTS[Kernel.TTMQR])
+        assert ts == 22
+        assert tt == 12  # after the initial GEQRT at time 4 -> total 16
+
+    def test_kernel_str(self):
+        assert str(Kernel.GEQRT) == "GEQRT"
+        assert str(KernelFamily.TT) == "TT"
+
+
+class TestTotalWeight:
+    def test_small_cases(self):
+        assert total_weight(1, 1) == 4
+        assert total_weight(2, 1) == 10
+        assert total_weight(2, 2) == 32
+
+    def test_matches_flops(self):
+        """6pq^2 - 2q^3 units of nb^3/3 equal 2mn^2 - 2n^3/3 flops."""
+        p, q, nb = 7, 4, 10
+        m, n = p * nb, q * nb
+        assert np.isclose(total_weight(p, q) * UNIT_FLOPS(nb), qr_flops(m, n))
+
+    def test_rejects_wide(self):
+        with pytest.raises(ValueError):
+            total_weight(3, 5)
+
+    @given(st.integers(min_value=1, max_value=50),
+           st.integers(min_value=1, max_value=50))
+    @settings(max_examples=100, deadline=None)
+    def test_property_positive_and_monotone(self, p, q):
+        if p < q:
+            p, q = q, p
+        w = total_weight(p, q)
+        assert w > 0
+        assert total_weight(p + 1, q) > w
+
+
+class TestFlops:
+    def test_complex_scaling(self):
+        assert qr_flops(100, 50, complex_arith=True) == 4 * qr_flops(100, 50)
+        assert kernel_flops(Kernel.GEQRT, 10, True) == 4 * kernel_flops(Kernel.GEQRT, 10)
+
+    def test_square_qr_flops(self):
+        n = 30
+        assert np.isclose(qr_flops(n, n), 2 * n**3 - 2 * n**3 / 3)
+
+    def test_unit(self):
+        assert UNIT_FLOPS(3) == 9.0

@@ -1,0 +1,151 @@
+"""Tests for right-side (side='R') application of the update kernels."""
+
+import numpy as np
+import pytest
+
+from repro.kernels.backend import get_backend
+from tests.conftest import random_matrix
+
+
+@pytest.fixture(params=["reference", "lapack"])
+def backend(request):
+    return get_backend(request.param)
+
+
+def explicit_q_geqrt(bk, v, t, m, dtype):
+    """Materialize Q of a GEQRT'd tile by applying it to the identity."""
+    q = np.eye(m, dtype=dtype)
+    bk.unmqr(v, t, q, adjoint=False)
+    return q
+
+
+class TestUnmqrRight:
+    @pytest.mark.parametrize("n,ib", [(6, 3), (8, 8), (5, 2)])
+    def test_right_matches_explicit(self, rng, dtype, backend, n, ib):
+        a = random_matrix(rng, n, n, dtype)
+        v = a.copy()
+        t = backend.geqrt(v, ib)
+        q = explicit_q_geqrt(backend, v, t, n, dtype)
+        c = random_matrix(rng, 4, n, dtype)
+        got = c.copy()
+        backend.unmqr(v, t, got, adjoint=False, side="R")
+        assert np.allclose(got, c @ q, atol=1e-12)
+
+    def test_right_adjoint(self, rng, dtype, backend):
+        n, ib = 6, 3
+        v = random_matrix(rng, n, n, dtype)
+        t = backend.geqrt(v, ib)
+        q = explicit_q_geqrt(backend, v, t, n, dtype)
+        c = random_matrix(rng, 3, n, dtype)
+        got = c.copy()
+        backend.unmqr(v, t, got, adjoint=True, side="R")
+        assert np.allclose(got, c @ q.conj().T, atol=1e-12)
+
+    def test_roundtrip(self, rng, backend):
+        n, ib = 7, 3
+        v = random_matrix(rng, n, n)
+        t = backend.geqrt(v, ib)
+        c = random_matrix(rng, 5, n)
+        c0 = c.copy()
+        backend.unmqr(v, t, c, adjoint=False, side="R")
+        backend.unmqr(v, t, c, adjoint=True, side="R")
+        assert np.allclose(c, c0, atol=1e-12)
+
+    def test_invalid_side(self, rng):
+        from repro.kernels import geqrt, unmqr
+        v = random_matrix(rng, 4, 4)
+        t = geqrt(v, 2)
+        with pytest.raises(ValueError, match="side"):
+            unmqr(v, t, random_matrix(rng, 4, 4), side="X")
+
+
+def explicit_q_stacked(bk, fam, v, t, n, mb, dtype):
+    """Materialize the (n+mb) x (n+mb) Q of a TS/TT transformation."""
+    q = np.eye(n + mb, dtype=dtype)
+    apply = bk.tsmqr if fam == "ts" else bk.ttmqr
+    apply(v, t, q[:n, :].reshape(n, n + mb), q[n:, :], adjoint=False)
+    return q
+
+
+@pytest.mark.parametrize("fam", ["ts", "tt"])
+class TestStackedRight:
+    def test_right_matches_explicit(self, rng, dtype, backend, fam):
+        n = mb = 6
+        ib = 3
+        r0 = np.triu(random_matrix(rng, n, n, dtype))
+        b0 = random_matrix(rng, mb, n, dtype)
+        if fam == "tt":
+            b0 = np.triu(b0)
+        r, v = r0.copy(), b0.copy()
+        if fam == "ts":
+            t = backend.tsqrt(r, v, ib)
+            apply = backend.tsmqr
+        else:
+            t = backend.ttqrt(r, v, ib)
+            apply = backend.ttmqr
+        # explicit Q via left application to the identity (columns)
+        q = np.eye(n + mb, dtype=dtype)
+        apply(v, t, q[:n, :], q[n:, :], adjoint=False)
+        # now right-apply to a random C and compare with C @ Q
+        c = random_matrix(rng, 4, n + mb, dtype)
+        got_left, got_right = c[:, :n].copy(), c[:, n:].copy()
+        apply(v, t, got_left, got_right, adjoint=False, side="R")
+        expected = c @ q
+        assert np.allclose(got_left, expected[:, :n], atol=1e-11)
+        assert np.allclose(got_right, expected[:, n:], atol=1e-11)
+
+    def test_right_roundtrip(self, rng, backend, fam):
+        n = mb = 5
+        ib = 2
+        r0 = np.triu(random_matrix(rng, n, n))
+        b0 = random_matrix(rng, mb, n)
+        if fam == "tt":
+            b0 = np.triu(b0)
+        r, v = r0.copy(), b0.copy()
+        t = (backend.tsqrt if fam == "ts" else backend.ttqrt)(r, v, ib)
+        apply = backend.tsmqr if fam == "ts" else backend.ttmqr
+        c = random_matrix(rng, 3, n + mb)
+        c0 = c.copy()
+        apply(v, t, c[:, :n], c[:, n:], adjoint=False, side="R")
+        apply(v, t, c[:, :n], c[:, n:], adjoint=True, side="R")
+        assert np.allclose(c, c0, atol=1e-12)
+
+
+class TestFactorizationRight:
+    def test_matmul_q_identity(self, rng, dtype):
+        from repro import tiled_qr
+        a = random_matrix(rng, 24, 12, dtype)
+        f = tiled_qr(a, nb=8, scheme="greedy")
+        eye = np.eye(24, dtype=dtype)
+        q_right = f.matmul_q(eye)           # I @ Q
+        q_left = f.q(full=True)
+        assert np.allclose(q_right, q_left, atol=1e-11)
+
+    def test_two_sided_transform(self, rng):
+        """Form Q^H S Q for a square S — the similarity-transform use
+        case; must preserve eigenvalues."""
+        from repro import tiled_qr
+        m = 16
+        a = random_matrix(rng, m, m)
+        s = random_matrix(rng, m, m)
+        s = s + s.T
+        f = tiled_qr(a, nb=8)
+        t1 = f.qh_matmul(s)              # Q^H S
+        t2 = f.matmul_q(t1)              # Q^H S Q
+        ev1 = np.sort(np.linalg.eigvalsh(s))
+        ev2 = np.sort(np.linalg.eigvalsh((t2 + t2.T) / 2))
+        assert np.allclose(ev1, ev2, atol=1e-10)
+
+    def test_ragged_right(self, rng):
+        from repro import tiled_qr
+        a = random_matrix(rng, 21, 10)
+        f = tiled_qr(a, nb=8)
+        c = random_matrix(rng, 3, 21)
+        out = f.matmul_q(f.matmul_q(c), adjoint=True)
+        assert np.allclose(out, c, atol=1e-11)
+
+    def test_shape_validation(self, rng):
+        from repro import tiled_qr
+        f = tiled_qr(random_matrix(rng, 16, 8), nb=8)
+        with pytest.raises(ValueError):
+            f.matmul_q(np.zeros((3, 15)))

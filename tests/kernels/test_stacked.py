@@ -1,0 +1,153 @@
+"""Tests for the TS and TT stacked kernels (reference backend)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.kernels import tsmqr, tsqrt, ttmqr, ttqrt
+from repro.kernels.stacked import ts_support, tt_support
+from tests.conftest import random_matrix
+
+
+def _stack_check(r0, b0, r2, apply_fn, atol=1e-11):
+    """Applying the stored transformation to the original stack must
+    give [R_combined; 0]."""
+    ct, cb = r0.copy(), b0.copy()
+    apply_fn(ct, cb)
+    assert np.allclose(ct, r2, atol=atol)
+    return cb
+
+
+class TestSupports:
+    def test_ts_support_full(self):
+        assert ts_support(0, 7) == 7
+        assert ts_support(6, 7) == 7
+
+    def test_tt_support_triangular(self):
+        assert tt_support(0, 7) == 1
+        assert tt_support(3, 7) == 4
+        assert tt_support(10, 7) == 7
+
+
+@pytest.mark.parametrize("n,mb,ib", [
+    (6, 6, 3), (6, 6, 6), (6, 6, 1), (5, 8, 2), (8, 3, 3), (1, 1, 1),
+    (7, 7, 4),
+])
+class TestTsqrt:
+    def test_zero_and_combine(self, rng, dtype, n, mb, ib):
+        r0 = np.triu(random_matrix(rng, n, n, dtype))
+        b0 = random_matrix(rng, mb, n, dtype)
+        r2, v = r0.copy(), b0.copy()
+        t = tsqrt(r2, v, ib)
+        cb = _stack_check(r0, b0, r2, lambda ct, cb: tsmqr(v, t, ct, cb))
+        assert np.allclose(cb, 0, atol=1e-11)
+        assert np.allclose(r2, np.triu(r2))
+
+    def test_r_norms_preserved(self, rng, dtype, n, mb, ib):
+        """Column norms of the stack are preserved in the combined R."""
+        r0 = np.triu(random_matrix(rng, n, n, dtype))
+        b0 = random_matrix(rng, mb, n, dtype)
+        r2, v = r0.copy(), b0.copy()
+        tsqrt(r2, v, ib)
+        stacked = np.vstack([r0, b0])
+        assert np.allclose(np.linalg.norm(r2[:n], axis=0),
+                           np.linalg.norm(stacked, axis=0), atol=1e-10)
+
+
+@pytest.mark.parametrize("n,mb,ib", [
+    (6, 6, 3), (6, 6, 6), (6, 6, 1), (5, 8, 2), (8, 3, 3), (1, 1, 1),
+    (7, 7, 4),
+])
+class TestTtqrt:
+    def test_zero_and_combine(self, rng, dtype, n, mb, ib):
+        r0 = np.triu(random_matrix(rng, n, n, dtype))
+        b0 = np.triu(random_matrix(rng, mb, n, dtype))
+        r2, v = r0.copy(), b0.copy()
+        t = ttqrt(r2, v, ib)
+        cb = _stack_check(r0, b0, r2, lambda ct, cb: ttmqr(v, t, ct, cb))
+        assert np.allclose(np.triu(cb), 0, atol=1e-11)
+
+    def test_lower_triangle_untouched(self, rng, dtype, n, mb, ib):
+        """The strictly-lower part of the bottom tile (GEQRT vectors
+        sharing the tile) must survive TTQRT — the V=NODEP guarantee."""
+        r0 = np.triu(random_matrix(rng, n, n, dtype))
+        garbage = np.tril(random_matrix(rng, mb, n, dtype), -1)
+        b_mem = np.triu(random_matrix(rng, mb, n, dtype)) + garbage
+        r2, v = r0.copy(), b_mem.copy()
+        ttqrt(r2, v, ib)
+        assert np.array_equal(np.tril(v, -1), garbage)
+
+    def test_garbage_invariance(self, rng, dtype, n, mb, ib):
+        """TTQRT results must not depend on the lower-triangle contents."""
+        r0 = np.triu(random_matrix(rng, n, n, dtype))
+        b0 = np.triu(random_matrix(rng, mb, n, dtype))
+        out = []
+        for scale in (0.0, 123.0):
+            g = np.tril(random_matrix(rng, mb, n, dtype), -1) * scale
+            r2, v = r0.copy(), (b0 + g).copy()
+            t = ttqrt(r2, v, ib)
+            ct, cb = np.triu(random_matrix(rng, n, n, dtype)) * 0 + r0, b0.copy()
+            ttmqr(v, t, ct, cb)
+            out.append((r2.copy(), np.triu(v).copy()))
+        assert np.allclose(out[0][0], out[1][0], atol=1e-12)
+        assert np.allclose(out[0][1], out[1][1], atol=1e-12)
+
+
+class TestStackedProperties:
+    @given(st.integers(min_value=1, max_value=8),
+           st.integers(min_value=1, max_value=8),
+           st.integers(min_value=1, max_value=4),
+           st.booleans())
+    @settings(max_examples=60, deadline=None)
+    def test_property_valid_factorization(self, n, mb, ib, use_tt):
+        rng = np.random.default_rng(n * 100 + mb * 10 + ib + use_tt)
+        r0 = np.triu(rng.standard_normal((n, n)))
+        b0 = rng.standard_normal((mb, n))
+        if use_tt:
+            b0 = np.triu(b0)
+        r2, v = r0.copy(), b0.copy()
+        if use_tt:
+            t = ttqrt(r2, v, ib)
+            ct, cb = r0.copy(), b0.copy()
+            ttmqr(v, t, ct, cb)
+            resid_b = np.triu(cb)
+        else:
+            t = tsqrt(r2, v, ib)
+            ct, cb = r0.copy(), b0.copy()
+            tsmqr(v, t, ct, cb)
+            resid_b = cb
+        assert np.allclose(ct, r2, atol=1e-9)
+        assert np.allclose(resid_b, 0, atol=1e-9)
+        stacked = np.vstack([r0, b0])
+        assert np.allclose(np.linalg.norm(r2[:n], axis=0),
+                           np.linalg.norm(stacked, axis=0), atol=1e-9)
+
+    @pytest.mark.parametrize("use_tt", [False, True], ids=["ts", "tt"])
+    def test_ib_independence(self, rng, use_tt):
+        """The combined R must not depend on the inner blocking size."""
+        n = 7
+        r0 = np.triu(random_matrix(rng, n, n))
+        b0 = random_matrix(rng, n, n)
+        if use_tt:
+            b0 = np.triu(b0)
+        results = []
+        for ib in (1, 2, 3, 7):
+            r, v = r0.copy(), b0.copy()
+            (ttqrt if use_tt else tsqrt)(r, v, ib)
+            results.append(r)
+        for r in results[1:]:
+            assert np.allclose(r, results[0], atol=1e-12)
+
+    def test_ts_tt_agree_on_triangular_input(self, rng):
+        """When the bottom tile happens to be triangular, TS and TT
+        produce the same combined R (up to sign conventions they share
+        here, since both use the same reflector code)."""
+        n, ib = 6, 3
+        r0 = np.triu(random_matrix(rng, n, n))
+        b0 = np.triu(random_matrix(rng, n, n))
+        r_ts, v_ts = r0.copy(), b0.copy()
+        tsqrt(r_ts, v_ts, ib)
+        r_tt, v_tt = r0.copy(), b0.copy()
+        ttqrt(r_tt, v_tt, ib)
+        assert np.allclose(np.abs(r_ts), np.abs(r_tt), atol=1e-10)

@@ -1,0 +1,115 @@
+"""Cross-cutting property-based tests tying the whole stack together.
+
+These hypothesis tests sample *arbitrary valid elimination lists* — not
+just the named schemes — and assert the paper's structural invariants
+hold for all of them, plus that the numeric layer agrees with the
+analytic layer on every sample.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.formulas import optimal_cp_lower_bound
+from repro.dag import build_dag
+from repro.kernels.costs import total_weight
+from repro.runtime import execute_graph
+from repro.schemes.elimination import EliminationList
+from repro.sim import simulate_bounded, simulate_unbounded
+from repro.tiles import TiledMatrix
+from tests.conftest import random_elimination_list
+
+grid = st.tuples(st.integers(min_value=2, max_value=10),
+                 st.integers(min_value=1, max_value=6),
+                 st.integers(min_value=0, max_value=100_000))
+
+
+class TestStructuralInvariants:
+    @given(grid, st.sampled_from(["TT", "TS"]))
+    @settings(max_examples=60, deadline=None)
+    def test_weight_invariant_any_list(self, pqs, family):
+        p, q, seed = pqs
+        q = min(p, q)
+        el = random_elimination_list(np.random.default_rng(seed), p, q)
+        assert build_dag(el, family).total_weight() == total_weight(p, q)
+
+    @given(grid)
+    @settings(max_examples=40, deadline=None)
+    def test_cp_bounds_any_list(self, pqs):
+        p, q, seed = pqs
+        q = min(p, q)
+        el = random_elimination_list(np.random.default_rng(seed), p, q)
+        g = build_dag(el, "TT")
+        cp = simulate_unbounded(g).makespan
+        assert cp <= g.total_weight()
+        if q >= 4:
+            assert cp >= optimal_cp_lower_bound(q)
+
+    @given(grid)
+    @settings(max_examples=30, deadline=None)
+    def test_zero_out_monotone_any_list(self, pqs):
+        p, q, seed = pqs
+        q = min(p, q)
+        el = random_elimination_list(np.random.default_rng(seed), p, q)
+        tb = simulate_unbounded(build_dag(el, "TT")).zero_out_table()
+        for i in range(p):
+            cols = [k for k in range(min(i, q))]
+            vals = [tb[i, k] for k in cols]
+            assert all(v > 0 for v in vals)
+            assert vals == sorted(vals)
+
+    @given(grid)
+    @settings(max_examples=20, deadline=None)
+    def test_canonicalize_idempotent(self, pqs):
+        p, q, seed = pqs
+        q = min(p, q)
+        el = random_elimination_list(np.random.default_rng(seed), p, q,
+                                     allow_reverse=True)
+        c1 = el.canonicalize()
+        c2 = c1.canonicalize()
+        assert [tuple(e) for e in c1] == [tuple(e) for e in c2]
+
+
+class TestNumericAgreement:
+    @given(st.tuples(st.integers(min_value=2, max_value=6),
+                     st.integers(min_value=1, max_value=4),
+                     st.integers(min_value=0, max_value=10_000)),
+           st.sampled_from(["TT", "TS"]))
+    @settings(max_examples=20, deadline=None)
+    def test_random_tree_factorizes_correctly(self, pqs, family):
+        """ANY valid elimination list yields a correct QR."""
+        p, q, seed = pqs
+        q = min(p, q)
+        rng = np.random.default_rng(seed)
+        el = random_elimination_list(rng, p, q)
+        nb = 4
+        a = rng.standard_normal((p * nb, q * nb))
+        tiled = TiledMatrix(a.copy(), nb)
+        g = build_dag(el, family)
+        ctx = execute_graph(g, tiled, ib=2)
+        c = a.copy()
+        ctx.apply_q(c, adjoint=True)
+        n = q * nb
+        assert np.allclose(c[:n], np.triu(tiled.array[:n]), atol=1e-10)
+        assert np.allclose(c[n:], 0, atol=1e-10)
+        # orthogonal transform preserves column norms
+        assert np.allclose(np.linalg.norm(c, axis=0),
+                           np.linalg.norm(a, axis=0), atol=1e-9)
+
+    @given(st.integers(min_value=0, max_value=10_000),
+           st.integers(min_value=1, max_value=8))
+    @settings(max_examples=15, deadline=None)
+    def test_bounded_schedule_valid_any_list(self, seed, workers):
+        rng = np.random.default_rng(seed)
+        el = random_elimination_list(rng, 7, 4)
+        g = build_dag(el, "TT")
+        res = simulate_bounded(g, workers)
+        for t in g.tasks:
+            for d in t.deps:
+                assert res.start[t.tid] >= res.finish[d] - 1e-9
+        busy = np.zeros(workers)
+        for t in sorted(g.tasks, key=lambda t: res.start[t.tid]):
+            w = int(res.worker[t.tid])
+            assert res.start[t.tid] >= busy[w] - 1e-9
+            busy[w] = res.finish[t.tid]

@@ -1,0 +1,101 @@
+"""Tests for the sequential and threaded executors."""
+
+import numpy as np
+import pytest
+
+from repro.dag import build_dag
+from repro.runtime import execute_graph
+from repro.schemes import greedy, flat_tree
+from repro.tiles import TiledMatrix
+from tests.conftest import random_matrix
+
+
+def factor(a, nb, workers, backend="reference", family="TT", ib=4):
+    tiled = TiledMatrix(a.copy(), nb)
+    g = build_dag(greedy(tiled.p, tiled.q), family)
+    ctx = execute_graph(g, tiled, backend=backend, ib=ib, workers=workers)
+    return ctx
+
+
+class TestSequentialVsThreaded:
+    @pytest.mark.parametrize("workers", [2, 4, 8])
+    def test_same_r(self, rng, dtype, workers):
+        a = random_matrix(rng, 48, 24, dtype)
+        seq = factor(a, 8, None)
+        par = factor(a, 8, workers)
+        r_seq = np.triu(seq.tiled.array[:24])
+        r_par = np.triu(par.tiled.array[:24])
+        assert np.allclose(r_seq, r_par, atol=1e-12)
+
+    def test_threaded_deterministic_result(self, rng):
+        """Different thread interleavings must not change the numbers
+        (each tile sequence of kernels is fixed by the DAG)."""
+        a = random_matrix(rng, 48, 24)
+        results = [np.triu(factor(a, 8, 4).tiled.array[:24]) for _ in range(5)]
+        for r in results[1:]:
+            assert np.array_equal(r, results[0])
+
+    def test_threaded_repeated_stress(self, rng):
+        for trial in range(8):
+            a = random_matrix(rng, 40, 24)
+            ctx = factor(a, 8, 8, backend="lapack", ib=8)
+            r = np.triu(ctx.tiled.array[:24])
+            _, r_np = np.linalg.qr(a)
+            assert np.allclose(np.abs(r), np.abs(r_np), atol=1e-11), trial
+
+
+class TestErrorPropagation:
+    def test_kernel_error_raised(self, rng):
+        a = random_matrix(rng, 16, 8)
+        tiled = TiledMatrix(a, 8)
+        g = build_dag(greedy(2, 1), "TT")
+        # sabotage: make ib invalid so the kernel raises
+        with pytest.raises(Exception):
+            execute_graph(g, tiled, ib=0, workers=2)
+
+    def test_sequential_kernel_error(self, rng):
+        a = random_matrix(rng, 16, 8)
+        tiled = TiledMatrix(a, 8)
+        g = build_dag(greedy(2, 1), "TT")
+        with pytest.raises(Exception):
+            execute_graph(g, tiled, ib=0, workers=None)
+
+
+class TestProgressObserver:
+    def test_sequential_callback(self, rng):
+        a = random_matrix(rng, 24, 16)
+        tiled = TiledMatrix(a, 8)
+        g = build_dag(greedy(tiled.p, tiled.q), "TT")
+        seen = []
+        execute_graph(g, tiled, ib=4,
+                      on_task_done=lambda t, i, n: seen.append((i, n)))
+        assert len(seen) == len(g.tasks)
+        assert seen[0] == (1, len(g.tasks))
+        assert seen[-1] == (len(g.tasks), len(g.tasks))
+
+    def test_threaded_callback_counts(self, rng):
+        a = random_matrix(rng, 24, 16)
+        tiled = TiledMatrix(a, 8)
+        g = build_dag(greedy(tiled.p, tiled.q), "TT")
+        seen = []
+        execute_graph(g, tiled, ib=4, workers=4,
+                      on_task_done=lambda t, i, n: seen.append(i))
+        assert sorted(seen) == list(range(1, len(g.tasks) + 1))
+
+
+class TestApplyQ:
+    def test_apply_q_shape_check(self, rng):
+        a = random_matrix(rng, 16, 8)
+        ctx = factor(a, 8, None)
+        with pytest.raises(ValueError, match="rows"):
+            ctx.apply_q(np.zeros((15, 1)))
+
+    def test_ts_family_apply(self, rng):
+        a = random_matrix(rng, 24, 8)
+        tiled = TiledMatrix(a.copy(), 8)
+        g = build_dag(flat_tree(tiled.p, tiled.q), "TS")
+        ctx = execute_graph(g, tiled, ib=4)
+        c = a.copy()
+        ctx.apply_q(c, adjoint=True)
+        assert np.allclose(c[:8], np.triu(tiled.array[:8]), atol=1e-12)
+        assert np.allclose(c[8:], 0, atol=1e-12)

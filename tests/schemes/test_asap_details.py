@@ -1,0 +1,90 @@
+"""Fine-grained unit tests of the Asap event mechanics."""
+
+import numpy as np
+import pytest
+
+from repro.core import critical_path
+from repro.schemes.asap import asap, grasap
+
+
+class TestSmallCases:
+    def test_single_tile(self):
+        res = asap(1, 1)
+        assert len(res.elims) == 0
+        assert res.makespan == 4.0  # the lone GEQRT
+
+    def test_two_rows(self):
+        res = asap(2, 1)
+        assert [tuple(e) for e in res.elims] == [(1, 0, 0)]
+        assert res.zero_table[1, 0] == 6.0  # GEQRT@4 + TTQRT@2
+        assert res.makespan == 6.0
+
+    def test_four_rows_two_waves(self):
+        """All four GEQRTs finish at 4; Asap pairs (0<-2, 1<-3) at 6,
+        then the freed pivots pair (0<-1) at 8."""
+        res = asap(4, 1)
+        zt = res.zero_table[:, 0]
+        assert zt[2] == 6.0 and zt[3] == 6.0
+        assert zt[1] == 8.0
+        assert res.makespan == 8.0
+
+    def test_pairing_is_bottom_anchored(self):
+        """With 2s+1 ready rows the row closest to the diagonal sits
+        out (the Greedy/Fibonacci convention)."""
+        res = asap(5, 1)
+        # five rows ready at t=4: z=2 pairs use rows 1..4, row 0 idles
+        first_wave = {i for i in range(1, 5) if res.zero_table[i, 0] == 6.0}
+        assert first_wave == {3, 4}
+        piv = {e.row: e.piv for e in res.elims}
+        assert piv[3] == 1 and piv[4] == 2
+
+    def test_q1_matches_binary_tree_makespan_power_of_two(self):
+        for p in (4, 8, 16, 32):
+            assert asap(p, 1).makespan == critical_path("binary-tree", p, 1)
+
+
+class TestGrasapMechanics:
+    def test_k_zero_reproduces_greedy_table(self):
+        from repro.core import zero_out_steps
+        res = grasap(12, 3, 0)
+        assert np.array_equal(res.zero_table, zero_out_steps("greedy", 12, 3))
+
+    def test_monotone_interpolation_endpoints(self):
+        """Grasap(k) interpolates between Greedy and Asap; at least the
+        endpoints are exact (intermediate k may beat both)."""
+        p, q = 15, 3
+        g = critical_path("greedy", p, q)
+        a = asap(p, q).makespan
+        assert grasap(p, q, 0).makespan == g
+        assert grasap(p, q, q).makespan == a
+
+    def test_grasap1_beats_both_on_15x3(self):
+        g1 = grasap(15, 3, 1).makespan
+        assert g1 < critical_path("greedy", 15, 3)
+        assert g1 < asap(15, 3).makespan
+
+    def test_lists_always_valid(self):
+        for p, q in [(6, 2), (9, 4), (12, 5)]:
+            for k in range(q + 1):
+                grasap(p, q, k).elims.validate()
+
+
+class TestResultObject:
+    def test_names(self):
+        assert asap(5, 2).elims.name == "asap"
+        assert grasap(5, 2, 1).elims.name == "grasap(1)"
+
+    def test_zero_table_support(self):
+        res = asap(6, 3)
+        zt = res.zero_table
+        for k in range(3):
+            for i in range(6):
+                assert (zt[i, k] > 0) == (i > k)
+
+    def test_spread_pairing_differs(self):
+        """The documented alternative odd-count pairing produces a
+        different (also valid) schedule."""
+        a = asap(15, 3, pairing="bottom")
+        b = asap(15, 3, pairing="spread")
+        b.elims.validate()
+        assert a.makespan != b.makespan

@@ -1,0 +1,144 @@
+"""Tests for the coarse-grain model (Section 3.1)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.coarse import (
+    coarse_critical_path,
+    coarse_fibonacci,
+    coarse_greedy,
+    coarse_sameh_kuck,
+    fibonacci_x,
+    greedy_coarse_counts,
+)
+from repro.schemes.elimination import EliminationList
+
+
+class TestFibonacciX:
+    def test_known_values(self):
+        # least x with x(x+1)/2 >= p-1
+        assert fibonacci_x(2) == 1
+        assert fibonacci_x(4) == 2
+        assert fibonacci_x(15) == 5
+        assert fibonacci_x(16) == 5
+        assert fibonacci_x(17) == 6
+
+    def test_trivial(self):
+        assert fibonacci_x(1) == 0
+
+    @given(st.integers(min_value=2, max_value=10_000))
+    @settings(max_examples=200, deadline=None)
+    def test_property_minimal(self, p):
+        x = fibonacci_x(p)
+        assert x * (x + 1) // 2 >= p - 1
+        assert (x - 1) * x // 2 < p - 1
+
+
+class TestCriticalPaths:
+    @pytest.mark.parametrize("p,q", [(5, 2), (10, 4), (15, 6), (40, 10)])
+    def test_sameh_kuck_formula(self, p, q):
+        assert coarse_sameh_kuck(p, q).critical_path == p + q - 2
+        assert coarse_critical_path("sameh-kuck", p, q) == p + q - 2
+
+    @pytest.mark.parametrize("p,q", [(5, 2), (10, 4), (15, 6), (40, 10)])
+    def test_fibonacci_formula(self, p, q):
+        x = fibonacci_x(p)
+        assert coarse_fibonacci(p, q).critical_path == x + 2 * q - 2
+        assert coarse_critical_path("fibonacci", p, q) == x + 2 * q - 2
+
+    def test_square_formulas(self):
+        # square case: SK = 2q - 3, Fibonacci = x + 2q - 4
+        for q in (3, 5, 8):
+            assert coarse_sameh_kuck(q, q).critical_path == 2 * q - 3
+            assert (coarse_fibonacci(q, q).critical_path
+                    == fibonacci_x(q) + 2 * q - 4)
+            assert coarse_critical_path("sameh-kuck", q, q) == 2 * q - 3
+
+    @pytest.mark.parametrize("p,q", [(8, 3), (15, 6), (30, 10), (64, 16)])
+    def test_greedy_is_best(self, p, q):
+        """Greedy is optimal in the coarse-grain model, so it is at
+        least as fast as the other two."""
+        g = coarse_greedy(p, q).critical_path
+        assert g <= coarse_fibonacci(p, q).critical_path
+        assert g <= coarse_sameh_kuck(p, q).critical_path
+
+    def test_greedy_tends_to_2q(self):
+        """Greedy's coarse critical path tends to 2q when p << q^2."""
+        q = 40
+        p = q + 5  # p tiny relative to q^2
+        g = coarse_greedy(p, q).critical_path
+        assert abs(g - 2 * q) <= 8
+
+    def test_unknown_algorithm(self):
+        with pytest.raises(ValueError):
+            coarse_critical_path("magic", 5, 2)
+
+    def test_bad_shape(self):
+        with pytest.raises(ValueError):
+            coarse_greedy(2, 5)
+
+
+class TestGreedyCounts:
+    @pytest.mark.parametrize("p,q", [(15, 6), (20, 8), (64, 16)])
+    def test_counts_match_full_simulation(self, p, q):
+        counts = greedy_coarse_counts(p, q)
+        steps = coarse_greedy(p, q).steps
+        for k in range(q):
+            for s, c in enumerate(counts[k], start=1):
+                assert int((steps[:, k] == s).sum()) == c
+
+    def test_column0_is_ceil_halving(self):
+        counts = greedy_coarse_counts(15, 1)[0]
+        assert counts == [7, 4, 2, 1]
+
+    def test_critical_path_agreement(self):
+        for p, q in [(15, 6), (40, 10)]:
+            counts = greedy_coarse_counts(p, q)
+            cp = max(len(c) for c in counts)
+            assert cp == coarse_greedy(p, q).critical_path
+
+    def test_large_grid_cheap(self):
+        """The count recurrence handles grids far beyond what the full
+        pairing simulation should be asked to do."""
+        counts = greedy_coarse_counts(4096, 64)
+        assert sum(sum(c) for c in counts) == sum(4096 - 1 - k
+                                                  for k in range(64))
+
+
+class TestPairings:
+    @pytest.mark.parametrize("fn", [coarse_sameh_kuck, coarse_fibonacci,
+                                    coarse_greedy])
+    @pytest.mark.parametrize("p,q", [(4, 2), (9, 4), (15, 6), (16, 16)])
+    def test_elimination_lists_valid(self, fn, p, q):
+        sched = fn(p, q)
+        EliminationList(p, q, sched.eliminations, sched.name).validate()
+
+    @pytest.mark.parametrize("fn", [coarse_fibonacci, coarse_greedy])
+    def test_no_row_reuse_within_step(self, fn):
+        """At any coarse step, every matrix row is used at most once."""
+        sched = fn(20, 8)
+        steps = sched.steps
+        by_step: dict[int, list] = {}
+        pivot = {(e.row, e.col): e.piv for e in sched.eliminations}
+        for e in sched.eliminations:
+            s = int(steps[e.row, e.col])
+            by_step.setdefault(s, []).append(e)
+        for s, elims in by_step.items():
+            used = [e.row for e in elims] + [e.piv for e in elims]
+            assert len(used) == len(set(used)), f"step {s} reuses a row"
+
+    def test_greedy_pairing_matches_algorithm4(self):
+        """Algorithm 4's pairing rule: piv(p-kk) = p-kk - (nZnew - nZ)."""
+        sched = coarse_greedy(15, 6)
+        for e in sched.eliminations:
+            # each pivot must lie directly above the eliminated block
+            assert e.piv < e.row
+
+    def test_fibonacci_column_shift(self):
+        """coarse(i, k) = coarse(i-1, k-1) + 2 (Section 3.1)."""
+        s = coarse_fibonacci(15, 6).steps
+        for k in range(1, 6):
+            for i in range(k + 1, 15):
+                assert s[i, k] == s[i - 1, k - 1] + 2

@@ -1,0 +1,117 @@
+"""Tests for elimination-list validation and Lemma-1 canonicalization."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dag import build_dag
+from repro.schemes.elimination import Elimination, EliminationList
+from repro.sim import simulate_unbounded
+from tests.conftest import random_elimination_list
+
+
+class TestValidation:
+    def test_flat_example_valid(self):
+        el = EliminationList(3, 2, [(1, 0, 0), (2, 0, 0), (2, 1, 1)])
+        el.validate()
+
+    def test_paper_example_valid(self):
+        """The Section-2 example: elim(3,1,1), elim(6,4,1), elim(2,1,1),
+        elim(5,4,1), elim(4,1,1) (plus column 2 completion), 1-based."""
+        el = EliminationList(6, 1, [
+            (2, 0, 0), (5, 3, 0), (1, 0, 0), (4, 3, 0), (3, 0, 0)])
+        el.validate()
+
+    def test_pivot_dead(self):
+        # pivot row 1 is zeroed before being used
+        el = EliminationList(3, 1, [(1, 0, 0), (2, 1, 0)])
+        with pytest.raises(ValueError, match="already\\s+zeroed"):
+            el.validate()
+
+    def test_row_not_ready(self):
+        # (2,1) eliminated before row 2 finished column 0
+        el = EliminationList(3, 2, [(1, 0, 0), (2, 1, 1), (2, 0, 0)])
+        with pytest.raises(ValueError, match="not ready"):
+            el.validate()
+
+    def test_missing_tile(self):
+        el = EliminationList(3, 1, [(1, 0, 0)])
+        with pytest.raises(ValueError, match="never zeroed"):
+            el.validate()
+
+    def test_duplicate_tile(self):
+        el = EliminationList(3, 1, [(1, 0, 0), (2, 0, 0), (2, 0, 0)])
+        with pytest.raises(ValueError, match="twice"):
+            el.validate()
+
+    def test_above_diagonal(self):
+        el = EliminationList(3, 2, [(1, 0, 0), (2, 0, 0), (1, 2, 1)])
+        with pytest.raises(ValueError, match="below diagonal"):
+            el.validate()
+
+    def test_self_pivot(self):
+        el = EliminationList(2, 1, [(1, 1, 0)])
+        with pytest.raises(ValueError, match="bad pivot"):
+            el.validate()
+
+    def test_bad_shape(self):
+        with pytest.raises(ValueError, match="p >= q >= 1"):
+            EliminationList(2, 3, [])
+
+    def test_expected_count(self):
+        assert EliminationList(5, 3, [], name="x").expected_count() == 4 + 3 + 2
+        assert EliminationList(4, 4, [], name="x").expected_count() == 3 + 2 + 1
+
+    def test_one_based_rendering(self):
+        assert str(Elimination(1, 0, 0)) == "elim(2,1,1)"
+
+
+class TestHelpers:
+    def test_column_and_pivots(self):
+        el = EliminationList(4, 2, [
+            (2, 0, 0), (3, 1, 0), (1, 0, 0), (2, 1, 1), (3, 1, 1)])
+        assert [e.row for e in el.column(0)] == [2, 3, 1]
+        assert el.pivots(0) == {0, 1}
+        assert el.pivots(1) == {1}
+        assert el.pivot_of()[(3, 1)] == 1
+
+
+class TestLemma1:
+    def test_reverse_removed(self, rng):
+        el = random_elimination_list(rng, 8, 3, allow_reverse=True)
+        el.validate()
+        canon = el.canonicalize()
+        canon.validate()
+        assert all(e.row > e.piv for e in canon)
+
+    def test_makespan_preserved(self, rng):
+        """Lemma 1: canonicalization does not change the execution time."""
+        for seed in range(20):
+            r = np.random.default_rng(seed)
+            el = random_elimination_list(r, 7, 4, allow_reverse=True)
+            el.validate()
+            canon = el.canonicalize()
+            canon.validate()
+            cp0 = simulate_unbounded(build_dag(el, "TT")).makespan
+            cp1 = simulate_unbounded(build_dag(canon, "TT")).makespan
+            assert cp0 == cp1, f"seed {seed}: {cp0} != {cp1}"
+
+    def test_already_canonical_unchanged_semantics(self, rng):
+        el = random_elimination_list(rng, 6, 3, allow_reverse=False)
+        canon = el.canonicalize()
+        assert [tuple(e) for e in canon] == [tuple(e) for e in el]
+
+    @given(st.integers(min_value=2, max_value=10),
+           st.integers(min_value=1, max_value=4),
+           st.integers(min_value=0, max_value=10_000))
+    @settings(max_examples=60, deadline=None)
+    def test_property_canonical_valid(self, p, q, seed):
+        q = min(p, q)
+        r = np.random.default_rng(seed)
+        el = random_elimination_list(r, p, q, allow_reverse=True)
+        el.validate()
+        canon = el.canonicalize()
+        canon.validate()
+        assert all(e.row > e.piv for e in canon)
+        assert len(canon) == len(el)

@@ -1,0 +1,72 @@
+"""Tests for the Hadri et al. Semi-/Fully-Parallel tree."""
+
+import pytest
+
+from repro.core import critical_path
+from repro.bench.autotune import plasma_bs_sweep
+from repro.dag import build_dag
+from repro.schemes import hadri_tree, plasma_tree
+from repro.sim import simulate_unbounded
+
+
+class TestStructure:
+    @pytest.mark.parametrize("p,q,bs", [(7, 3, 3), (15, 6, 5), (9, 2, 4),
+                                        (8, 8, 2), (5, 1, 5)])
+    def test_valid(self, p, q, bs):
+        hadri_tree(p, q, bs).validate()
+
+    def test_top_domain_shrinks(self):
+        """Domain boundaries are fixed from row 0, so column k's top
+        domain only covers rows k..(boundary-1)."""
+        el = hadri_tree(9, 3, 3)
+        # k=1: domains [1,2], [3,4,5], [6,7,8]: heads 1, 3, 6
+        col1 = el.column(1)
+        assert {e.piv for e in col1 if e.row - e.piv < 3} >= {1, 3, 6} - {
+            e.row for e in col1}
+        heads = {1, 3, 6}
+        flat = [e for e in col1 if e.piv in heads and e.row not in heads]
+        assert all(e.piv <= e.row < e.piv + 3 for e in flat)
+
+    def test_bs1_equals_binary(self):
+        from repro.schemes import binary_tree
+        a = hadri_tree(8, 2, 1)
+        b = binary_tree(8, 2)
+        assert [tuple(e) for e in a] == [tuple(e) for e in b]
+
+    def test_bad_bs(self):
+        with pytest.raises(ValueError):
+            hadri_tree(5, 2, 0)
+
+    def test_differs_from_plasma_on_later_columns(self):
+        """Same in column 0, different anchoring afterwards."""
+        h = hadri_tree(10, 3, 4)
+        p = plasma_tree(10, 3, 4)
+        assert [tuple(e) for e in h.column(0)] == [tuple(e) for e in p.column(0)]
+        assert [tuple(e) for e in h.column(1)] != [tuple(e) for e in p.column(1)]
+
+
+class TestPaperComparison:
+    @pytest.mark.parametrize("family", ["TT", "TS"])
+    def test_plasma_never_worse_at_best_bs(self, family):
+        """Section 4: 'the PLASMA algorithms performed identically or
+        better than these algorithms'."""
+        for p, q in [(12, 4), (15, 6), (20, 5)]:
+            best_plasma = min(plasma_bs_sweep(p, q, family).values())
+            best_hadri = min(
+                simulate_unbounded(build_dag(hadri_tree(p, q, bs), family)).makespan
+                for bs in range(1, p + 1))
+            assert best_plasma <= best_hadri
+
+    def test_registry_access(self):
+        from repro import get_scheme
+        el = get_scheme("hadri-tree", 8, 3, bs=3)
+        el.validate()
+
+    def test_factorizes(self):
+        import numpy as np
+        from repro import tiled_qr
+        rng = np.random.default_rng(0)
+        a = rng.standard_normal((40, 16))
+        for family in ("TT", "TS"):
+            f = tiled_qr(a, nb=8, scheme="hadri-tree", bs=2, family=family)
+            assert f.residual(a) < 1e-13

@@ -1,0 +1,82 @@
+"""Hand-verified small cases of the PlasmaTree / HadriTree domain logic."""
+
+import pytest
+
+from repro.schemes import hadri_tree, plasma_tree
+
+
+def col(el, k):
+    return [(e.row, e.piv) for e in el.column(k)]
+
+
+class TestPlasmaDomains:
+    def test_7x3_bs3_column0(self):
+        """Domains [0,1,2], [3,4,5], [6]: flat within, binary merge."""
+        el = plasma_tree(7, 3, 3)
+        assert col(el, 0) == [(1, 0), (2, 0), (4, 3), (5, 3),
+                              (3, 0), (6, 0)]
+
+    def test_7x3_bs3_column1(self):
+        """Panel row 1: domains [1,2,3], [4,5,6] — re-anchored at the
+        panel, so the bottom remainder domain vanished (the 'one less
+        domain' moment)."""
+        el = plasma_tree(7, 3, 3)
+        assert col(el, 1) == [(2, 1), (3, 1), (5, 4), (6, 4), (4, 1)]
+
+    def test_bottom_domain_shrinks_column_by_column(self):
+        """For p=8, bs=3: remainders 2, 1, 0, 2, ... as k grows."""
+        for k, expected_sizes in enumerate([[3, 3, 2], [3, 3, 1], [3, 3],
+                                            [3, 2]]):
+            el = plasma_tree(8, 4, 3)
+            heads = sorted({e.piv for e in el.column(k)
+                            if e.row - e.piv < 3 and e.piv in
+                            range(k, 8, 1)})
+            # reconstruct domain sizes from head positions
+            starts = list(range(k, 8, 3))
+            sizes = [min(s + 3, 8) - s for s in starts]
+            assert sizes == expected_sizes
+
+
+class TestHadriDomains:
+    def test_9x3_bs3_column1(self):
+        """Fixed boundaries at 0/3/6: column 1's top domain is [1,2]
+        (shrunk), then [3,4,5], [6,7,8]."""
+        el = hadri_tree(9, 3, 3)
+        flat = [(r, p) for r, p in col(el, 1) if r - p < 3 and p in (1, 3, 6)]
+        assert (2, 1) in flat
+        assert (4, 3) in flat and (5, 3) in flat
+        assert (7, 6) in flat and (8, 6) in flat
+        # merges: heads [1, 3, 6] binary tree
+        merges = [(r, p) for r, p in col(el, 1) if (r, p) in
+                  [(3, 1), (6, 1)]]
+        assert merges == [(3, 1), (6, 1)]
+
+    def test_top_domain_vanishes(self):
+        """At k = 3 (a boundary multiple), the first domain is [3,4,5]
+        exactly — the shrunk top domain just disappeared."""
+        el = hadri_tree(9, 4, 3)
+        heads = {e.piv for e in el.column(3)}
+        assert 3 in heads and 6 in heads
+        assert all(h >= 3 for h in heads)
+
+
+class TestCountsAndExtremes:
+    @pytest.mark.parametrize("factory", [plasma_tree, hadri_tree])
+    @pytest.mark.parametrize("p,q,bs", [(7, 3, 3), (8, 4, 3), (15, 6, 5),
+                                        (12, 2, 4)])
+    def test_counts(self, factory, p, q, bs):
+        el = factory(p, q, bs)
+        el.validate()
+        assert len(el) == el.expected_count()
+
+    @pytest.mark.parametrize("factory", [plasma_tree, hadri_tree])
+    def test_bs_one_is_binary(self, factory):
+        from repro.schemes import binary_tree
+        assert ([tuple(e) for e in factory(9, 3, 1)]
+                == [tuple(e) for e in binary_tree(9, 3)])
+
+    def test_plasma_and_hadri_same_cp_when_bs_divides(self):
+        """When bs divides p and q = 1 the two anchorings coincide."""
+        a = plasma_tree(12, 1, 4)
+        b = hadri_tree(12, 1, 4)
+        assert [tuple(e) for e in a] == [tuple(e) for e in b]

@@ -1,0 +1,136 @@
+"""Structural tests for the static elimination schemes."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.schemes import (
+    available_schemes,
+    binary_tree,
+    fibonacci,
+    flat_tree,
+    get_scheme,
+    greedy,
+    plasma_tree,
+)
+
+GRIDS = [(1, 1), (2, 1), (2, 2), (5, 1), (5, 3), (5, 5), (8, 4), (13, 7),
+         (16, 16), (15, 6), (40, 5)]
+
+
+@pytest.mark.parametrize("p,q", GRIDS)
+class TestAllSchemesValid:
+    def test_flat_tree(self, p, q):
+        flat_tree(p, q).validate()
+
+    def test_binary_tree(self, p, q):
+        binary_tree(p, q).validate()
+
+    def test_fibonacci(self, p, q):
+        fibonacci(p, q).validate()
+
+    def test_greedy(self, p, q):
+        greedy(p, q).validate()
+
+    def test_plasma_all_bs(self, p, q):
+        for bs in range(1, p + 1):
+            plasma_tree(p, q, bs).validate()
+
+
+class TestFlatTree:
+    def test_all_pivot_diagonal(self):
+        el = flat_tree(6, 3)
+        assert all(e.piv == e.col for e in el)
+
+    def test_order_top_down(self):
+        el = flat_tree(5, 1)
+        assert [e.row for e in el] == [1, 2, 3, 4]
+
+
+class TestBinaryTree:
+    def test_round_structure(self):
+        el = binary_tree(8, 1)
+        # round 1: (1,0),(3,2),(5,4),(7,6); round 2: (2,0),(6,4); round 3: (4,0)
+        expected = [(1, 0), (3, 2), (5, 4), (7, 6), (2, 0), (6, 4), (4, 0)]
+        assert [(e.row, e.piv) for e in el] == expected
+
+    def test_non_power_of_two(self):
+        el = binary_tree(5, 1)
+        el.validate()
+        assert len(el) == 4
+
+    def test_depth_is_logarithmic(self):
+        from repro.core import critical_path
+        # BinaryTree q=1: last zero-out grows like 6*ceil(log2 p)... just
+        # check doubling p adds a bounded increment
+        cp8 = critical_path("binary-tree", 8, 1)
+        cp16 = critical_path("binary-tree", 16, 1)
+        assert cp16 - cp8 <= 6
+
+
+class TestPlasmaTree:
+    def test_bs_1_equals_binary_tree(self):
+        a = plasma_tree(9, 3, 1)
+        b = binary_tree(9, 3)
+        assert [tuple(e) for e in a] == [tuple(e) for e in b]
+
+    def test_bs_p_equals_flat_tree(self):
+        a = plasma_tree(9, 3, 9)
+        b = flat_tree(9, 3)
+        assert sorted(map(tuple, a)) == sorted(map(tuple, b))
+
+    def test_domains_shrink_at_bottom(self):
+        """Domains are allocated from the panel row down, so the
+        remainder (shrinking) domain is the bottom one."""
+        el = plasma_tree(7, 2, 3)
+        col0 = el.column(0)
+        # k=0: domains [0,1,2], [3,4,5], [6]; heads 0, 3, 6
+        heads = {e.piv for e in col0 if e.piv in (0, 3)} | {0}
+        assert {e.piv for e in col0} <= {0, 3, 6} | {0}
+        # k=1: domains [1,2,3], [4,5,6]; bottom domain holds fewer rows
+        col1 = el.column(1)
+        assert {e.piv for e in col1} <= {1, 4}
+
+    def test_invalid_bs(self):
+        with pytest.raises(ValueError):
+            plasma_tree(5, 2, 0)
+        with pytest.raises(ValueError):
+            plasma_tree(5, 2, 6)
+
+
+class TestRegistry:
+    def test_names(self):
+        names = available_schemes()
+        for expected in ("flat-tree", "binary-tree", "fibonacci", "greedy",
+                         "plasma-tree", "asap", "grasap", "sameh-kuck"):
+            assert expected in names
+
+    def test_sameh_kuck_alias(self):
+        a = get_scheme("sameh-kuck", 5, 2)
+        b = get_scheme("flat-tree", 5, 2)
+        assert [tuple(e) for e in a] == [tuple(e) for e in b]
+
+    def test_unknown(self):
+        with pytest.raises(ValueError, match="unknown scheme"):
+            get_scheme("magic", 4, 2)
+
+    def test_plasma_requires_bs(self):
+        with pytest.raises(TypeError):
+            get_scheme("plasma-tree", 4, 2)
+
+    def test_dynamic_schemes_resolve(self):
+        get_scheme("asap", 6, 2).validate()
+        get_scheme("grasap", 6, 3, k=1).validate()
+
+
+class TestEliminationCounts:
+    @given(st.integers(min_value=1, max_value=20),
+           st.integers(min_value=1, max_value=20))
+    @settings(max_examples=60, deadline=None)
+    def test_property_counts(self, p, q):
+        q = min(p, q)
+        expected = sum(p - 1 - k for k in range(q))
+        for factory in (flat_tree, binary_tree, fibonacci, greedy):
+            assert len(factory(p, q)) == expected
+        assert len(plasma_tree(p, q, max(1, p // 2))) == expected

@@ -1,0 +1,160 @@
+"""Tests for the discrete-event simulator."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dag import build_dag
+from repro.kernels.costs import total_weight
+from repro.schemes import flat_tree, greedy
+from repro.sim import render_gantt, simulate_bounded, simulate_unbounded
+from repro.sim.simulate import bottom_levels
+from tests.conftest import random_elimination_list
+
+
+class TestUnbounded:
+    def test_empty_graph(self):
+        g = build_dag(flat_tree(1, 1), "TT")  # single GEQRT, no elims
+        res = simulate_unbounded(g)
+        assert res.makespan == 4.0
+
+    def test_start_finish_consistent(self):
+        g = build_dag(greedy(8, 4), "TT")
+        res = simulate_unbounded(g)
+        for t in g.tasks:
+            assert res.finish[t.tid] == res.start[t.tid] + t.weight
+            for d in t.deps:
+                assert res.start[t.tid] >= res.finish[d]
+
+    def test_makespan_is_longest_path(self):
+        """Cross-check against networkx's DAG longest path."""
+        import networkx as nx
+        g = build_dag(greedy(6, 3), "TT")
+        res = simulate_unbounded(g)
+        nxg = g.to_networkx()
+        # weight on node: push onto incoming edges via node attribute
+        longest = 0.0
+        for t in nx.topological_sort(nxg):
+            pass
+        dist = {}
+        for t in g.tasks:
+            best = max((dist[d] for d in t.deps), default=0.0)
+            dist[t.tid] = best + t.weight
+        assert res.makespan == max(dist.values())
+
+    def test_zero_out_table_shape(self):
+        g = build_dag(greedy(7, 3), "TT")
+        tb = simulate_unbounded(g).zero_out_table()
+        assert tb.shape == (7, 3)
+        assert (tb[np.triu_indices(3)] == 0).all()
+
+
+class TestBounded:
+    def test_one_processor_equals_total_weight(self):
+        """With P = 1 the makespan is exactly the Section-2.2 invariant."""
+        for p, q in [(5, 2), (8, 4), (6, 6)]:
+            g = build_dag(greedy(p, q), "TT")
+            res = simulate_bounded(g, 1)
+            assert res.makespan == total_weight(p, q)
+
+    def test_many_processors_equals_cp(self):
+        g = build_dag(greedy(10, 5), "TT")
+        cp = simulate_unbounded(g).makespan
+        res = simulate_bounded(g, 10_000)
+        assert res.makespan == cp
+
+    def test_monotone_in_processors(self):
+        g = build_dag(greedy(10, 5), "TT")
+        prev = None
+        for workers in (1, 2, 4, 8, 16):
+            ms = simulate_bounded(g, workers).makespan
+            if prev is not None:
+                assert ms <= prev + 1e-9
+            prev = ms
+
+    def test_never_beats_bounds(self):
+        """Any bounded schedule respects max(T/P, cp) <= makespan <= T."""
+        g = build_dag(greedy(9, 4), "TT")
+        total = g.total_weight()
+        cp = simulate_unbounded(g).makespan
+        for workers in (2, 3, 7):
+            ms = simulate_bounded(g, workers).makespan
+            assert ms >= max(total / workers, cp) - 1e-9
+            assert ms <= total + 1e-9
+
+    def test_no_worker_overlap(self):
+        g = build_dag(greedy(8, 4), "TT")
+        res = simulate_bounded(g, 3)
+        by_worker = {}
+        for t in g.tasks:
+            by_worker.setdefault(int(res.worker[t.tid]), []).append(
+                (res.start[t.tid], res.finish[t.tid]))
+        for w, spans in by_worker.items():
+            spans.sort()
+            for (s1, f1), (s2, f2) in zip(spans, spans[1:]):
+                assert s2 >= f1 - 1e-12, f"worker {w} overlaps"
+
+    def test_dependencies_respected(self):
+        g = build_dag(greedy(8, 4), "TT")
+        res = simulate_bounded(g, 4)
+        for t in g.tasks:
+            for d in t.deps:
+                assert res.start[t.tid] >= res.finish[d] - 1e-12
+
+    def test_fifo_priority(self):
+        g = build_dag(greedy(6, 3), "TT")
+        ms = simulate_bounded(g, 4, priority="fifo").makespan
+        assert ms >= simulate_unbounded(g).makespan
+
+    def test_bad_inputs(self):
+        g = build_dag(flat_tree(3, 1), "TT")
+        with pytest.raises(ValueError):
+            simulate_bounded(g, 0)
+        with pytest.raises(ValueError):
+            simulate_bounded(g, 2, priority="magic")
+
+    @given(st.integers(min_value=2, max_value=9),
+           st.integers(min_value=1, max_value=5),
+           st.integers(min_value=1, max_value=6),
+           st.integers(min_value=0, max_value=1000))
+    @settings(max_examples=40, deadline=None)
+    def test_property_bounds(self, p, q, workers, seed):
+        q = min(p, q)
+        rng = np.random.default_rng(seed)
+        g = build_dag(random_elimination_list(rng, p, q), "TT")
+        total = g.total_weight()
+        cp = simulate_unbounded(g).makespan
+        ms = simulate_bounded(g, workers).makespan
+        assert max(total / workers, cp) - 1e-9 <= ms <= total + 1e-9
+
+
+class TestBottomLevels:
+    def test_sink_equals_weight(self):
+        g = build_dag(flat_tree(3, 1), "TT")
+        bl = bottom_levels(g)
+        succ = g.successors()
+        for t in g.tasks:
+            if not succ[t.tid]:
+                assert bl[t.tid] == t.weight
+
+    def test_source_equals_cp(self):
+        g = build_dag(greedy(8, 3), "TT")
+        bl = bottom_levels(g)
+        cp = simulate_unbounded(g).makespan
+        assert bl.max() == cp
+
+
+class TestGantt:
+    def test_render(self):
+        g = build_dag(greedy(5, 2), "TT")
+        res = simulate_bounded(g, 3)
+        text = render_gantt(res, width=60)
+        assert "makespan" in text
+        assert text.count("P0") == 1
+
+    def test_requires_bounded(self):
+        g = build_dag(greedy(5, 2), "TT")
+        res = simulate_unbounded(g)
+        with pytest.raises(ValueError):
+            render_gantt(res)

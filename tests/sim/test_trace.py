@@ -1,0 +1,68 @@
+"""Tests for trace export and schedule statistics."""
+
+import csv
+import io
+import json
+
+import pytest
+
+from repro.dag import build_dag
+from repro.schemes import greedy
+from repro.sim import (simulate_bounded, simulate_unbounded, trace_events,
+                       trace_to_csv, trace_to_json, utilization)
+
+
+@pytest.fixture
+def bounded():
+    return simulate_bounded(build_dag(greedy(6, 3), "TT"), 4)
+
+
+class TestTraceEvents:
+    def test_one_event_per_task(self, bounded):
+        events = trace_events(bounded)
+        assert len(events) == len(bounded.graph.tasks)
+
+    def test_fields(self, bounded):
+        e = trace_events(bounded)[0]
+        assert set(e) == {"task", "kernel", "row", "piv", "col", "j",
+                          "start", "finish", "worker"}
+
+    def test_unbounded_worker_sentinel(self):
+        res = simulate_unbounded(build_dag(greedy(4, 2), "TT"))
+        assert all(e["worker"] == -1 for e in trace_events(res))
+
+    def test_durations_match_weights(self, bounded):
+        for e, t in zip(trace_events(bounded), bounded.graph.tasks):
+            assert e["finish"] - e["start"] == t.weight
+
+
+class TestSerialization:
+    def test_csv_roundtrip(self, bounded):
+        text = trace_to_csv(bounded)
+        rows = list(csv.DictReader(io.StringIO(text)))
+        assert len(rows) == len(bounded.graph.tasks)
+        assert rows[0]["kernel"] in {"GEQRT", "UNMQR", "TTQRT", "TTMQR"}
+
+    def test_json_roundtrip(self, bounded):
+        data = json.loads(trace_to_json(bounded))
+        assert len(data) == len(bounded.graph.tasks)
+        assert all(d["finish"] >= d["start"] for d in data)
+
+
+class TestUtilization:
+    def test_range(self, bounded):
+        u = utilization(bounded)
+        assert 0 < u <= 1.0
+
+    def test_one_worker_is_full(self):
+        res = simulate_bounded(build_dag(greedy(5, 2), "TT"), 1)
+        assert utilization(res) == pytest.approx(1.0)
+
+    def test_many_workers_low(self):
+        res = simulate_bounded(build_dag(greedy(5, 2), "TT"), 1000)
+        assert utilization(res) < 0.05
+
+    def test_requires_bounded(self):
+        res = simulate_unbounded(build_dag(greedy(5, 2), "TT"))
+        with pytest.raises(ValueError):
+            utilization(res)

@@ -1,0 +1,147 @@
+"""Tests for the ``python -m repro`` command-line interface."""
+
+import numpy as np
+import pytest
+
+from repro.cli import main
+
+
+class TestCp:
+    def test_basic(self, capsys):
+        assert main(["cp", "greedy", "15", "6"]) == 0
+        out = capsys.readouterr().out
+        assert "128" in out
+
+    def test_ts_family(self, capsys):
+        assert main(["cp", "flat-tree", "15", "6", "--family", "TS"]) == 0
+        assert str(12 * 15 + 18 * 6 - 32) in capsys.readouterr().out
+
+    def test_plasma_bs(self, capsys):
+        assert main(["cp", "plasma-tree", "15", "6", "--bs", "5"]) == 0
+        assert "166" in capsys.readouterr().out
+
+
+class TestTable:
+    def test_table(self, capsys):
+        assert main(["table", "greedy", "15", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "38" in out  # last zero-out of Table 4a(a)
+
+
+class TestSweep:
+    def test_sweep(self, capsys):
+        assert main(["sweep", "15", "6"]) == 0
+        out = capsys.readouterr().out
+        for name in ("greedy", "fibonacci", "flat-tree", "binary-tree"):
+            assert name in out
+        # greedy first (shortest cp)
+        lines = [l for l in out.splitlines() if l.strip().startswith("greedy")]
+        assert lines
+
+
+class TestTune:
+    def test_tune(self, capsys):
+        assert main(["tune", "15", "6"]) == 0
+        out = capsys.readouterr().out
+        assert "best BS" in out
+        assert "*" in out
+
+
+class TestFactor:
+    def test_random(self, capsys):
+        assert main(["factor", "--random", "48x24", "--nb", "8"]) == 0
+        out = capsys.readouterr().out
+        assert "backward error" in out and "stable" in out
+
+    def test_input_file(self, tmp_path, capsys):
+        a = np.random.default_rng(0).standard_normal((24, 12))
+        path = tmp_path / "a.npy"
+        np.save(path, a)
+        assert main(["factor", "--input", str(path), "--nb", "8"]) == 0
+
+    def test_save_and_reload(self, tmp_path, capsys):
+        out_path = tmp_path / "f.npz"
+        assert main(["factor", "--random", "24x12", "--nb", "8",
+                     "--save", str(out_path)]) == 0
+        from repro import load_factorization
+        g = load_factorization(out_path)
+        assert g.n == 12
+
+    def test_missing_source(self, capsys):
+        assert main(["factor"]) == 2
+
+
+class TestTrace:
+    def test_gantt(self, capsys):
+        assert main(["trace", "greedy", "8", "3", "--workers", "4"]) == 0
+        assert "makespan" in capsys.readouterr().out
+
+    def test_csv(self, capsys):
+        assert main(["trace", "greedy", "6", "2", "--format", "csv"]) == 0
+        out = capsys.readouterr().out
+        assert out.startswith("task,")
+
+    def test_json(self, capsys):
+        import json
+        assert main(["trace", "greedy", "6", "2", "--format", "json"]) == 0
+        data = json.loads(capsys.readouterr().out)
+        assert isinstance(data, list) and data
+
+    def test_priority_option(self, capsys):
+        assert main(["trace", "greedy", "6", "2", "--priority",
+                     "panel-first"]) == 0
+
+
+class TestRecommend:
+    def test_cp_only(self, capsys):
+        assert main(["recommend", "40", "5"]) == 0
+        out = capsys.readouterr().out
+        assert "scheme='greedy'" in out
+
+    def test_with_model(self, capsys):
+        assert main(["recommend", "40", "5", "--cores", "48",
+                     "--gamma", "3.0"]) == 0
+        out = capsys.readouterr().out
+        assert "pred GFLOP/s" in out and "greedy" in out
+
+
+class TestCoarse:
+    def test_greedy_table(self, capsys):
+        assert main(["coarse", "greedy", "15", "6"]) == 0
+        out = capsys.readouterr().out
+        assert "critical path 14" in out
+
+    def test_unknown_algorithm(self, capsys):
+        assert main(["coarse", "magic", "5", "2"]) == 2
+
+
+class TestOptimal:
+    def test_small_grid(self, capsys):
+        assert main(["optimal", "4", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "optimal critical path" in out
+
+    def test_banded(self, capsys):
+        assert main(["optimal", "4", "4", "--band", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "58" in out  # 22q - 30 at q = 4
+
+    def test_too_large_rejected(self, capsys):
+        assert main(["optimal", "30", "30", "--max-leaves", "10"]) == 2
+
+
+class TestPredict:
+    def test_predict_runs(self, capsys):
+        assert main(["predict", "--nb", "16", "--cores", "8", "--p", "16"]) == 0
+        out = capsys.readouterr().out
+        assert "gamma_seq" in out and "greedy" in out
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            main([])
+
+    def test_unknown_command(self):
+        with pytest.raises(SystemExit):
+            main(["fly"])

@@ -1,0 +1,77 @@
+"""Tests for the workload matrix generators."""
+
+import numpy as np
+import pytest
+
+from repro import tiled_qr
+from repro.matrices import (banded_lower, graded, kahan, near_rank_deficient,
+                            random_dense, vandermonde)
+
+
+class TestGenerators:
+    def test_random_dense_shapes_and_dtype(self):
+        a = random_dense(10, 4)
+        assert a.shape == (10, 4) and a.dtype == np.float64
+        c = random_dense(10, 4, np.complex128)
+        assert c.dtype == np.complex128 and np.abs(c.imag).max() > 0
+
+    def test_random_dense_reproducible(self):
+        assert np.array_equal(random_dense(6, 3, seed=5),
+                              random_dense(6, 3, seed=5))
+
+    def test_graded_condition(self):
+        a = graded(64, 16, condition=1e10)
+        sv = np.linalg.svd(a, compute_uv=False)
+        assert 1e8 < sv[0] / sv[-1] < 1e13
+
+    def test_graded_needs_two_columns(self):
+        with pytest.raises(ValueError):
+            graded(8, 1)
+
+    def test_vandermonde(self):
+        a = vandermonde(20, 5)
+        assert np.allclose(a[:, 0], 1.0)
+        assert np.abs(a).max() <= 1.0 + 1e-12
+
+    def test_kahan_upper_triangular(self):
+        a = kahan(8)
+        assert np.allclose(a, np.triu(a))
+        assert a[0, 0] == 1.0
+
+    def test_near_rank_deficient_spectrum(self):
+        a = near_rank_deficient(30, 10, rank=6, gap=1e-9)
+        sv = np.linalg.svd(a, compute_uv=False)
+        assert (sv[:6] > 0.5).all()
+        assert (sv[6:] < 1e-8).all()
+
+    def test_near_rank_deficient_validation(self):
+        with pytest.raises(ValueError):
+            near_rank_deficient(10, 5, rank=6)
+
+    def test_banded_lower_pattern(self):
+        nb = 3
+        a = banded_lower(5, 4, band=1, nb=nb)
+        for i in range(5):
+            for k in range(4):
+                blk = a[i * nb:(i + 1) * nb, k * nb:(k + 1) * nb]
+                if i - k > 1:
+                    assert np.all(blk == 0), (i, k)
+                else:
+                    assert np.any(blk != 0), (i, k)
+
+
+class TestGeneratorsFactorize:
+    """Every generator's output goes through the full pipeline."""
+
+    @pytest.mark.parametrize("make", [
+        lambda: random_dense(33, 17, seed=2),
+        lambda: graded(33, 17, condition=1e10, seed=2),
+        lambda: vandermonde(33, 17),
+        lambda: near_rank_deficient(33, 17, rank=12),
+        lambda: banded_lower(8, 4, band=2, nb=4),
+    ])
+    def test_factorization_stable(self, make):
+        a = make()
+        f = tiled_qr(a, nb=8, scheme="greedy")
+        assert f.residual(a) < 1e-12
+        assert f.orthogonality() < 1e-11

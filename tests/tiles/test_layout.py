@@ -1,0 +1,66 @@
+"""Tests for the tiled-matrix layout."""
+
+import numpy as np
+import pytest
+
+from repro.tiles import TiledMatrix
+
+
+class TestGrid:
+    def test_exact_tiling(self):
+        tm = TiledMatrix(np.zeros((12, 8)), 4)
+        assert tm.grid == (3, 2)
+        assert tm.tile(2, 1).shape == (4, 4)
+
+    def test_ragged(self):
+        tm = TiledMatrix(np.zeros((10, 7)), 4)
+        assert tm.grid == (3, 2)
+        assert tm.tile(2, 0).shape == (2, 4)
+        assert tm.tile(0, 1).shape == (4, 3)
+        assert tm.tile(2, 1).shape == (2, 3)
+
+    def test_heights_widths(self):
+        tm = TiledMatrix(np.zeros((10, 7)), 4)
+        assert [tm.row_height(i) for i in range(3)] == [4, 4, 2]
+        assert [tm.col_width(j) for j in range(2)] == [4, 3]
+
+    def test_tile_is_view(self):
+        a = np.zeros((8, 8))
+        tm = TiledMatrix(a, 4)
+        tm.tile(1, 1)[...] = 7.0
+        assert np.all(a[4:, 4:] == 7.0)
+        assert np.all(a[:4, :] == 0.0)
+
+    def test_out_of_range(self):
+        tm = TiledMatrix(np.zeros((8, 8)), 4)
+        with pytest.raises(IndexError):
+            tm.tile(2, 0)
+        with pytest.raises(IndexError):
+            tm.tile(0, -1)
+
+    def test_bad_inputs(self):
+        with pytest.raises(ValueError):
+            TiledMatrix(np.zeros(5), 2)
+        with pytest.raises(ValueError):
+            TiledMatrix(np.zeros((4, 4)), 0)
+
+    def test_single_tile(self):
+        tm = TiledMatrix(np.zeros((3, 3)), 8)
+        assert tm.grid == (1, 1)
+        assert tm.tile(0, 0).shape == (3, 3)
+
+    def test_repr(self):
+        tm = TiledMatrix(np.zeros((8, 4)), 4)
+        assert "p=2" in repr(tm) and "q=1" in repr(tm)
+
+    def test_tiles_cover_matrix(self):
+        a = np.arange(110.0).reshape(11, 10)
+        tm = TiledMatrix(a, 3)
+        seen = np.zeros_like(a, dtype=bool)
+        for i in range(tm.p):
+            for j in range(tm.q):
+                t = tm.tile(i, j)
+                r0, c0 = i * 3, j * 3
+                seen[r0 : r0 + t.shape[0], c0 : c0 + t.shape[1]] = True
+                assert np.array_equal(t, a[r0 : r0 + t.shape[0], c0 : c0 + t.shape[1]])
+        assert seen.all()
