@@ -10,7 +10,6 @@ Run: ``pytest benchmarks/bench_accuracy.py --benchmark-only``
 Artifact: ``benchmarks/results/accuracy_study.txt``
 """
 
-import numpy as np
 
 from benchmarks.common import emit
 from repro.analysis.accuracy import compare_schemes

@@ -12,6 +12,7 @@ from repro.bench import time_kernels
 from repro.bench.kernel_timing import measure_gamma_seq
 from repro.dag import build_dag
 from repro.kernels.costs import UNIT_FLOPS, total_weight
+from repro.obs.metrics import MetricsRegistry
 from repro.schemes import get_scheme
 from repro.sim import simulate_bounded
 
@@ -22,6 +23,16 @@ PAPER_P = 48
 
 #: experimental grid of the paper's Tables 6-9
 PAPER_QS = (1, 2, 4, 5, 10, 20, 40)
+
+#: shared observability sink for the whole benchmark run: kernel-timing
+#: call histograms, simulation counters, emitted-artifact counts.  One
+#: registry per process so `metrics_summary()` reports across drivers.
+BENCH_METRICS = MetricsRegistry()
+
+
+def metrics_summary() -> str:
+    """Render everything the harness recorded into :data:`BENCH_METRICS`."""
+    return BENCH_METRICS.render(title="benchmark metrics")
 
 
 @functools.lru_cache(maxsize=None)
@@ -35,7 +46,8 @@ def machine(nb: int, complex_arith: bool):
     """
     dtype = np.complex128 if complex_arith else np.float64
     rates = time_kernels(nb, ib=32, dtype=dtype, backend="lapack",
-                         strategy="warm", min_time=0.05)
+                         strategy="warm", min_time=0.05,
+                         registry=BENCH_METRICS)
     return rates.weights_seconds(), measure_gamma_seq(rates)
 
 
@@ -49,6 +61,9 @@ def simulated_gflops(scheme: str, p: int, q: int, nb: int,
     g = build_dag(get_scheme(scheme, p, q, **params), family)
     g = g.rescale(weights)
     seconds = simulate_bounded(g, processors).makespan
+    BENCH_METRICS.counter("bench.simulations").inc()
+    BENCH_METRICS.histogram(
+        "bench.sim_makespan_seconds").observe(seconds)
     flops = total_weight(p, q) * UNIT_FLOPS(nb) * (4 if complex_arith else 1)
     return flops / seconds / 1e9
 
@@ -91,4 +106,5 @@ def emit(name: str, text: str) -> None:
     path = os.path.join(RESULTS_DIR, f"{name}.txt")
     with open(path, "w") as fh:
         fh.write(text + "\n")
+    BENCH_METRICS.counter("bench.artifacts_emitted").inc()
     print(f"\n[{name}] -> {path}\n{text}")

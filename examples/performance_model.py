@@ -11,7 +11,6 @@ Run: ``python examples/performance_model.py [nb] [cores]``
 
 import sys
 
-import numpy as np
 
 from repro.analysis import PerformanceModel, predicted_gflops
 from repro.bench import format_series, time_kernels

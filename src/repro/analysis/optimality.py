@@ -17,7 +17,6 @@ from __future__ import annotations
 
 import math
 from functools import lru_cache
-from itertools import combinations
 
 from ..dag.build import build_dag
 from ..kernels.costs import KernelFamily

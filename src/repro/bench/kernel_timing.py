@@ -27,6 +27,7 @@ import numpy as np
 
 from ..kernels.backend import KernelBackend, get_backend
 from ..kernels.costs import Kernel, kernel_flops
+from ..obs.metrics import MetricsRegistry
 
 __all__ = ["KernelRates", "time_kernels", "measure_gamma_seq"]
 
@@ -94,6 +95,7 @@ def time_kernels(
     strategy: str = "warm",
     min_time: float = 0.05,
     seed: int = 0,
+    registry: MetricsRegistry | None = None,
 ) -> KernelRates:
     """Measure all six kernels at tile size ``nb``.
 
@@ -103,6 +105,12 @@ def time_kernels(
         Cache protocol (see module docstring).
     min_time : float
         Minimum accumulated wall time per kernel before reporting.
+    registry : MetricsRegistry or None
+        Optional observability sink: every timed call lands in a
+        ``kernel.seconds.<KERNEL>`` histogram and a
+        ``kernel.calls.<KERNEL>`` counter, tagged with the benchmark's
+        ``bench.*`` context gauges — the same registry shape the
+        executor emits, so harness and runtime numbers are comparable.
 
     Returns
     -------
@@ -130,10 +138,16 @@ def time_kernels(
         s["t_tt"] = bk.ttqrt(rt2, vtt, ibb)
         s["v_tt"] = vtt
 
-    def bench(fn) -> float:
+    if registry is not None:
+        registry.gauge("bench.nb", keep_samples=False).set(nb)
+        registry.counter("bench.timing_runs").inc()
+
+    def bench(kernel: Kernel, fn) -> float:
         """Accumulated seconds per call of ``fn(operand_set)``."""
         # one untimed warm-up call
         fn(ring[0])
+        hist = (registry.histogram(f"kernel.seconds.{kernel.value}")
+                if registry is not None else None)
         idx = 0
         calls = 0
         elapsed = 0.0
@@ -142,20 +156,31 @@ def time_kernels(
             idx += 1
             t0 = time.perf_counter()
             fn(s)
-            elapsed += time.perf_counter() - t0
+            dt = time.perf_counter() - t0
+            elapsed += dt
             calls += 1
+            if hist is not None:
+                hist.observe(dt)
+        if registry is not None:
+            registry.counter(f"kernel.calls.{kernel.value}").inc(calls)
         return elapsed / calls
 
     timings = {
-        Kernel.GEQRT: bench(lambda s: bk.geqrt(s["square"].copy(), ibb)),
-        Kernel.UNMQR: bench(lambda s: bk.unmqr(s["v_ge"], s["t_ge"], s["c1"])),
+        Kernel.GEQRT: bench(
+            Kernel.GEQRT, lambda s: bk.geqrt(s["square"].copy(), ibb)),
+        Kernel.UNMQR: bench(
+            Kernel.UNMQR, lambda s: bk.unmqr(s["v_ge"], s["t_ge"], s["c1"])),
         Kernel.TSQRT: bench(
+            Kernel.TSQRT,
             lambda s: bk.tsqrt(s["tri"].copy(), s["square2"].copy(), ibb)),
         Kernel.TSMQR: bench(
+            Kernel.TSMQR,
             lambda s: bk.tsmqr(s["v_ts"], s["t_ts"], s["c1"], s["c2"])),
         Kernel.TTQRT: bench(
+            Kernel.TTQRT,
             lambda s: bk.ttqrt(s["tri"].copy(), s["tri2"].copy(), ibb)),
         Kernel.TTMQR: bench(
+            Kernel.TTMQR,
             lambda s: bk.ttmqr(s["v_tt"], s["t_tt"], s["c1"], s["c2"])),
     }
     rates = KernelRates(nb=nb, ib=ibb, dtype=np.dtype(dtype).name,
@@ -163,6 +188,9 @@ def time_kernels(
     for k, sec in timings.items():
         rates.seconds[k] = sec
         rates.gflops[k] = kernel_flops(k, nb, complex_arith) / sec / 1e9
+        if registry is not None:
+            registry.gauge(f"kernel.gflops.{k.value}",
+                           keep_samples=False).set(rates.gflops[k])
     return rates
 
 

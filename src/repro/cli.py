@@ -12,7 +12,11 @@ Subcommands
 ``recommend`` pick the best tree for a grid (optionally model-driven)
 ``coarse``   coarse-grain step table (the paper's Table 2 view)
 ``optimal``  exhaustive optimal critical path on small grids
-``trace``    bounded-P schedule as ASCII Gantt / CSV / JSON
+``trace``    bounded-P schedule as ASCII Gantt / CSV / JSON / Chrome
+             trace-event JSON (``--format chrome``, for Perfetto)
+``profile``  execute a factorization with the span tracer and metrics
+             registry on, write a Chrome trace (optionally overlaying
+             the simulated schedule), print the metrics summary
 
 Examples
 --------
@@ -24,6 +28,8 @@ Examples
     python -m repro tune 40 5
     python -m repro factor --random 400x200 --nb 50 --scheme greedy
     python -m repro trace greedy 15 6 --workers 8 --format gantt
+    python -m repro trace greedy 15 6 --workers 4 --format chrome
+    python -m repro profile greedy 15 6 --workers 8 --out trace.json
 """
 
 from __future__ import annotations
@@ -246,7 +252,8 @@ def _cmd_trace(args) -> int:
     from .dag.build import build_dag
     from .schemes.registry import get_scheme
     from .sim.simulate import simulate_bounded
-    from .sim.trace import render_gantt, trace_to_csv, trace_to_json
+    from .sim.trace import (render_gantt, trace_to_chrome, trace_to_csv,
+                            trace_to_json)
 
     elims = get_scheme(args.scheme, args.p, args.q, **_scheme_params(args))
     g = build_dag(elims, args.family)
@@ -255,8 +262,65 @@ def _cmd_trace(args) -> int:
         print(render_gantt(res, width=args.width))
     elif args.format == "csv":
         print(trace_to_csv(res), end="")
+    elif args.format == "chrome":
+        print(trace_to_chrome(res))
     else:
         print(trace_to_json(res))
+    return 0
+
+
+def _cmd_profile(args) -> int:
+    from .dag.build import build_dag
+    from .obs.chrome_trace import write_chrome_trace
+    from .obs.tracer import Tracer
+    from .runtime.executor import execute_graph
+    from .schemes.registry import get_scheme
+    from .sim.simulate import simulate_bounded
+    from .tiles.layout import TiledMatrix
+
+    nb = args.nb
+    m, n = args.p * nb, args.q * nb
+    a = np.random.default_rng(args.seed).standard_normal((m, n))
+    tiled = TiledMatrix(a, nb)
+    elims = get_scheme(args.scheme, args.p, args.q, **_scheme_params(args))
+    g = build_dag(elims, args.family)
+
+    tracer = Tracer()
+    ctx = execute_graph(g, tiled, backend=args.backend, ib=min(args.ib, nb),
+                        workers=args.workers, tracer=tracer,
+                        collect_metrics=True)
+    metrics = ctx.metrics
+
+    sim = None
+    if not args.no_sim:
+        # Simulate the same DAG with the *measured* mean kernel times as
+        # weights, so the simulated lanes share the measured time axis.
+        weights = {}
+        for t in g.tasks:
+            h = metrics.get(f"kernel.seconds.{t.kernel.value}")
+            weights[t.kernel] = h.mean if h is not None and h.count else 0.0
+        procs = args.workers if args.workers and args.workers > 1 else 1
+        sim = simulate_bounded(g.rescale(weights), procs)
+
+    print(f"profiled {args.scheme} ({args.family}, {args.backend}) on a "
+          f"{m} x {n} matrix, nb={nb}, workers={args.workers}")
+    print(f"  tasks            {len(tracer)}")
+    print(f"  makespan         {tracer.makespan() * 1e3:.2f} ms")
+    print(f"  worker busy      {tracer.busy_fraction() * 100:.1f} %")
+    if sim is not None:
+        print(f"  simulated        {sim.makespan * 1e3:.2f} ms on "
+              f"{sim.processors} workers (measured-weight schedule)")
+    print()
+    print(metrics.render(title="execution metrics"))
+    if args.out:
+        write_chrome_trace(args.out, tracer=tracer, sim=sim,
+                           sim_time_scale=1e6)
+        print(f"\nChrome trace written to {args.out} "
+              "(open in Perfetto / chrome://tracing)")
+    if args.metrics_json:
+        with open(args.metrics_json, "w") as fh:
+            fh.write(metrics.to_json())
+        print(f"metrics JSON written to {args.metrics_json}")
     return 0
 
 
@@ -341,9 +405,25 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--workers", type=int, default=8)
     p.add_argument("--priority", default="critical-path")
     p.add_argument("--format", default="gantt",
-                   choices=["gantt", "csv", "json"])
+                   choices=["gantt", "csv", "json", "chrome"])
     p.add_argument("--width", type=int, default=100)
     p.set_defaults(fn=_cmd_trace)
+
+    p = sub.add_parser(
+        "profile",
+        help="execute with tracing + metrics, export a Chrome trace")
+    _add_grid(p)
+    p.add_argument("--nb", type=int, default=64, help="tile size")
+    p.add_argument("--ib", type=int, default=32, help="inner blocking")
+    p.add_argument("--backend", default="lapack",
+                   choices=["reference", "lapack"])
+    p.add_argument("--workers", type=int, default=4)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--out", help="write Chrome trace-event JSON here")
+    p.add_argument("--metrics-json", help="write the metrics snapshot here")
+    p.add_argument("--no-sim", action="store_true",
+                   help="skip the simulated-schedule overlay lanes")
+    p.set_defaults(fn=_cmd_profile)
     return parser
 
 

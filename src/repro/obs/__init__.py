@@ -1,0 +1,37 @@
+"""Observability for the tiled-QR runtimes (S17).
+
+Three pieces, shared by the threaded executor, the discrete-event
+simulator, and the benchmark harness:
+
+* :mod:`repro.obs.tracer` — a thread-safe span tracer recording one
+  :class:`Span` per retired kernel task (submit/start/finish
+  wall-times, worker thread), plus a zero-cost :class:`NullTracer`;
+* :mod:`repro.obs.metrics` — a :class:`MetricsRegistry` of counters,
+  gauges, and fixed-bucket histograms with plain-text and JSON
+  summaries;
+* :mod:`repro.obs.chrome_trace` — export of a measured capture and/or
+  a simulated schedule to Chrome trace-event JSON, loadable in
+  Perfetto / ``chrome://tracing`` for lane-by-lane comparison.
+
+See ``docs/observability.md`` for a walkthrough.
+"""
+
+from .chrome_trace import (chrome_trace, sim_to_events, tracer_to_events,
+                           write_chrome_trace)
+from .metrics import Counter, Gauge, Histogram, MetricsRegistry
+from .tracer import NULL_TRACER, NullTracer, Span, Tracer
+
+__all__ = [
+    "Span",
+    "Tracer",
+    "NullTracer",
+    "NULL_TRACER",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "tracer_to_events",
+    "sim_to_events",
+    "chrome_trace",
+    "write_chrome_trace",
+]

@@ -1,0 +1,138 @@
+"""Chrome trace-event export: measured and simulated lanes (S17).
+
+Serializes a real :class:`~repro.obs.tracer.Tracer` capture and/or a
+:class:`~repro.sim.simulate.SimResult` to the Chrome trace-event JSON
+format (the ``{"traceEvents": [...]}`` object understood by Perfetto
+and ``chrome://tracing``).  Each task becomes one complete event
+(``"ph": "X"``) with microsecond ``ts``/``dur``; workers map to
+``tid`` lanes and each source (measured vs simulated) gets its own
+``pid`` process group, so a measured execution and its simulated
+schedule can be loaded together and compared lane by lane — the
+repo's side-by-side validation of the simulator against reality.
+
+Format reference: the "Trace Event Format" document shipped with the
+Catapult project; only the widely supported subset is emitted
+(``name``, ``cat``, ``ph``, ``ts``, ``dur``, ``pid``, ``tid``,
+``args``, plus ``M`` metadata records naming the lanes).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import TYPE_CHECKING
+
+from .tracer import Tracer
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..sim.simulate import SimResult
+
+__all__ = ["tracer_to_events", "sim_to_events", "chrome_trace",
+           "to_chrome_json", "write_chrome_trace"]
+
+#: trace-event categories, useful for filtering in the viewer UI
+_PANEL = {"GEQRT", "TSQRT", "TTQRT"}
+
+
+def _meta(pid: int, process_name: str, n_lanes: int,
+          lane_prefix: str) -> list[dict]:
+    """``M`` records naming the process and its worker lanes."""
+    events = [{"name": "process_name", "ph": "M", "pid": pid, "tid": 0,
+               "args": {"name": process_name}}]
+    for w in range(n_lanes):
+        events.append({"name": "thread_name", "ph": "M", "pid": pid,
+                       "tid": w, "args": {"name": f"{lane_prefix} {w}"}})
+    return events
+
+
+def tracer_to_events(tracer: Tracer, pid: int = 1,
+                     process_name: str = "measured") -> list[dict]:
+    """Complete-events for every span of a real capture (ts/dur in us)."""
+    events = _meta(pid, process_name, tracer.worker_count, "worker")
+    for s in tracer.spans:
+        events.append({
+            "name": s.name,
+            "cat": "panel" if s.kernel in _PANEL else "update",
+            "ph": "X",
+            "ts": s.start * 1e6,
+            "dur": s.duration * 1e6,
+            "pid": pid,
+            "tid": s.worker,
+            "args": {"kernel": s.kernel, "tid": s.tid, "row": s.row,
+                     "piv": s.piv, "col": s.col, "j": s.j,
+                     "queue_delay_us": s.queue_delay * 1e6},
+        })
+    return events
+
+
+def sim_to_events(result: "SimResult", pid: int = 2,
+                  process_name: str = "simulated",
+                  time_scale: float = 1.0) -> list[dict]:
+    """Complete-events for a simulated schedule.
+
+    Simulation times are in abstract model units (``nb^3/3`` flops by
+    default, or seconds after :meth:`TaskGraph.rescale` with measured
+    kernel durations).  ``time_scale`` converts one model unit to
+    microseconds: leave it at 1.0 for unit-weight graphs, pass ``1e6``
+    when the graph was rescaled to seconds so the lanes line up with a
+    measured capture.
+    """
+    nw = (int(result.worker.max()) + 1
+          if result.worker is not None and len(result.worker) else 1)
+    events = _meta(pid, process_name, nw, "sim worker")
+    for t in result.graph.tasks:
+        lane = int(result.worker[t.tid]) if result.worker is not None else 0
+        start = float(result.start[t.tid])
+        finish = float(result.finish[t.tid])
+        events.append({
+            "name": str(t),
+            "cat": "panel" if t.kernel.value in _PANEL else "update",
+            "ph": "X",
+            "ts": start * time_scale,
+            "dur": (finish - start) * time_scale,
+            "pid": pid,
+            "tid": lane,
+            "args": {"kernel": t.kernel.value, "tid": t.tid, "row": t.row,
+                     "piv": t.piv, "col": t.col, "j": t.j,
+                     "weight": t.weight},
+        })
+    return events
+
+
+def chrome_trace(tracer: Tracer | None = None,
+                 sim: "SimResult | None" = None,
+                 sim_time_scale: float = 1.0) -> dict:
+    """Build the top-level trace object from either or both sources.
+
+    With both a measured capture and a simulated schedule the result
+    holds two process groups (``pid`` 1 = measured, ``pid`` 2 =
+    simulated) that Perfetto renders as separate lane stacks on a
+    shared time axis.
+    """
+    if tracer is None and sim is None:
+        raise ValueError("chrome_trace needs a tracer, a sim result, or both")
+    events: list[dict] = []
+    if tracer is not None:
+        events.extend(tracer_to_events(tracer))
+    if sim is not None:
+        events.extend(sim_to_events(sim, time_scale=sim_time_scale))
+    return {
+        "traceEvents": events,
+        "displayTimeUnit": "ms",
+        "otherData": {"producer": "repro.obs.chrome_trace"},
+    }
+
+
+def to_chrome_json(tracer: Tracer | None = None,
+                   sim: "SimResult | None" = None,
+                   sim_time_scale: float = 1.0) -> str:
+    """The trace object as compact JSON text."""
+    return json.dumps(chrome_trace(tracer, sim, sim_time_scale))
+
+
+def write_chrome_trace(path: str, tracer: Tracer | None = None,
+                       sim: "SimResult | None" = None,
+                       sim_time_scale: float = 1.0) -> str:
+    """Write the trace JSON to ``path``; returns the path."""
+    with open(path, "w") as fh:
+        fh.write(to_chrome_json(tracer, sim, sim_time_scale))
+    return path

@@ -1,0 +1,166 @@
+"""Span-based tracing of real kernel executions (S17).
+
+A :class:`Tracer` records one :class:`Span` per retired task of the
+threaded (or sequential) executor: which kernel ran on which tile
+coordinates, on which worker thread, and the three wall-clock
+timestamps of its life cycle — *submit* (handed to the pool), *start*
+(kernel entry), *finish* (kernel return).  All timestamps come from
+:func:`time.perf_counter` and are stored relative to the tracer's
+epoch, so a capture starts near ``t = 0``.
+
+The recorder is a single lock-protected append; the executor's hot
+path pays nothing when tracing is off because it is handed
+:data:`NULL_TRACER` (or ``None``) and skips the calls entirely —
+``NullTracer.enabled`` is ``False`` and every method is a no-op.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Optional
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..dag.tasks import Task
+
+__all__ = ["Span", "Tracer", "NullTracer", "NULL_TRACER"]
+
+
+@dataclass(slots=True)
+class Span:
+    """One executed task: identity, placement, and wall-clock times.
+
+    Attributes
+    ----------
+    tid : int
+        Task id (index into the graph's task list).
+    name : str
+        Human label, e.g. ``"TSMQR(3,1,1,2)"``.
+    kernel : str
+        Kernel class name (``GEQRT`` ... ``TTMQR``).
+    row, piv, col, j : int or None
+        Tile coordinates of the task (``piv``/``j`` are ``None`` for
+        kernels that do not use them).
+    worker : int
+        Dense worker index (0-based; the order threads first touched
+        the tracer).  0 for sequential runs.
+    submit, start, finish : float
+        Seconds since the tracer's epoch.
+    """
+
+    tid: int
+    name: str
+    kernel: str
+    row: int
+    piv: Optional[int]
+    col: int
+    j: Optional[int]
+    worker: int
+    submit: float
+    start: float
+    finish: float
+
+    @property
+    def duration(self) -> float:
+        """Kernel wall time in seconds (``finish - start``)."""
+        return self.finish - self.start
+
+    @property
+    def queue_delay(self) -> float:
+        """Seconds spent between submission and kernel entry."""
+        return self.start - self.submit
+
+
+@dataclass
+class Tracer:
+    """Thread-safe recorder of per-task :class:`Span` objects.
+
+    Workers call :meth:`now` (lock-free) for timestamps and
+    :meth:`record` (one short lock) once per retired task.  The span
+    buffer is append-only; read it via :attr:`spans` after the run.
+    """
+
+    enabled: bool = True
+    epoch: float = field(default_factory=time.perf_counter)
+    spans: list[Span] = field(default_factory=list)
+    _lock: threading.Lock = field(default_factory=threading.Lock, repr=False)
+    _threads: dict[int, int] = field(default_factory=dict, repr=False)
+
+    # ------------------------------------------------------------------
+    def now(self) -> float:
+        """Seconds since the tracer's epoch (monotonic, lock-free)."""
+        return time.perf_counter() - self.epoch
+
+    def worker_index(self) -> int:
+        """Dense 0-based index of the calling thread (first-touch order)."""
+        ident = threading.get_ident()
+        with self._lock:
+            idx = self._threads.get(ident)
+            if idx is None:
+                idx = len(self._threads)
+                self._threads[ident] = idx
+            return idx
+
+    def record(self, task: "Task", submit: float, start: float,
+               finish: float, worker: int | None = None) -> Span:
+        """Append the span of one retired ``task``; returns it."""
+        w = self.worker_index() if worker is None else worker
+        span = Span(tid=task.tid, name=str(task), kernel=task.kernel.value,
+                    row=task.row, piv=task.piv, col=task.col, j=task.j,
+                    worker=w, submit=submit, start=start, finish=finish)
+        with self._lock:
+            self.spans.append(span)
+        return span
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self.spans)
+
+    @property
+    def worker_count(self) -> int:
+        """Number of distinct threads that recorded spans."""
+        with self._lock:
+            n = len(self._threads)
+        return max(n, max((s.worker for s in self.spans), default=-1) + 1)
+
+    def makespan(self) -> float:
+        """``max(finish) - min(submit)`` over the capture (0 if empty)."""
+        if not self.spans:
+            return 0.0
+        return (max(s.finish for s in self.spans)
+                - min(s.submit for s in self.spans))
+
+    def busy_fraction(self) -> float:
+        """Fraction of worker-time inside kernels (1.0 = no idling)."""
+        span = self.makespan()
+        nw = self.worker_count
+        if span <= 0 or nw == 0:
+            return 1.0
+        return sum(s.duration for s in self.spans) / (nw * span)
+
+
+class NullTracer(Tracer):
+    """Tracing disabled: every call is a no-op and records nothing.
+
+    The executor checks :attr:`enabled` once up front and skips all
+    per-task tracing work, so the hot path carries no extra locking or
+    allocation; these methods exist only so a ``NullTracer`` is also
+    safe to call directly.
+    """
+
+    def __init__(self) -> None:
+        super().__init__(enabled=False, epoch=0.0)
+
+    def now(self) -> float:  # pragma: no cover - trivial
+        return 0.0
+
+    def worker_index(self) -> int:  # pragma: no cover - trivial
+        return 0
+
+    def record(self, task, submit, start, finish, worker=None):
+        return None
+
+
+#: shared do-nothing tracer; pass this (or ``None``) to disable tracing
+NULL_TRACER = NullTracer()

@@ -23,15 +23,18 @@ arbitrary right-hand sides by replaying the panel tasks
 from __future__ import annotations
 
 import threading
+import time
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
-from typing import Any
+from typing import Any, Optional
 
 import numpy as np
 
 from ..dag.tasks import Task, TaskGraph
 from ..kernels.backend import KernelBackend, get_backend
 from ..kernels.costs import Kernel
+from ..obs.metrics import MetricsRegistry
+from ..obs.tracer import Tracer
 from ..tiles.layout import TiledMatrix
 
 __all__ = ["ExecutionContext", "execute_graph"]
@@ -46,13 +49,20 @@ _KIND = {
 
 @dataclass
 class ExecutionContext:
-    """State of an executed factorization: tiles, T factors, task order."""
+    """State of an executed factorization: tiles, T factors, task order.
+
+    When the run was observed, :attr:`tracer` holds the span capture
+    and :attr:`metrics` the registry the executor wrote into; both are
+    ``None`` for unobserved runs.
+    """
 
     tiled: TiledMatrix
     graph: TaskGraph
     backend: KernelBackend
     ib: int
     tfactors: dict[tuple[int, int, str], Any] = field(default_factory=dict)
+    tracer: Optional[Tracer] = None
+    metrics: Optional[MetricsRegistry] = None
 
     # ------------------------------------------------------------------
     def run_task(self, t: Task) -> None:
@@ -153,6 +163,9 @@ def execute_graph(
     ib: int = 32,
     workers: int | None = None,
     on_task_done=None,
+    tracer: Tracer | None = None,
+    metrics: MetricsRegistry | None = None,
+    collect_metrics: bool = False,
 ) -> ExecutionContext:
     """Run every kernel of ``graph`` against ``tiled``.
 
@@ -171,20 +184,54 @@ def execute_graph(
         dataflow scheduler with that many workers.
     on_task_done : callable or None
         Optional observer ``(task, done_count, total) -> None`` invoked
-        after each kernel retires (progress bars, logging, tracing).
-        In threaded mode it is called from worker threads, serialized
-        under the scheduler lock; keep it fast.
+        after each kernel retires (progress bars, logging).  In
+        threaded mode it is called from worker threads, serialized
+        under the scheduler lock; keep it fast.  An exception raised by
+        the observer aborts the run and re-raises in the caller — it
+        cannot deadlock the scheduler.  For tracing prefer ``tracer=``,
+        which also records timestamps and placement.
+    tracer : Tracer or None
+        Span tracer recording one :class:`~repro.obs.tracer.Span` per
+        task (submit/start/finish wall-times, worker thread).  ``None``
+        or a disabled tracer (:data:`~repro.obs.tracer.NULL_TRACER`)
+        keeps the hot path free of any per-task tracing work.
+    metrics : MetricsRegistry or None
+        Registry receiving per-kernel retirement counters and
+        wall-time histograms plus scheduler-health series (in-flight
+        task depth, time spent waiting on / holding the scheduler
+        lock — a direct measure of Python overhead).
+    collect_metrics : bool
+        Convenience: create a fresh registry when ``metrics`` is not
+        given.  The registry used is returned on the context's
+        ``metrics`` attribute either way.
 
     Returns
     -------
     ExecutionContext
     """
+    if tracer is not None and not tracer.enabled:
+        tracer = None
+    if metrics is None and collect_metrics:
+        metrics = MetricsRegistry()
     ctx = ExecutionContext(tiled=tiled, graph=graph,
-                           backend=get_backend(backend), ib=ib)
+                           backend=get_backend(backend), ib=ib,
+                           tracer=tracer, metrics=metrics)
+    observed = tracer is not None or metrics is not None
+    if metrics is not None:
+        metrics.counter("scheduler.tasks_total").inc(len(graph.tasks))
+        metrics.gauge("scheduler.workers", keep_samples=False).set(
+            1 if workers is None else max(1, workers))
+
     if workers is None or workers <= 1:
         total = len(graph.tasks)
         for i, t in enumerate(graph.tasks, start=1):
+            if observed:
+                t0 = time.perf_counter()
             ctx.run_task(t)
+            if observed:
+                t1 = time.perf_counter()
+                _observe_task(t, t0, t1, tracer, metrics,
+                              submit=t0, worker=0)
             if on_task_done is not None:
                 on_task_done(t, i, total)
         return ctx
@@ -196,7 +243,9 @@ def execute_graph(
     lock = threading.Lock()
     done = threading.Event()
     remaining = [n]
+    inflight = [0]
     errors: list[BaseException] = []
+    submit_ts = [0.0] * n if tracer is not None else None
     if n == 0:
         return ctx
     # Snapshot the initially ready set *before* any worker can start
@@ -206,35 +255,101 @@ def execute_graph(
 
     with ThreadPoolExecutor(max_workers=workers) as pool:
 
+        def submit(tid: int) -> None:
+            if tracer is not None:
+                submit_ts[tid] = time.perf_counter() - tracer.epoch
+            pool.submit(run, tid)
+
         def retire(tid: int) -> None:
             newly_ready = []
+            if metrics is not None:
+                t_req = time.perf_counter()
             with lock:
+                if metrics is not None:
+                    t_in = time.perf_counter()
                 remaining[0] -= 1
+                inflight[0] -= 1
                 done_count = n - remaining[0]
                 if on_task_done is not None:
-                    on_task_done(graph.tasks[tid], done_count, n)
+                    try:
+                        on_task_done(graph.tasks[tid], done_count, n)
+                    except BaseException as exc:
+                        # An observer failure must not leave done unset
+                        # (deadlock); abort like a kernel failure.
+                        errors.append(exc)
+                        done.set()
+                        return
                 if remaining[0] == 0:
                     done.set()
                 for s in succ[tid]:
                     indeg[s] -= 1
                     if indeg[s] == 0:
                         newly_ready.append(s)
+                inflight[0] += len(newly_ready)
+                depth = inflight[0]
+            if metrics is not None:
+                t_out = time.perf_counter()
+                metrics.counter("scheduler.lock_wait_seconds").inc(
+                    t_in - t_req)
+                metrics.counter("scheduler.lock_hold_seconds").inc(
+                    t_out - t_in)
+                metrics.gauge("scheduler.inflight_tasks").set(
+                    depth, t=t_out)
+                metrics.histogram(
+                    "scheduler.newly_ready",
+                    buckets=(0, 1, 2, 4, 8, 16, 32),
+                ).observe(len(newly_ready))
             for s in newly_ready:
-                pool.submit(run, s)
+                submit(s)
 
         def run(tid: int) -> None:
+            task = graph.tasks[tid]
+            if observed:
+                t0 = time.perf_counter()
             try:
-                ctx.run_task(graph.tasks[tid])
+                ctx.run_task(task)
             except BaseException as exc:  # propagate to the caller
                 with lock:
                     errors.append(exc)
                 done.set()
                 return
+            if observed:
+                t1 = time.perf_counter()
+                _observe_task(task, t0, t1, tracer, metrics,
+                              submit_ts=submit_ts)
             retire(tid)
 
+        with lock:
+            inflight[0] = len(initial)
         for tid in initial:
-            pool.submit(run, tid)
+            submit(tid)
         done.wait()
     if errors:
         raise errors[0]
     return ctx
+
+
+def _observe_task(
+    task: Task,
+    t0: float,
+    t1: float,
+    tracer: Tracer | None,
+    metrics: MetricsRegistry | None,
+    submit: float | None = None,
+    worker: int | None = None,
+    submit_ts: list[float] | None = None,
+) -> None:
+    """Record one finished task into the tracer and/or registry.
+
+    ``t0``/``t1`` are raw :func:`time.perf_counter` readings; the
+    tracer re-bases them onto its epoch.
+    """
+    if tracer is not None:
+        sub = (submit_ts[task.tid] if submit_ts is not None
+               else (submit or t0) - tracer.epoch)
+        tracer.record(task, sub, t0 - tracer.epoch, t1 - tracer.epoch,
+                      worker=worker)
+    if metrics is not None:
+        name = task.kernel.value
+        metrics.counter(f"tasks.retired.{name}").inc()
+        metrics.histogram(f"kernel.seconds.{name}").observe(t1 - t0)

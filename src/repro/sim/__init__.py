@@ -2,8 +2,8 @@
 
 from .priorities import PRIORITIES, priority_vector
 from .simulate import SimResult, simulate_unbounded, simulate_bounded, zero_out_table
-from .trace import (Gantt, render_gantt, trace_events, trace_to_csv,
-                    trace_to_json, utilization)
+from .trace import (TRACE_FIELDS, Gantt, render_gantt, trace_events,
+                    trace_to_csv, trace_to_chrome, trace_to_json, utilization)
 
 __all__ = [
     "SimResult",
@@ -15,6 +15,8 @@ __all__ = [
     "trace_events",
     "trace_to_csv",
     "trace_to_json",
+    "trace_to_chrome",
+    "TRACE_FIELDS",
     "utilization",
     "PRIORITIES",
     "priority_vector",

@@ -10,7 +10,7 @@ paper's Tables 3-5) and a bounded processor count with list scheduling
 from __future__ import annotations
 
 import heapq
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 

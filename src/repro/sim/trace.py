@@ -16,7 +16,12 @@ from dataclasses import dataclass
 from .simulate import SimResult
 
 __all__ = ["Gantt", "render_gantt", "trace_events", "trace_to_csv",
-           "trace_to_json", "utilization"]
+           "trace_to_json", "trace_to_chrome", "utilization",
+           "TRACE_FIELDS"]
+
+#: stable field order of :func:`trace_events` records
+TRACE_FIELDS = ("task", "kernel", "row", "piv", "col", "j",
+                "start", "finish", "worker")
 
 
 @dataclass
@@ -67,11 +72,15 @@ def trace_events(result: SimResult) -> list[dict]:
 
 
 def trace_to_csv(result: SimResult) -> str:
-    """Render the event trace as CSV text."""
+    """Render the event trace as CSV text.
+
+    The header always carries the full :data:`TRACE_FIELDS` schema,
+    even for an empty simulation, so downstream parsers see a
+    consistent layout.
+    """
     events = trace_events(result)
     buf = io.StringIO()
-    writer = csv.DictWriter(buf, fieldnames=list(events[0]) if events else
-                            ["task"])
+    writer = csv.DictWriter(buf, fieldnames=list(TRACE_FIELDS))
     writer.writeheader()
     writer.writerows(events)
     return buf.getvalue()
@@ -80,6 +89,18 @@ def trace_to_csv(result: SimResult) -> str:
 def trace_to_json(result: SimResult) -> str:
     """Render the event trace as a JSON array."""
     return json.dumps(trace_events(result), indent=1)
+
+
+def trace_to_chrome(result: SimResult, time_scale: float = 1.0) -> str:
+    """Render the simulated schedule as Chrome trace-event JSON.
+
+    The output loads in Perfetto / ``chrome://tracing``; see
+    :mod:`repro.obs.chrome_trace` for the format and ``time_scale``
+    semantics (model units -> microseconds, default 1:1).
+    """
+    from ..obs.chrome_trace import to_chrome_json  # local: keep sim light
+
+    return to_chrome_json(sim=result, sim_time_scale=time_scale)
 
 
 def utilization(result: SimResult) -> float:

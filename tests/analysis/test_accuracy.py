@@ -1,7 +1,6 @@
 """Tests for the numerical-accuracy assessment module."""
 
 import numpy as np
-import pytest
 
 from repro import tiled_qr
 from repro.analysis.accuracy import assess, compare_schemes

@@ -1,8 +1,5 @@
 """Formula-vs-simulator checks (Theorem 1, Propositions 1-2)."""
 
-import math
-
-import numpy as np
 import pytest
 
 from repro.analysis import (

@@ -1,7 +1,6 @@
 """Tests for the Roofline-style performance predictor (Section 4)."""
 
 import numpy as np
-import pytest
 
 from repro.analysis import PerformanceModel, predicted_gflops
 from repro.core import critical_path

@@ -1,6 +1,5 @@
 """Tests for the pipeline-structure analysis helpers."""
 
-import numpy as np
 import pytest
 
 from repro.analysis.pipeline import column_period, column_windows, pipeline_overlap

@@ -1,7 +1,6 @@
 """Tests for the critical-path convenience API."""
 
 import numpy as np
-import pytest
 
 from repro import critical_path, zero_out_steps
 

@@ -1,6 +1,5 @@
 """Tests for the communication-surcharge model (paper §5 extension)."""
 
-import pytest
 
 from repro.dag import build_dag
 from repro.ext import CommunicationModel, comm_adjusted_weights

@@ -94,7 +94,6 @@ class TestDistributedGraph:
     def test_local_tasks_unchanged(self):
         g = build_dag(flat_tree(8, 2), "TT")
         g2 = distributed_graph(g, DistributedLayout(8, 2), 5.0)
-        from repro.kernels.costs import Kernel
         for t, t2 in zip(g.tasks, g2.tasks):
             if t.piv is None or t.piv // 4 == t.row // 4:
                 assert t2.weight == t.weight

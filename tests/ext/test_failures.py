@@ -1,6 +1,5 @@
 """Tests for the fail-stop worker-failure model."""
 
-import numpy as np
 import pytest
 
 from repro.dag import build_dag

@@ -1,7 +1,6 @@
 """User-journey tests mirroring the documented workflows."""
 
 import numpy as np
-import pytest
 
 from repro import (available_schemes, critical_path, load_factorization,
                    save_factorization, tiled_qr, total_weight)

@@ -7,7 +7,6 @@ analytic layer on every sample.
 """
 
 import numpy as np
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
@@ -15,7 +14,6 @@ from repro.analysis.formulas import optimal_cp_lower_bound
 from repro.dag import build_dag
 from repro.kernels.costs import total_weight
 from repro.runtime import execute_graph
-from repro.schemes.elimination import EliminationList
 from repro.sim import simulate_bounded, simulate_unbounded
 from repro.tiles import TiledMatrix
 from tests.conftest import random_elimination_list

@@ -4,16 +4,18 @@ import numpy as np
 import pytest
 
 from repro.dag import build_dag
+from repro.obs import NULL_TRACER, MetricsRegistry, Tracer
 from repro.runtime import execute_graph
 from repro.schemes import greedy, flat_tree
 from repro.tiles import TiledMatrix
 from tests.conftest import random_matrix
 
 
-def factor(a, nb, workers, backend="reference", family="TT", ib=4):
+def factor(a, nb, workers, backend="reference", family="TT", ib=4, **kwargs):
     tiled = TiledMatrix(a.copy(), nb)
     g = build_dag(greedy(tiled.p, tiled.q), family)
-    ctx = execute_graph(g, tiled, backend=backend, ib=ib, workers=workers)
+    ctx = execute_graph(g, tiled, backend=backend, ib=ib, workers=workers,
+                        **kwargs)
     return ctx
 
 
@@ -81,6 +83,106 @@ class TestProgressObserver:
         execute_graph(g, tiled, ib=4, workers=4,
                       on_task_done=lambda t, i, n: seen.append(i))
         assert sorted(seen) == list(range(1, len(g.tasks) + 1))
+
+    def test_raising_observer_does_not_deadlock(self, rng):
+        """Regression: an observer exception inside retire() used to
+        escape before done was set, hanging done.wait() forever."""
+        a = random_matrix(rng, 24, 16)
+        tiled = TiledMatrix(a, 8)
+        g = build_dag(greedy(tiled.p, tiled.q), "TT")
+
+        def bad_observer(t, i, n):
+            raise RuntimeError("observer blew up")
+
+        with pytest.raises(RuntimeError, match="observer blew up"):
+            execute_graph(g, tiled, ib=4, workers=4,
+                          on_task_done=bad_observer)
+
+    def test_raising_observer_midway(self, rng):
+        a = random_matrix(rng, 24, 16)
+        tiled = TiledMatrix(a, 8)
+        g = build_dag(greedy(tiled.p, tiled.q), "TT")
+        calls = []
+
+        def flaky(t, i, n):
+            calls.append(i)
+            if i == 5:
+                raise ValueError("boom at 5")
+
+        with pytest.raises(ValueError, match="boom at 5"):
+            execute_graph(g, tiled, ib=4, workers=2, on_task_done=flaky)
+        assert 5 in calls
+
+
+class TestTracing:
+    def test_threaded_tracer_records_every_task(self, rng):
+        a = random_matrix(rng, 32, 16)
+        tracer = Tracer()
+        ctx = factor(a, 8, 4, tracer=tracer)
+        assert ctx.tracer is tracer
+        assert len(tracer) == len(ctx.graph.tasks)
+        assert sorted(s.tid for s in tracer.spans) == [
+            t.tid for t in ctx.graph.tasks]
+        for s in tracer.spans:
+            assert s.submit <= s.start <= s.finish
+            assert 0 <= s.worker < 4
+        assert tracer.makespan() > 0
+
+    def test_sequential_tracer_single_worker(self, rng):
+        a = random_matrix(rng, 24, 16)
+        tracer = Tracer()
+        ctx = factor(a, 8, None, tracer=tracer)
+        assert len(tracer) == len(ctx.graph.tasks)
+        assert {s.worker for s in tracer.spans} == {0}
+
+    def test_null_tracer_records_nothing(self, rng):
+        """Disabled tracing must not capture spans, and the result must
+        match the sequential reference exactly."""
+        a = random_matrix(rng, 32, 16)
+        ctx = factor(a, 8, 4, tracer=NULL_TRACER)
+        assert len(NULL_TRACER) == 0
+        assert ctx.tracer is None  # null path: executor drops it entirely
+        r_seq = np.triu(factor(a, 8, None).tiled.array[:16])
+        assert np.allclose(np.triu(ctx.tiled.array[:16]), r_seq, atol=1e-12)
+
+    def test_untraced_run_has_no_observability_state(self, rng):
+        a = random_matrix(rng, 16, 8)
+        ctx = factor(a, 8, 2)
+        assert ctx.tracer is None and ctx.metrics is None
+
+
+class TestMetrics:
+    def test_collect_metrics_threaded(self, rng):
+        a = random_matrix(rng, 32, 16)
+        ctx = factor(a, 8, 4, collect_metrics=True)
+        m = ctx.metrics
+        assert m is not None
+        n = len(ctx.graph.tasks)
+        retired = sum(m.get(name).value for name in m.names()
+                      if name.startswith("tasks.retired."))
+        assert retired == n
+        hist_total = sum(m.get(name).count for name in m.names()
+                         if name.startswith("kernel.seconds."))
+        assert hist_total == n
+        assert m.counter("scheduler.tasks_total").value == n
+        assert m.counter("scheduler.lock_hold_seconds").value > 0
+        assert m.gauge("scheduler.inflight_tasks").samples  # time series
+
+    def test_explicit_registry_reused(self, rng):
+        a = random_matrix(rng, 16, 8)
+        reg = MetricsRegistry()
+        ctx = factor(a, 8, 2, metrics=reg)
+        assert ctx.metrics is reg
+        assert reg.counter("scheduler.tasks_total").value == len(
+            ctx.graph.tasks)
+
+    def test_sequential_metrics(self, rng):
+        a = random_matrix(rng, 24, 16)
+        ctx = factor(a, 8, None, collect_metrics=True)
+        m = ctx.metrics
+        retired = sum(m.get(name).value for name in m.names()
+                      if name.startswith("tasks.retired."))
+        assert retired == len(ctx.graph.tasks)
 
 
 class TestApplyQ:

@@ -1,7 +1,6 @@
 """Fine-grained unit tests of the Asap event mechanics."""
 
 import numpy as np
-import pytest
 
 from repro.core import critical_path
 from repro.schemes.asap import asap, grasap

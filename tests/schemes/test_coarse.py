@@ -1,6 +1,5 @@
 """Tests for the coarse-grain model (Section 3.1)."""
 
-import numpy as np
 import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st

@@ -2,7 +2,6 @@
 
 import pytest
 
-from repro.core import critical_path
 from repro.bench.autotune import plasma_bs_sweep
 from repro.dag import build_dag
 from repro.schemes import hadri_tree, plasma_tree

@@ -1,6 +1,5 @@
 """Structural tests for the static elimination schemes."""
 
-import numpy as np
 import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st

@@ -1,6 +1,5 @@
 """Fine-grained structural checks tying tiled schedules to the theory."""
 
-import numpy as np
 import pytest
 
 from repro.coarse import coarse_fibonacci, coarse_greedy

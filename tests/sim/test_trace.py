@@ -7,14 +7,21 @@ import json
 import pytest
 
 from repro.dag import build_dag
+from repro.dag.tasks import TaskGraph
 from repro.schemes import greedy
-from repro.sim import (simulate_bounded, simulate_unbounded, trace_events,
+from repro.sim import (TRACE_FIELDS, render_gantt, simulate_bounded,
+                       simulate_unbounded, trace_events, trace_to_chrome,
                        trace_to_csv, trace_to_json, utilization)
 
 
 @pytest.fixture
 def bounded():
     return simulate_bounded(build_dag(greedy(6, 3), "TT"), 4)
+
+
+@pytest.fixture
+def empty_bounded():
+    return simulate_bounded(TaskGraph(0, 0, name="empty"), 2)
 
 
 class TestTraceEvents:
@@ -49,6 +56,31 @@ class TestSerialization:
         assert all(d["finish"] >= d["start"] for d in data)
 
 
+class TestSerializationEdgeCases:
+    def test_empty_csv_keeps_full_header(self, empty_bounded):
+        text = trace_to_csv(empty_bounded)
+        reader = csv.reader(io.StringIO(text))
+        header = next(reader)
+        assert header == list(TRACE_FIELDS)
+        assert list(reader) == []
+
+    def test_header_matches_event_fields(self, bounded):
+        assert tuple(trace_events(bounded)[0]) == TRACE_FIELDS
+
+
+class TestChromeExport:
+    def test_bounded_chrome_schema(self, bounded):
+        doc = json.loads(trace_to_chrome(bounded))
+        xs = [e for e in doc["traceEvents"] if e["ph"] == "X"]
+        assert len(xs) == len(bounded.graph.tasks)
+        for e in xs:
+            assert {"name", "ph", "ts", "dur", "pid", "tid"} <= set(e)
+
+    def test_empty_chrome_has_no_complete_events(self, empty_bounded):
+        doc = json.loads(trace_to_chrome(empty_bounded))
+        assert [e for e in doc["traceEvents"] if e["ph"] == "X"] == []
+
+
 class TestUtilization:
     def test_range(self, bounded):
         u = utilization(bounded)
@@ -66,3 +98,25 @@ class TestUtilization:
         res = simulate_unbounded(build_dag(greedy(5, 2), "TT"))
         with pytest.raises(ValueError):
             utilization(res)
+
+    def test_zero_task_graph_is_trivially_full(self, empty_bounded):
+        assert empty_bounded.makespan == 0.0
+        assert utilization(empty_bounded) == 1.0
+
+
+class TestRenderGanttEdgeCases:
+    def test_zero_task_graph(self, empty_bounded):
+        assert render_gantt(empty_bounded) == "(empty schedule)"
+
+    def test_single_worker_has_one_lane(self):
+        res = simulate_bounded(build_dag(greedy(4, 2), "TT"), 1)
+        # integer width == integer makespan -> exact 1:1 cell scaling
+        art = render_gantt(res, width=int(res.makespan))
+        lanes = [ln for ln in art.splitlines() if ln.startswith("P")]
+        assert len(lanes) == 1
+        assert "." not in lanes[0].split("|")[1]  # one worker never idles
+
+    def test_unbounded_run_raises(self):
+        res = simulate_unbounded(build_dag(greedy(4, 2), "TT"))
+        with pytest.raises(ValueError, match="bounded"):
+            render_gantt(res)

@@ -91,6 +91,46 @@ class TestTrace:
         assert main(["trace", "greedy", "6", "2", "--priority",
                      "panel-first"]) == 0
 
+    def test_chrome(self, capsys):
+        import json
+        assert main(["trace", "greedy", "6", "2", "--workers", "3",
+                     "--format", "chrome"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        xs = [e for e in doc["traceEvents"] if e["ph"] == "X"]
+        assert xs
+        for e in xs:
+            assert {"name", "ph", "ts", "dur", "pid", "tid"} <= set(e)
+
+
+class TestProfile:
+    def test_profile_writes_trace_and_summary(self, tmp_path, capsys):
+        import json
+        out_path = tmp_path / "trace.json"
+        metrics_path = tmp_path / "metrics.json"
+        assert main(["profile", "greedy", "4", "2", "--nb", "8", "--ib", "4",
+                     "--backend", "reference", "--workers", "2",
+                     "--out", str(out_path),
+                     "--metrics-json", str(metrics_path)]) == 0
+        out = capsys.readouterr().out
+        assert "tasks.retired.GEQRT" in out
+        assert "kernel.seconds.GEQRT" in out
+        assert "makespan" in out
+        doc = json.loads(out_path.read_text())
+        xs = [e for e in doc["traceEvents"] if e["ph"] == "X"]
+        assert xs and {e["pid"] for e in xs} == {1, 2}  # measured + simulated
+        snap = json.loads(metrics_path.read_text())
+        assert snap["tasks.retired.GEQRT"]["value"] > 0
+
+    def test_profile_no_sim_sequential(self, tmp_path, capsys):
+        import json
+        out_path = tmp_path / "trace.json"
+        assert main(["profile", "greedy", "3", "2", "--nb", "8", "--ib", "4",
+                     "--backend", "reference", "--workers", "1", "--no-sim",
+                     "--out", str(out_path)]) == 0
+        doc = json.loads(out_path.read_text())
+        xs = [e for e in doc["traceEvents"] if e["ph"] == "X"]
+        assert {e["pid"] for e in xs} == {1}  # measured lanes only
+
 
 class TestRecommend:
     def test_cp_only(self, capsys):
