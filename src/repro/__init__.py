@@ -8,28 +8,43 @@ BinaryTree, PlasmaTree), the critical-path discrete-event simulator,
 the closed-form analysis, execution runtimes, and the benchmark
 harness that regenerates every table and figure of the evaluation.
 
-Quick start::
+Quick start (the :mod:`repro.api` facade)::
 
     import numpy as np
-    from repro import tiled_qr, critical_path
+    from repro import plan, factor, simulate
 
+    pl = plan(8, 4, "greedy")            # cached planning artifacts
+    simulate(pl, processors=4).makespan  # schedule it
     a = np.random.default_rng(0).standard_normal((400, 200))
-    f = tiled_qr(a, nb=50, scheme="greedy")
+    f = factor(a, nb=50, scheme="greedy")
     assert f.residual(a) < 1e-12
 
-    critical_path("greedy", 40, 10)      # the paper's central metric
+The legacy entry points (:func:`tiled_qr`, :func:`critical_path`)
+remain and route through the same plan cache.
 """
 
+from .api import factor, plan, simulate
 from .core.auto import SchemeChoice, select_scheme
 from .core.paths import critical_path, zero_out_steps
 from .core.serialize import load_factorization, save_factorization
 from .core.tiled_qr import TiledQRFactorization, tiled_qr
 from .kernels.costs import Kernel, KernelFamily, total_weight
-from .schemes.registry import available_schemes, get_scheme
+from .planner import Plan, clear_plan_cache, plan_cache_stats
+from .schemes.registry import (
+    available_schemes,
+    get_scheme,
+    parse_scheme_spec,
+)
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
+    "plan",
+    "factor",
+    "simulate",
+    "Plan",
+    "plan_cache_stats",
+    "clear_plan_cache",
     "tiled_qr",
     "TiledQRFactorization",
     "critical_path",
@@ -40,6 +55,7 @@ __all__ = [
     "SchemeChoice",
     "available_schemes",
     "get_scheme",
+    "parse_scheme_spec",
     "Kernel",
     "KernelFamily",
     "total_weight",

@@ -14,7 +14,8 @@ import numpy as np
 
 from ..sim.simulate import SimResult
 
-__all__ = ["column_windows", "pipeline_overlap", "column_period"]
+__all__ = ["column_windows", "pipeline_overlap", "column_period",
+           "pipeline_report"]
 
 
 def column_windows(result: SimResult) -> list[tuple[float, float]]:
@@ -55,3 +56,40 @@ def column_period(result: SimResult) -> float:
     if len(ends) < 2:
         return float(result.makespan)
     return float(np.median(np.diff(ends)))
+
+
+def pipeline_report(source, processors: int | None = None,
+                    priority: str = "critical-path") -> dict:
+    """All pipeline metrics of a schedule in one dict.
+
+    Parameters
+    ----------
+    source : SimResult or Plan
+        A simulation result, or a :class:`~repro.planner.Plan` — the
+        plan is scheduled via its memoized
+        :meth:`~repro.planner.Plan.schedule` (unbounded when
+        ``processors`` is ``None``).
+    processors, priority
+        Forwarded to the plan's scheduler; ignored for a SimResult.
+
+    Returns
+    -------
+    dict
+        ``makespan``, ``overlap`` (mean open column windows),
+        ``period`` (median column completion spacing) and ``windows``
+        (per-column activity spans).
+    """
+    if isinstance(source, SimResult):
+        result = source
+    else:
+        schedule = getattr(source, "schedule", None)
+        if schedule is None:
+            raise TypeError(
+                f"expected a SimResult or a Plan, got {type(source).__name__}")
+        result = schedule(processors, priority)
+    return {
+        "makespan": float(result.makespan),
+        "overlap": pipeline_overlap(result),
+        "period": column_period(result),
+        "windows": column_windows(result),
+    }

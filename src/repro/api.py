@@ -1,0 +1,134 @@
+"""``repro.api`` — the unified plan/factor/simulate facade (S18).
+
+One import surface for the three things users do with this package:
+
+- :func:`plan` — build (or fetch from the process-wide cache) the
+  planning artifacts of one factorization shape;
+- :func:`factor` — numerically factor a matrix, optionally from a
+  prebuilt plan;
+- :func:`simulate` — schedule a plan's DAG on ``P`` processors (or
+  unbounded) and return the timing result.
+
+The three compose: a :class:`~repro.planner.Plan` built once can be
+passed to both :func:`factor` and :func:`simulate`, and everything a
+scheme name can express is also writable as a spec string
+(``"plasma(bs=5)"``).  All legacy entry points
+(:func:`repro.tiled_qr`, :func:`repro.critical_path`, the CLI) route
+through the same plan cache, so mixing styles never rebuilds a DAG.
+
+>>> import numpy as np
+>>> from repro.api import plan, factor, simulate
+>>> pl = plan(8, 4, "greedy")
+>>> simulate(pl, processors=4).makespan
+102.0
+>>> a = np.random.default_rng(0).standard_normal((64, 32))
+>>> f = factor(a, nb=8, scheme=pl)
+>>> bool(np.allclose(f.q() @ f.r(), a))
+True
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Union
+
+import numpy as np
+
+from .core.tiled_qr import TiledQRFactorization, tiled_qr
+from .kernels.costs import KernelFamily
+from .planner import (
+    Plan,
+    clear_plan_cache,
+    plan,
+    plan_cache_stats,
+)
+from .schemes.elimination import EliminationList
+from .schemes.registry import available_schemes, parse_scheme_spec
+from .sim.simulate import SimResult
+
+__all__ = [
+    "plan",
+    "factor",
+    "simulate",
+    "Plan",
+    "SimResult",
+    "available_schemes",
+    "parse_scheme_spec",
+    "plan_cache_stats",
+    "clear_plan_cache",
+]
+
+
+def factor(
+    a: np.ndarray,
+    nb: int = 64,
+    ib: int = 32,
+    scheme: Union[str, EliminationList, Plan] = "greedy",
+    family: KernelFamily | str = KernelFamily.TT,
+    backend: str = "reference",
+    workers: Optional[int] = None,
+    **scheme_params,
+) -> TiledQRFactorization:
+    """Tiled QR factorization of ``a`` — facade over :func:`repro.tiled_qr`.
+
+    Identical semantics to :func:`repro.core.tiled_qr.tiled_qr`;
+    ``scheme`` may be a name/spec string, an
+    :class:`~repro.schemes.elimination.EliminationList`, or a
+    :class:`~repro.planner.Plan` from :func:`plan` (whose grid must
+    match the tiling of ``a``; its kernel family wins over ``family``).
+    """
+    return tiled_qr(a, nb=nb, ib=ib, scheme=scheme, family=family,
+                    backend=backend, workers=workers, **scheme_params)
+
+
+def simulate(
+    scheme: Union[str, EliminationList, Plan],
+    p: Optional[int] = None,
+    q: Optional[int] = None,
+    *,
+    processors: Optional[int] = None,
+    priority: str = "critical-path",
+    family: KernelFamily | str = KernelFamily.TT,
+    costs=None,
+    **params,
+) -> SimResult:
+    """Schedule one factorization shape and return its timing.
+
+    Parameters
+    ----------
+    scheme : str, EliminationList, or Plan
+        What to simulate.  A name/spec string requires ``p`` and ``q``;
+        a Plan carries its own shape (``p``/``q``, if given, must
+        agree).
+    p, q : int, optional
+        Tile-grid dimensions (mandatory unless ``scheme`` is a Plan or
+        an EliminationList, which carry their own).
+    processors : int or None
+        ``None`` = unbounded ASAP schedule (the critical-path view);
+        an int = bounded list scheduling.
+    priority : str
+        Ready-queue policy for the bounded case (see
+        :func:`repro.sim.priorities.priority_vector`).
+    family : {"TT", "TS"}
+        Kernel family; ignored when ``scheme`` is a Plan.
+    costs : mapping of Kernel -> float, optional
+        Per-kernel weight overrides (distinct cache entries).
+    **params
+        Scheme parameters (``bs=...``, ``k=...``).
+
+    Returns
+    -------
+    SimResult
+        Memoized on the plan for named priorities — treat as read-only.
+    """
+    if isinstance(scheme, (Plan, EliminationList)):
+        sp, sq = scheme.p, scheme.q
+        if p is not None and (p, q) != (sp, sq):
+            raise ValueError(
+                f"scheme is for a {sp} x {sq} grid, requested {p} x {q}")
+        p, q = sp, sq
+    elif p is None or q is None:
+        raise ValueError("p and q are required when scheme is a name")
+    if isinstance(scheme, Plan):
+        family = scheme.family
+    pl = plan(p, q, scheme, family, costs=costs, **params)
+    return pl.schedule(processors, priority)

@@ -12,10 +12,8 @@ point.
 from __future__ import annotations
 
 from ..analysis.model import PerformanceModel
-from ..dag.build import build_dag
 from ..kernels.costs import KernelFamily, total_weight
-from ..schemes.plasma_tree import plasma_tree
-from ..sim.simulate import simulate_unbounded
+from ..planner import plan as build_plan
 
 __all__ = ["best_plasma_bs", "plasma_bs_sweep"]
 
@@ -29,14 +27,13 @@ def plasma_bs_sweep(
     """Critical path of PlasmaTree for every domain size.
 
     Returns ``{bs: cp}`` for ``bs`` in ``bs_values`` (default ``1..p``).
+    Each point goes through the plan cache, so re-running the sweep
+    (``repro tune``, :func:`repro.core.auto.select_scheme`) is free.
     """
     if bs_values is None:
         bs_values = list(range(1, p + 1))
-    out: dict[int, float] = {}
-    for bs in bs_values:
-        elims = plasma_tree(p, q, bs)
-        out[bs] = simulate_unbounded(build_dag(elims, family)).makespan
-    return out
+    return {bs: build_plan(p, q, "plasma-tree", family, bs=bs).critical_path()
+            for bs in bs_values}
 
 
 def best_plasma_bs(

@@ -43,7 +43,9 @@ __all__ = ["main"]
 
 
 def _add_grid(p: argparse.ArgumentParser) -> None:
-    p.add_argument("scheme", help="elimination tree name")
+    p.add_argument("scheme",
+                   help="elimination tree name or spec, e.g. greedy or "
+                        "'plasma(bs=5)'")
     p.add_argument("p", type=int, help="tile rows")
     p.add_argument("q", type=int, help="tile columns")
     p.add_argument("--family", default="TT", choices=["TT", "TS"])
@@ -86,9 +88,12 @@ def _cmd_table(args) -> int:
 
 
 def _cmd_sweep(args) -> int:
+    import json
+
+    from .api import plan
     from .bench.report import format_table
-    from .core.paths import critical_path
     from .kernels.costs import total_weight
+    from .planner import PLAN_METRICS, plan_cache_stats
     from .schemes.registry import available_schemes
 
     rows = []
@@ -98,8 +103,8 @@ def _cmd_sweep(args) -> int:
             continue  # alias of flat-tree
         params = {"bs": max(1, args.p // 4)} if scheme in (
             "plasma-tree", "hadri-tree") else {}
-        cp = critical_path(scheme, args.p, args.q, family=args.family,
-                           **params)
+        cp = plan(args.p, args.q, scheme, args.family,
+                  **params).critical_path()
         note = f"BS={params['bs']}" if params else ""
         rows.append([scheme, int(cp), round(total / cp, 1), note])
     rows.sort(key=lambda r: r[1])
@@ -107,6 +112,16 @@ def _cmd_sweep(args) -> int:
         ["scheme", "critical path", "max speedup", ""], rows,
         title=f"{args.p} x {args.q} grid, {args.family} kernels "
               f"(total work {total} units)"))
+    stats = plan_cache_stats()
+    print(f"\nplan cache: {stats['hits']} hits "
+          f"({stats['memory.hits']} memory, {stats['disk.hits']} disk), "
+          f"{stats['builds']} builds, "
+          f"{stats['build_seconds']:.3f} s building")
+    if args.metrics_json:
+        snapshot = {"plan_cache": stats, "metrics": PLAN_METRICS.to_dict()}
+        with open(args.metrics_json, "w") as fh:
+            json.dump(snapshot, fh, indent=1)
+        print(f"metrics JSON written to {args.metrics_json}")
     return 0
 
 
@@ -249,15 +264,13 @@ def _cmd_optimal(args) -> int:
 
 
 def _cmd_trace(args) -> int:
-    from .dag.build import build_dag
-    from .schemes.registry import get_scheme
-    from .sim.simulate import simulate_bounded
+    from .api import simulate
     from .sim.trace import (render_gantt, trace_to_chrome, trace_to_csv,
                             trace_to_json)
 
-    elims = get_scheme(args.scheme, args.p, args.q, **_scheme_params(args))
-    g = build_dag(elims, args.family)
-    res = simulate_bounded(g, args.workers, priority=args.priority)
+    res = simulate(args.scheme, args.p, args.q, processors=args.workers,
+                   priority=args.priority, family=args.family,
+                   **_scheme_params(args))
     if args.format == "gantt":
         print(render_gantt(res, width=args.width))
     elif args.format == "csv":
@@ -270,23 +283,22 @@ def _cmd_trace(args) -> int:
 
 
 def _cmd_profile(args) -> int:
-    from .dag.build import build_dag
+    from .api import plan
     from .obs.chrome_trace import write_chrome_trace
     from .obs.tracer import Tracer
+    from .planner import PLAN_METRICS, plan_cache_stats
     from .runtime.executor import execute_graph
-    from .schemes.registry import get_scheme
-    from .sim.simulate import simulate_bounded
     from .tiles.layout import TiledMatrix
 
     nb = args.nb
     m, n = args.p * nb, args.q * nb
     a = np.random.default_rng(args.seed).standard_normal((m, n))
     tiled = TiledMatrix(a, nb)
-    elims = get_scheme(args.scheme, args.p, args.q, **_scheme_params(args))
-    g = build_dag(elims, args.family)
+    pl = plan(args.p, args.q, args.scheme, args.family,
+              **_scheme_params(args))
 
     tracer = Tracer()
-    ctx = execute_graph(g, tiled, backend=args.backend, ib=min(args.ib, nb),
+    ctx = execute_graph(pl, tiled, backend=args.backend, ib=min(args.ib, nb),
                         workers=args.workers, tracer=tracer,
                         collect_metrics=True)
     metrics = ctx.metrics
@@ -296,11 +308,11 @@ def _cmd_profile(args) -> int:
         # Simulate the same DAG with the *measured* mean kernel times as
         # weights, so the simulated lanes share the measured time axis.
         weights = {}
-        for t in g.tasks:
+        for t in pl.graph.tasks:
             h = metrics.get(f"kernel.seconds.{t.kernel.value}")
             weights[t.kernel] = h.mean if h is not None and h.count else 0.0
         procs = args.workers if args.workers and args.workers > 1 else 1
-        sim = simulate_bounded(g.rescale(weights), procs)
+        sim = pl.rescaled(weights).schedule(procs)
 
     print(f"profiled {args.scheme} ({args.family}, {args.backend}) on a "
           f"{m} x {n} matrix, nb={nb}, workers={args.workers}")
@@ -310,8 +322,14 @@ def _cmd_profile(args) -> int:
     if sim is not None:
         print(f"  simulated        {sim.makespan * 1e3:.2f} ms on "
               f"{sim.processors} workers (measured-weight schedule)")
+    stats = plan_cache_stats()
+    print(f"  plan             {'cache hit' if stats['hits'] else 'built'} "
+          f"({stats['build_seconds'] * 1e3:.2f} ms building, "
+          f"{stats['hits']} cache hits this process)")
     print()
     print(metrics.render(title="execution metrics"))
+    print()
+    print(PLAN_METRICS.render(title="plan metrics"))
     if args.out:
         write_chrome_trace(args.out, tracer=tracer, sim=sim,
                            sim_time_scale=1e6)
@@ -344,6 +362,8 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("p", type=int)
     p.add_argument("q", type=int)
     p.add_argument("--family", default="TT", choices=["TT", "TS"])
+    p.add_argument("--metrics-json",
+                   help="write plan-cache stats + plan metrics JSON here")
     p.set_defaults(fn=_cmd_sweep)
 
     p = sub.add_parser("tune", help="PlasmaTree BS exhaustive search")

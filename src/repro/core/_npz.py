@@ -1,0 +1,27 @@
+"""JSON-metadata-inside-``.npz`` helpers (S13).
+
+Both persistence formats of the library — saved factorizations
+(:mod:`repro.core.serialize`) and cached plans
+(:mod:`repro.planner`) — pack their structured metadata as a JSON
+document stored in a ``uint8`` array alongside the numeric payload,
+so one ``np.savez_compressed`` archive is fully self-describing.
+These two helpers are the shared encoding.
+"""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+
+__all__ = ["pack_meta", "unpack_meta"]
+
+
+def pack_meta(meta: dict) -> np.ndarray:
+    """Encode a JSON-serializable dict as a ``uint8`` array."""
+    return np.frombuffer(json.dumps(meta).encode("utf-8"), dtype=np.uint8)
+
+
+def unpack_meta(data) -> dict:
+    """Decode the ``meta`` array of a loaded ``.npz`` archive."""
+    return json.loads(bytes(data["meta"]).decode("utf-8"))

@@ -19,10 +19,8 @@ from dataclasses import dataclass, field
 
 from ..analysis.model import PerformanceModel
 from ..bench.autotune import plasma_bs_sweep
-from ..dag.build import build_dag
 from ..kernels.costs import KernelFamily, total_weight
-from ..schemes.registry import get_scheme
-from ..sim.simulate import simulate_unbounded
+from ..planner import plan as build_plan
 
 __all__ = ["SchemeChoice", "select_scheme"]
 
@@ -81,8 +79,7 @@ def select_scheme(
     total = float(total_weight(p, q))
     entries: list[tuple[str, dict, float]] = []
     for name in candidates:
-        cp = simulate_unbounded(build_dag(get_scheme(name, p, q), family)
-                                ).makespan
+        cp = build_plan(p, q, name, family).critical_path()
         entries.append((name, {}, cp))
     if include_plasma:
         sweep = plasma_bs_sweep(p, q, family)

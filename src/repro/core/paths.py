@@ -14,28 +14,30 @@ from __future__ import annotations
 
 import numpy as np
 
-from ..dag.build import build_dag
 from ..kernels.costs import KernelFamily
-from ..schemes.registry import get_scheme
-from ..sim.simulate import simulate_unbounded
+from ..planner import Plan
+from ..planner import plan as build_plan
 
 __all__ = ["critical_path", "zero_out_steps"]
 
 
 def critical_path(
-    scheme: str, p: int, q: int,
+    scheme, p: int, q: int,
     family: KernelFamily | str = KernelFamily.TT,
     **params,
 ) -> float:
     """Critical path length of ``scheme`` on a ``p x q`` grid.
 
     Expressed in the paper's time unit (``nb^3/3`` flops); computed by
-    unbounded-processor simulation of the kernel DAG.
+    unbounded-processor simulation of the kernel DAG.  Routes through
+    the plan cache, so repeated queries of the same shape are free.
 
     Parameters
     ----------
-    scheme : str
-        Algorithm name (see :func:`repro.schemes.available_schemes`).
+    scheme : str, EliminationList, or Plan
+        Algorithm name or spec (see
+        :func:`repro.schemes.available_schemes`), a prebuilt
+        elimination list, or a plan.
     p, q : int
         Tile-grid dimensions.
     family : KernelFamily
@@ -43,15 +45,17 @@ def critical_path(
     **params
         Scheme parameters (``bs`` for plasma-tree, ``k`` for grasap).
     """
-    elims = get_scheme(scheme, p, q, **params)
-    return simulate_unbounded(build_dag(elims, family)).makespan
+    if isinstance(scheme, Plan):
+        family = scheme.family
+    return build_plan(p, q, scheme, family, **params).critical_path()
 
 
 def zero_out_steps(
-    scheme: str, p: int, q: int,
+    scheme, p: int, q: int,
     family: KernelFamily | str = KernelFamily.TT,
     **params,
 ) -> np.ndarray:
     """Table-3-style matrix of tile zero-out times for ``scheme``."""
-    elims = get_scheme(scheme, p, q, **params)
-    return simulate_unbounded(build_dag(elims, family)).zero_out_table()
+    if isinstance(scheme, Plan):
+        family = scheme.family
+    return build_plan(p, q, scheme, family, **params).zero_out_steps()

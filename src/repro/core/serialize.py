@@ -15,8 +15,6 @@ Both kernel backends are supported (the reference backend's block-list
 
 from __future__ import annotations
 
-import json
-
 import numpy as np
 
 from ..dag.build import build_dag
@@ -27,6 +25,7 @@ from ..kernels.lapack import LapackT
 from ..runtime.executor import ExecutionContext
 from ..schemes.elimination import Elimination, EliminationList
 from ..tiles.layout import TiledMatrix
+from ._npz import pack_meta, unpack_meta
 from .tiled_qr import TiledQRFactorization
 
 __all__ = ["save_factorization", "load_factorization"]
@@ -65,15 +64,14 @@ def save_factorization(f: TiledQRFactorization, path) -> None:
         else:  # pragma: no cover - backends are closed
             raise TypeError(f"unknown T factor type {type(t)!r}")
         meta["tkeys"].append(entry)
-    arrays["meta"] = np.frombuffer(
-        json.dumps(meta).encode("utf-8"), dtype=np.uint8)
+    arrays["meta"] = pack_meta(meta)
     np.savez_compressed(path, **arrays)
 
 
 def load_factorization(path) -> TiledQRFactorization:
     """Restore a factorization saved by :func:`save_factorization`."""
     with np.load(path) as data:
-        meta = json.loads(bytes(data["meta"]).decode("utf-8"))
+        meta = unpack_meta(data)
         if meta.get("version") != _FORMAT_VERSION:
             raise ValueError(
                 f"unsupported factorization format {meta.get('version')!r}")

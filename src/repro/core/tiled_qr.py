@@ -23,12 +23,12 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from ..dag.build import build_dag
 from ..dag.tasks import TaskGraph
 from ..kernels.costs import KernelFamily
+from ..planner import Plan
+from ..planner import plan as build_plan
 from ..runtime.executor import ExecutionContext, execute_graph
 from ..schemes.elimination import EliminationList
-from ..schemes.registry import get_scheme
 from ..tiles.layout import TiledMatrix
 
 __all__ = ["tiled_qr", "TiledQRFactorization"]
@@ -150,7 +150,7 @@ def tiled_qr(
     a: np.ndarray,
     nb: int = 64,
     ib: int = 32,
-    scheme: str = "greedy",
+    scheme="greedy",
     family: KernelFamily | str = KernelFamily.TT,
     backend: str = "reference",
     workers: int | None = None,
@@ -167,13 +167,20 @@ def tiled_qr(
         Tile size (the paper uses 200 on 8000-row matrices).
     ib : int
         Inner blocking size of the kernels (the paper uses 32).
-    scheme : str
-        Elimination tree: ``greedy`` (default, the paper's best),
-        ``fibonacci``, ``flat-tree``, ``binary-tree``, ``plasma-tree``
-        (pass ``bs=...``), ``asap``, ``grasap`` (pass ``k=...``).
+    scheme : str, EliminationList, or Plan
+        Elimination tree: a name or spec — ``greedy`` (default, the
+        paper's best), ``fibonacci``, ``flat-tree``, ``binary-tree``,
+        ``plasma-tree`` (pass ``bs=...`` or write ``"plasma(bs=5)"``),
+        ``asap``, ``grasap`` (pass ``k=...``) — or a prebuilt
+        :class:`~repro.schemes.elimination.EliminationList`, or a
+        :class:`~repro.planner.Plan` from :func:`repro.api.plan`
+        (whose grid shape must match the tiling of ``a``; its family
+        overrides ``family``).  Named schemes go through the
+        process-wide plan cache, so repeated factorizations of
+        same-shaped matrices skip DAG construction.
     family : {"TT", "TS"}
         Kernel family (Section 2.1): TT maximizes parallelism, TS
-        locality/sequential speed.
+        locality/sequential speed.  Ignored when ``scheme`` is a Plan.
     backend : {"reference", "lapack"}
         Numeric kernel implementation.
     workers : int or None
@@ -199,9 +206,14 @@ def tiled_qr(
     work = np.zeros((mp, n), dtype=a.dtype)
     work[:m] = a
     tiled = TiledMatrix(work, nb)
-    elims = get_scheme(scheme, tiled.p, tiled.q, **scheme_params)
-    graph = build_dag(elims, family)
-    ctx = execute_graph(graph, tiled, backend=backend, ib=min(ib, nb),
+    if isinstance(scheme, Plan):
+        family = scheme.family  # the plan's DAG decides
+    elif not isinstance(scheme, (str, EliminationList)):
+        raise TypeError(
+            "scheme must be a scheme name/spec string, an EliminationList, "
+            f"or a Plan, got {type(scheme).__name__}")
+    pl = build_plan(tiled.p, tiled.q, scheme, family, **scheme_params)
+    ctx = execute_graph(pl.graph, tiled, backend=backend, ib=min(ib, nb),
                         workers=workers)
-    return TiledQRFactorization(m=m, n=n, nb=nb, scheme=elims, graph=graph,
-                                context=ctx)
+    return TiledQRFactorization(m=m, n=n, nb=nb, scheme=pl.elims,
+                                graph=pl.graph, context=ctx)

@@ -2,6 +2,8 @@
 
 from .build import build_dag
 from .dot import to_dot
+from .index import GraphIndex, build_index
 from .tasks import Task, TaskGraph
 
-__all__ = ["Task", "TaskGraph", "build_dag", "to_dot"]
+__all__ = ["Task", "TaskGraph", "build_dag", "to_dot", "GraphIndex",
+           "build_index"]

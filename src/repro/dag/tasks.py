@@ -11,11 +11,20 @@ list), ready for the discrete-event simulator or a runtime executor.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Iterator, Optional
+from typing import TYPE_CHECKING, Iterator, Optional
+
+import numpy as np
 
 from ..kernels.costs import KERNEL_WEIGHTS, Kernel
 
+if TYPE_CHECKING:  # pragma: no cover
+    from .index import GraphIndex
+
 __all__ = ["Task", "TaskGraph"]
+
+#: stable kernel <-> integer coding for the array form of a graph
+KERNEL_CODES: tuple[Kernel, ...] = tuple(Kernel)
+_KERNEL_TO_CODE = {k: c for c, k in enumerate(KERNEL_CODES)}
 
 
 @dataclass(slots=True)
@@ -79,6 +88,7 @@ class TaskGraph:
         self.name = name
         self.tasks: list[Task] = []
         self.zero_task: dict[tuple[int, int], int] = {}
+        self._index: Optional["GraphIndex"] = None
 
     def add(
         self,
@@ -100,6 +110,7 @@ class TaskGraph:
         t = Task(tid=len(self.tasks), kernel=kernel, row=row, piv=piv,
                  col=col, j=j, weight=w, deps=uniq)
         self.tasks.append(t)
+        self._index = None  # structure changed; any memoized index is stale
         if kernel in (Kernel.TSQRT, Kernel.TTQRT):
             self.zero_task[(row, col)] = t.tid
         return t
@@ -121,6 +132,81 @@ class TaskGraph:
             for d in t.deps:
                 succ[d].append(t.tid)
         return succ
+
+    def index(self) -> "GraphIndex":
+        """The memoized :class:`~repro.dag.index.GraphIndex` of this graph.
+
+        Built on first use and reused by every simulation; appending a
+        task invalidates it.
+        """
+        if self._index is None:
+            from .index import build_index  # local: tasks <-> index
+
+            self._index = build_index(self)
+        return self._index
+
+    # ------------------------------------------------------------------
+    # flat array form (the plan cache's on-disk representation)
+    # ------------------------------------------------------------------
+    def to_arrays(self) -> dict[str, np.ndarray]:
+        """Dump the graph as a dict of flat numpy arrays.
+
+        The inverse of :meth:`from_arrays`; ``piv``/``j`` use ``-1``
+        for ``None``.  Dependency lists are stored CSR-style
+        (``dep_ptr``/``dep_adj``).
+        """
+        n = len(self.tasks)
+        kernel = np.fromiter((_KERNEL_TO_CODE[t.kernel] for t in self.tasks),
+                             dtype=np.int8, count=n)
+        row = np.fromiter((t.row for t in self.tasks), dtype=np.int32, count=n)
+        piv = np.fromiter((-1 if t.piv is None else t.piv
+                           for t in self.tasks), dtype=np.int32, count=n)
+        col = np.fromiter((t.col for t in self.tasks), dtype=np.int32, count=n)
+        j = np.fromiter((-1 if t.j is None else t.j
+                         for t in self.tasks), dtype=np.int32, count=n)
+        weight = np.fromiter((t.weight for t in self.tasks),
+                             dtype=np.float64, count=n)
+        counts = np.fromiter((len(t.deps) for t in self.tasks),
+                             dtype=np.int64, count=n)
+        dep_ptr = np.zeros(n + 1, dtype=np.int64)
+        np.cumsum(counts, out=dep_ptr[1:])
+        dep_adj = np.fromiter((d for t in self.tasks for d in t.deps),
+                              dtype=np.int64, count=int(dep_ptr[-1]))
+        return {"kernel": kernel, "row": row, "piv": piv, "col": col,
+                "j": j, "weight": weight, "dep_ptr": dep_ptr,
+                "dep_adj": dep_adj}
+
+    @classmethod
+    def from_arrays(cls, p: int, q: int, name: str,
+                    arrays: dict[str, np.ndarray]) -> "TaskGraph":
+        """Rebuild a graph dumped by :meth:`to_arrays`.
+
+        Reconstructs tasks directly — no dataflow inference — which is
+        what makes loading a cached plan much cheaper than
+        :func:`~repro.dag.build.build_dag`.
+        """
+        g = cls(p, q, name)
+        kernel = arrays["kernel"]
+        row = arrays["row"].tolist()
+        piv = arrays["piv"].tolist()
+        col = arrays["col"].tolist()
+        j = arrays["j"].tolist()
+        weight = arrays["weight"].tolist()
+        dep_ptr = arrays["dep_ptr"].tolist()
+        dep_adj = arrays["dep_adj"].tolist()
+        zero = (Kernel.TSQRT, Kernel.TTQRT)
+        tasks = g.tasks
+        for tid, code in enumerate(kernel.tolist()):
+            k = KERNEL_CODES[code]
+            t = Task(tid=tid, kernel=k, row=row[tid],
+                     piv=None if piv[tid] < 0 else piv[tid],
+                     col=col[tid], j=None if j[tid] < 0 else j[tid],
+                     weight=weight[tid],
+                     deps=dep_adj[dep_ptr[tid]:dep_ptr[tid + 1]])
+            tasks.append(t)
+            if k in zero:
+                g.zero_task[(t.row, t.col)] = tid
+        return g
 
     def to_networkx(self):
         """Export as a :class:`networkx.DiGraph` (requires networkx)."""

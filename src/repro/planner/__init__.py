@@ -1,0 +1,25 @@
+"""Planning layer: memoized plans for the plan/execute split (S18).
+
+:func:`plan` turns ``(scheme, params, p, q, family, costs)`` into a
+:class:`Plan` — elimination list + task DAG + CSR graph index +
+memoized schedules — consulting a process-wide LRU cache and an
+optional on-disk cache (``REPRO_PLAN_CACHE``).  See
+:mod:`repro.planner.plan` and :mod:`repro.planner.cache`.
+"""
+
+from .cache import (DEFAULT_CACHE_DIR, PLAN_METRICS, clear_plan_cache,
+                    plan_cache_dir, plan_cache_stats)
+from .plan import Plan, load_plan, plan, plan_signature, save_plan
+
+__all__ = [
+    "Plan",
+    "plan",
+    "plan_signature",
+    "save_plan",
+    "load_plan",
+    "PLAN_METRICS",
+    "plan_cache_stats",
+    "clear_plan_cache",
+    "plan_cache_dir",
+    "DEFAULT_CACHE_DIR",
+]

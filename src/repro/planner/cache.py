@@ -1,0 +1,130 @@
+"""Process-wide plan cache: LRU memory tier + optional disk tier (S18).
+
+Plans depend only on ``(scheme, params, p, q, kernel family, costs)``
+— never on matrix data — so every entry point can share one cached
+artifact.  Two tiers:
+
+* **memory** — a thread-safe LRU keyed by the plan signature, always
+  on (size via ``REPRO_PLAN_CACHE_SIZE``, default 128, LRU eviction);
+* **disk** — ``.npz`` archives in a directory, *off by default*.
+  Enabled by setting ``REPRO_PLAN_CACHE`` to a directory path (or to
+  ``1``/``on`` for the default ``~/.cache/repro-plans``), or per call
+  via ``plan(..., disk_cache=...)``.  ``0``/``off``/``no``/``false``
+  disable it explicitly.  Entries are never evicted automatically —
+  delete the directory to reclaim space.
+
+Hits, misses, build and load times are recorded in
+:data:`PLAN_METRICS`, a process-wide
+:class:`~repro.obs.metrics.MetricsRegistry`, so ``repro sweep`` /
+``repro profile`` can show exactly what the cache saved.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+from collections import OrderedDict
+from pathlib import Path
+from typing import TYPE_CHECKING, Optional
+
+from ..obs.metrics import MetricsRegistry
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .plan import Plan
+
+__all__ = ["PLAN_METRICS", "plan_cache_dir", "plan_cache_stats",
+           "clear_plan_cache", "DEFAULT_CACHE_DIR", "memory_cache_size"]
+
+#: process-wide registry for plan-cache and plan-build observability
+PLAN_METRICS = MetricsRegistry()
+
+#: default disk-cache location when ``REPRO_PLAN_CACHE`` enables it
+DEFAULT_CACHE_DIR = Path("~/.cache/repro-plans")
+
+_FALSEY = {"0", "off", "no", "false"}
+_TRUTHY = {"1", "on", "yes", "true"}
+
+_lock = threading.Lock()
+_memory: "OrderedDict[str, Plan]" = OrderedDict()
+
+
+def memory_cache_size() -> int:
+    """Capacity of the in-memory LRU (``REPRO_PLAN_CACHE_SIZE``)."""
+    raw = os.environ.get("REPRO_PLAN_CACHE_SIZE", "").strip()
+    try:
+        size = int(raw) if raw else 128
+    except ValueError:
+        size = 128
+    return max(size, 1)
+
+
+def plan_cache_dir(override: "str | os.PathLike | bool | None" = None,
+                  ) -> Optional[Path]:
+    """Resolve the disk-cache directory, or ``None`` when disabled.
+
+    ``override`` (the ``disk_cache=`` argument of ``plan``) wins over
+    the ``REPRO_PLAN_CACHE`` environment variable; ``True`` selects
+    the default location, ``False`` disables the tier.
+    """
+    if override is not None:
+        if override is False:
+            return None
+        if override is True:
+            return DEFAULT_CACHE_DIR.expanduser()
+        return Path(override).expanduser()
+    raw = os.environ.get("REPRO_PLAN_CACHE", "").strip()
+    if not raw or raw.lower() in _FALSEY:
+        return None
+    if raw.lower() in _TRUTHY:
+        return DEFAULT_CACHE_DIR.expanduser()
+    return Path(raw).expanduser()
+
+
+# ----------------------------------------------------------------------
+# memory tier
+# ----------------------------------------------------------------------
+
+def memory_get(key: str) -> "Optional[Plan]":
+    with _lock:
+        plan = _memory.get(key)
+        if plan is not None:
+            _memory.move_to_end(key)
+            PLAN_METRICS.counter("plan.cache.memory.hits").inc()
+        else:
+            PLAN_METRICS.counter("plan.cache.memory.misses").inc()
+        return plan
+
+
+def memory_put(key: str, plan: "Plan") -> None:
+    with _lock:
+        _memory[key] = plan
+        _memory.move_to_end(key)
+        size = memory_cache_size()
+        while len(_memory) > size:
+            _memory.popitem(last=False)
+            PLAN_METRICS.counter("plan.cache.memory.evictions").inc()
+        PLAN_METRICS.gauge("plan.cache.memory.size",
+                           keep_samples=False).set(len(_memory))
+
+
+def clear_plan_cache() -> None:
+    """Drop every in-memory entry (disk entries are left alone)."""
+    with _lock:
+        _memory.clear()
+        PLAN_METRICS.gauge("plan.cache.memory.size",
+                           keep_samples=False).set(0)
+
+
+def plan_cache_stats() -> dict[str, float]:
+    """Snapshot of the cache counters (zeros for untouched ones)."""
+    out = {}
+    for name in ("plan.cache.memory.hits", "plan.cache.memory.misses",
+                 "plan.cache.memory.evictions", "plan.cache.disk.hits",
+                 "plan.cache.disk.misses"):
+        m = PLAN_METRICS.get(name)
+        out[name.removeprefix("plan.cache.")] = m.value if m else 0.0
+    h = PLAN_METRICS.get("plan.build.seconds")
+    out["builds"] = float(h.count) if h else 0.0
+    out["build_seconds"] = float(h.sum) if h else 0.0
+    out["hits"] = out["memory.hits"] + out["disk.hits"]
+    return out

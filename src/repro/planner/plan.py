@@ -1,0 +1,385 @@
+"""The plan/execute split: build expensive planning artifacts once (S18).
+
+Everything a tiled-QR run needs ahead of the numeric kernels —
+elimination list → task DAG → CSR graph index → (optionally) a
+schedule — depends only on the *shape* of the problem:
+``(scheme, params, p, q, kernel family, costs)``.  A :class:`Plan`
+bundles those artifacts; :func:`plan` produces one, consulting the
+process-wide cache (:mod:`repro.planner.cache`) so CLI sweeps and
+repeated :func:`~repro.core.tiled_qr.tiled_qr` calls on same-shaped
+grids skip DAG construction entirely.  This mirrors the plan/execute
+separation of PLASMA's dynamic scheduler and the QUARK runtime
+(PAPERS.md [12]): dependency analysis is a property of the algorithm,
+not of the matrix.
+
+Plans are shared across callers — treat them (and the
+:class:`~repro.sim.simulate.SimResult` objects they memoize) as
+immutable.  Pass ``cache=False`` (or a custom
+:class:`~repro.schemes.elimination.EliminationList`, which is never
+cached) to bypass sharing, e.g. when you intend to mutate the graph.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Optional
+
+import numpy as np
+
+from ..dag.build import build_dag
+from ..dag.index import GraphIndex
+from ..dag.tasks import TaskGraph
+from ..kernels.costs import KERNEL_WEIGHTS, Kernel, KernelFamily
+from ..schemes.elimination import Elimination, EliminationList
+from ..schemes.registry import canonical_scheme_spec, get_scheme
+from ..sim.simulate import SimResult, simulate_bounded, simulate_unbounded
+from . import cache as _cache
+from ..core._npz import pack_meta, unpack_meta
+
+__all__ = ["Plan", "plan", "plan_signature", "save_plan", "load_plan"]
+
+_FORMAT_VERSION = 1
+
+
+def _normalize_costs(costs) -> Optional[dict[Kernel, float]]:
+    if costs is None:
+        return None
+    return {Kernel(k): float(v) for k, v in costs.items()}
+
+
+def plan_signature(
+    spec: str, p: int, q: int,
+    family: KernelFamily,
+    costs: Optional[dict[Kernel, float]] = None,
+) -> str:
+    """Stable cache key of a plan.
+
+    Covers every input the planning artifacts depend on — canonical
+    scheme spec (name + params), grid shape, kernel family, and any
+    cost overrides — so two plans share a key iff they are
+    interchangeable.
+    """
+    payload = {
+        "v": _FORMAT_VERSION,
+        "scheme": spec,
+        "p": int(p),
+        "q": int(q),
+        "family": str(KernelFamily(family)),
+        "costs": None if not costs else
+                 {k.value: float(v) for k, v in sorted(
+                     costs.items(), key=lambda kv: kv[0].value)},
+    }
+    digest = hashlib.sha256(
+        json.dumps(payload, sort_keys=True).encode("utf-8")).hexdigest()
+    return digest[:32]
+
+
+@dataclass
+class Plan:
+    """Reusable planning artifacts of one factorization shape.
+
+    Attributes
+    ----------
+    p, q : int
+        Tile-grid dimensions.
+    family : KernelFamily
+        Kernel family the DAG was built for.
+    scheme : str or None
+        Canonical scheme spec (``"plasma-tree(bs=5)"``); ``None`` for
+        plans built from a custom elimination list.
+    elims : EliminationList
+    graph : TaskGraph
+    costs : dict or None
+        Per-kernel weight overrides baked into the graph (``None`` =
+        Table 1).
+    key : str or None
+        Cache signature; ``None`` for uncacheable custom plans.
+    built_seconds : float
+        Wall-clock spent building (0 when loaded from cache).
+    """
+
+    p: int
+    q: int
+    family: KernelFamily
+    scheme: Optional[str]
+    elims: EliminationList
+    graph: TaskGraph
+    costs: Optional[dict[Kernel, float]] = None
+    key: Optional[str] = None
+    built_seconds: float = 0.0
+    _unbounded: Optional[SimResult] = field(
+        default=None, repr=False, compare=False)
+    _schedules: dict = field(default_factory=dict, repr=False, compare=False)
+
+    # ------------------------------------------------------------------
+    @property
+    def index(self) -> GraphIndex:
+        """The graph's CSR index (memoized on the graph)."""
+        return self.graph.index()
+
+    def __len__(self) -> int:
+        return len(self.graph)
+
+    def unbounded(self) -> SimResult:
+        """Memoized unbounded-processor (ASAP) simulation."""
+        if self._unbounded is None:
+            self._unbounded = simulate_unbounded(self)
+        return self._unbounded
+
+    def critical_path(self) -> float:
+        """Critical path length in the plan's time units."""
+        return self.unbounded().makespan
+
+    def zero_out_steps(self) -> np.ndarray:
+        """The paper's Table-3-style matrix of tile zero-out times."""
+        return self.unbounded().zero_out_table()
+
+    def schedule(self, processors: Optional[int] = None,
+                 priority: str | np.ndarray = "critical-path") -> SimResult:
+        """A (memoized) schedule of the plan.
+
+        ``processors=None`` gives the unbounded ASAP schedule;
+        otherwise bounded list scheduling.  Results for named priority
+        policies are memoized on the plan; explicit priority vectors
+        are simulated fresh each call.
+        """
+        if processors is None:
+            return self.unbounded()
+        if isinstance(priority, str):
+            mkey = (int(processors), priority)
+            res = self._schedules.get(mkey)
+            if res is None:
+                res = simulate_bounded(self, processors, priority)
+                self._schedules[mkey] = res
+            return res
+        return simulate_bounded(self, processors, priority)
+
+    def total_weight(self) -> float:
+        """Sum of task weights."""
+        return self.graph.total_weight()
+
+    def rescaled(self, costs: dict) -> "Plan":
+        """A derived plan with per-kernel weights replaced.
+
+        Shares the elimination list and the index's structural arrays;
+        only weights differ.  Used to feed *measured* kernel times into
+        the simulator.  The derived plan is not cached.
+        """
+        merged = dict(KERNEL_WEIGHTS)
+        merged.update(_normalize_costs(costs))
+        graph = self.graph.rescale(merged)
+        graph._index = self.index.with_weights(
+            np.fromiter((merged[t.kernel] for t in graph.tasks),
+                        dtype=np.float64, count=len(graph.tasks)))
+        return Plan(p=self.p, q=self.q, family=self.family,
+                    scheme=self.scheme, elims=self.elims, graph=graph,
+                    costs=merged, key=None)
+
+
+# ----------------------------------------------------------------------
+# building and caching
+# ----------------------------------------------------------------------
+
+def _build(spec_or_elims, p: int, q: int, family: KernelFamily,
+           costs: Optional[dict[Kernel, float]], key: Optional[str],
+           **params) -> Plan:
+    t0 = time.perf_counter()
+    if isinstance(spec_or_elims, EliminationList):
+        elims, scheme = spec_or_elims, None
+    else:
+        elims = get_scheme(spec_or_elims, p, q, **params)
+        scheme = spec_or_elims
+    graph = build_dag(elims, family)
+    if costs:
+        merged = dict(KERNEL_WEIGHTS)
+        merged.update(costs)
+        graph = graph.rescale(merged)
+    graph.index()  # part of the plan: simulations reuse it for free
+    built = time.perf_counter() - t0
+    _cache.PLAN_METRICS.histogram("plan.build.seconds").observe(built)
+    return Plan(p=p, q=q, family=family, scheme=scheme, elims=elims,
+                graph=graph, costs=costs, key=key, built_seconds=built)
+
+
+def plan(
+    p: int,
+    q: int,
+    scheme="greedy",
+    family: KernelFamily | str = KernelFamily.TT,
+    *,
+    costs=None,
+    cache: bool = True,
+    disk_cache=None,
+    **params,
+) -> Plan:
+    """Build (or fetch from cache) the :class:`Plan` for one shape.
+
+    Parameters
+    ----------
+    p, q : int
+        Tile-grid dimensions, ``p >= q >= 1``.
+    scheme : str, EliminationList, or Plan
+        Scheme name or spec (``"greedy"``, ``"plasma(bs=5)"``), a
+        prebuilt elimination list (never cached), or an existing Plan
+        (validated against ``p``/``q``/``family`` and returned as-is).
+    family : {"TT", "TS"}
+        Kernel family (Section 2.1).
+    costs : mapping of Kernel -> float, optional
+        Per-kernel weight overrides (e.g. measured seconds).  Part of
+        the cache key — plans with different costs never alias.
+    cache : bool
+        ``False`` bypasses both cache tiers (always builds fresh, does
+        not store).  Use when you intend to mutate the result.
+    disk_cache : path-like, bool, or None
+        Override for the disk tier: a directory, ``True`` (default
+        location), ``False`` (disable).  ``None`` defers to the
+        ``REPRO_PLAN_CACHE`` environment variable.
+    **params
+        Scheme parameters (``bs=...``, ``k=...``); merged into the
+        spec, overriding identically named inline parameters.
+
+    Returns
+    -------
+    Plan
+        Shared with other callers when cached — treat as immutable.
+    """
+    family = KernelFamily(family)
+    costs = _normalize_costs(costs)
+
+    if isinstance(scheme, Plan):
+        if (scheme.p, scheme.q) != (p, q):
+            raise ValueError(
+                f"plan is for a {scheme.p} x {scheme.q} grid, "
+                f"requested {p} x {q}")
+        if scheme.family is not family:
+            raise ValueError(
+                f"plan was built for family {scheme.family}, "
+                f"requested {family}")
+        return scheme
+
+    if isinstance(scheme, EliminationList):
+        if (scheme.p, scheme.q) != (p, q):
+            raise ValueError(
+                f"elimination list is for a {scheme.p} x {scheme.q} grid, "
+                f"requested {p} x {q}")
+        return _build(scheme, p, q, family, costs, key=None)
+
+    if not isinstance(scheme, str):
+        raise TypeError(
+            "scheme must be a scheme name/spec string, an EliminationList, "
+            f"or a Plan, got {type(scheme).__name__}")
+
+    spec = canonical_scheme_spec(scheme, params)
+    key = plan_signature(spec, p, q, family, costs)
+
+    if not cache:
+        return _build(spec, p, q, family, costs, key=key)
+
+    cached = _cache.memory_get(key)
+    if cached is not None:
+        return cached
+
+    cache_dir = _cache.plan_cache_dir(disk_cache)
+    if cache_dir is not None:
+        loaded = _load_from_dir(cache_dir, key)
+        if loaded is not None:
+            _cache.memory_put(key, loaded)
+            return loaded
+
+    built = _build(spec, p, q, family, costs, key=key)
+    _cache.memory_put(key, built)
+    if cache_dir is not None:
+        _save_to_dir(cache_dir, built)
+    return built
+
+
+# ----------------------------------------------------------------------
+# disk format
+# ----------------------------------------------------------------------
+
+def save_plan(p: Plan, path) -> None:
+    """Persist a plan to ``path`` (an ``.npz`` archive).
+
+    Stores the elimination list and the task graph in flat-array form
+    (:meth:`TaskGraph.to_arrays`), so loading skips dataflow inference.
+    """
+    meta = {
+        "version": _FORMAT_VERSION,
+        "p": p.p,
+        "q": p.q,
+        "family": str(p.family),
+        "scheme": p.scheme,
+        "elims_name": p.elims.name,
+        "graph_name": p.graph.name,
+        "key": p.key,
+        "costs": None if not p.costs else
+                 {k.value: float(v) for k, v in p.costs.items()},
+    }
+    arrays = {f"g_{name}": arr for name, arr in p.graph.to_arrays().items()}
+    arrays["elims"] = np.array([list(e) for e in p.elims],
+                               dtype=np.int32).reshape(-1, 3)
+    arrays["meta"] = pack_meta(meta)
+    np.savez_compressed(path, **arrays)
+
+
+def load_plan(path) -> Plan:
+    """Restore a plan saved by :func:`save_plan`."""
+    with np.load(path) as data:
+        meta = unpack_meta(data)
+        if meta.get("version") != _FORMAT_VERSION:
+            raise ValueError(
+                f"unsupported plan format {meta.get('version')!r}")
+        elims = EliminationList(
+            meta["p"], meta["q"],
+            [Elimination(*row) for row in data["elims"].tolist()],
+            name=meta["elims_name"])
+        graph = TaskGraph.from_arrays(
+            meta["p"], meta["q"], meta["graph_name"],
+            {name[2:]: data[name] for name in data.files
+             if name.startswith("g_")})
+    costs = meta.get("costs")
+    return Plan(p=meta["p"], q=meta["q"],
+                family=KernelFamily(meta["family"]),
+                scheme=meta.get("scheme"), elims=elims, graph=graph,
+                costs=None if not costs else
+                      {Kernel(k): v for k, v in costs.items()},
+                key=meta.get("key"))
+
+
+def _load_from_dir(cache_dir: Path, key: str) -> Optional[Plan]:
+    path = cache_dir / f"{key}.npz"
+    if not path.is_file():
+        _cache.PLAN_METRICS.counter("plan.cache.disk.misses").inc()
+        return None
+    t0 = time.perf_counter()
+    try:
+        loaded = load_plan(path)
+        if loaded.key != key:
+            raise ValueError("plan signature mismatch")
+    except Exception:
+        # unreadable/stale entry: treat as a miss and let the fresh
+        # build overwrite it
+        _cache.PLAN_METRICS.counter("plan.cache.disk.errors").inc()
+        _cache.PLAN_METRICS.counter("plan.cache.disk.misses").inc()
+        return None
+    _cache.PLAN_METRICS.counter("plan.cache.disk.hits").inc()
+    _cache.PLAN_METRICS.histogram("plan.cache.disk.load_seconds").observe(
+        time.perf_counter() - t0)
+    return loaded
+
+
+def _save_to_dir(cache_dir: Path, p: Plan) -> None:
+    try:
+        cache_dir.mkdir(parents=True, exist_ok=True)
+        tmp = cache_dir / f".{p.key}.{os.getpid()}.tmp.npz"
+        save_plan(p, tmp)
+        os.replace(tmp, cache_dir / f"{p.key}.npz")
+        _cache.PLAN_METRICS.counter("plan.cache.disk.writes").inc()
+    except OSError:
+        # a read-only or full cache directory must never fail the run
+        _cache.PLAN_METRICS.counter("plan.cache.disk.errors").inc()

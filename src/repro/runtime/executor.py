@@ -157,7 +157,7 @@ class ExecutionContext:
 
 
 def execute_graph(
-    graph: TaskGraph,
+    graph,
     tiled: TiledMatrix,
     backend: str | KernelBackend = "reference",
     ib: int = 32,
@@ -171,8 +171,10 @@ def execute_graph(
 
     Parameters
     ----------
-    graph : TaskGraph
-        The factorization DAG (from :func:`repro.dag.build_dag`).
+    graph : TaskGraph or Plan
+        The factorization DAG (from :func:`repro.dag.build_dag`), or a
+        :class:`~repro.planner.Plan` wrapping one (from
+        :func:`repro.api.plan`).
     tiled : TiledMatrix
         Tile views over the working array (mutated in place).
     backend : str or KernelBackend
@@ -209,6 +211,12 @@ def execute_graph(
     -------
     ExecutionContext
     """
+    if not isinstance(graph, TaskGraph):
+        wrapped = getattr(graph, "graph", None)  # Plan-shaped object
+        if not isinstance(wrapped, TaskGraph):
+            raise TypeError(
+                f"expected a TaskGraph or a Plan, got {type(graph).__name__}")
+        graph = wrapped
     if tracer is not None and not tracer.enabled:
         tracer = None
     if metrics is None and collect_metrics:

@@ -13,7 +13,8 @@ from .flat_tree import flat_tree
 from .greedy import greedy
 from .hadri_tree import hadri_tree
 from .plasma_tree import plasma_tree
-from .registry import SCHEMES, available_schemes, get_scheme
+from .registry import (SCHEME_ALIASES, SCHEMES, available_schemes,
+                       canonical_scheme_spec, get_scheme, parse_scheme_spec)
 
 __all__ = [
     "Elimination",
@@ -28,6 +29,9 @@ __all__ = [
     "grasap",
     "AsapResult",
     "SCHEMES",
+    "SCHEME_ALIASES",
     "available_schemes",
     "get_scheme",
+    "parse_scheme_spec",
+    "canonical_scheme_spec",
 ]

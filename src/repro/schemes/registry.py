@@ -8,6 +8,13 @@ harness and the examples use to obtain an algorithm:
 'greedy'
 >>> get_scheme("plasma-tree", 8, 4, bs=3).name
 'plasma-tree(BS=3)'
+>>> get_scheme("plasma(bs=3)", 8, 4).name   # inline parameter spec
+'plasma-tree(BS=3)'
+
+Scheme *specs* — ``"plasma(bs=5)"``, ``"grasap(k=2)"`` — bundle the
+name and its parameters in one string.  :func:`parse_scheme_spec` is
+the only parser for them; the CLI, the plan cache and ``get_scheme``
+all route through it, so parameter parsing lives in exactly one place.
 
 Dynamic algorithms (``asap``, ``grasap``) are resolved by running the
 unbounded-processor policy simulation and returning the elimination
@@ -17,6 +24,7 @@ yields the same schedule (a property the tests verify).
 
 from __future__ import annotations
 
+import re
 from typing import Callable
 
 from .asap import asap, grasap
@@ -28,7 +36,8 @@ from .greedy import greedy
 from .hadri_tree import hadri_tree
 from .plasma_tree import plasma_tree
 
-__all__ = ["SCHEMES", "get_scheme", "available_schemes"]
+__all__ = ["SCHEMES", "SCHEME_ALIASES", "get_scheme", "available_schemes",
+           "parse_scheme_spec", "canonical_scheme_spec"]
 
 
 def _asap_list(p: int, q: int) -> EliminationList:
@@ -51,9 +60,96 @@ SCHEMES: dict[str, Callable[..., EliminationList]] = {
     "grasap": _grasap_list,
 }
 
+#: shorthand names accepted by :func:`parse_scheme_spec`
+SCHEME_ALIASES: dict[str, str] = {
+    "plasma": "plasma-tree",
+    "hadri": "hadri-tree",
+    "binary": "binary-tree",
+    "flat": "flat-tree",
+}
+
+_SPEC_RE = re.compile(r"\s*([A-Za-z0-9_\-]+)\s*(?:\((.*)\)\s*)?")
+
+
+def _parse_value(text: str):
+    """Parameter value: int, then float, then bare/quoted string."""
+    text = text.strip()
+    for conv in (int, float):
+        try:
+            return conv(text)
+        except ValueError:
+            pass
+    if len(text) >= 2 and text[0] == text[-1] and text[0] in "'\"":
+        return text[1:-1]
+    return text
+
+
+def parse_scheme_spec(spec: str) -> tuple[str, dict]:
+    """Parse a scheme spec into ``(canonical_name, params)``.
+
+    The single place scheme parameters are parsed:
+
+    >>> parse_scheme_spec("plasma(bs=5)")
+    ('plasma-tree', {'bs': 5})
+    >>> parse_scheme_spec("greedy")
+    ('greedy', {})
+
+    Names are case-insensitive; underscores normalize to hyphens;
+    the shorthands in :data:`SCHEME_ALIASES` expand (``plasma`` →
+    ``plasma-tree``).  Parameters are a comma-separated ``key=value``
+    list; values parse as int, float, or string.  The name is *not*
+    checked against the registry — :func:`get_scheme` does that — so
+    the parser also serves externally defined schemes.
+    """
+    if not isinstance(spec, str):
+        raise TypeError(f"scheme spec must be a string, got "
+                        f"{type(spec).__name__}")
+    m = _SPEC_RE.fullmatch(spec)
+    if m is None:
+        raise ValueError(f"malformed scheme spec {spec!r}; expected "
+                         "'name' or 'name(key=value, ...)'")
+    name = m.group(1).lower().replace("_", "-")
+    name = SCHEME_ALIASES.get(name, name)
+    params: dict = {}
+    body = m.group(2)
+    if body and body.strip():
+        for item in body.split(","):
+            if "=" not in item:
+                raise ValueError(
+                    f"malformed parameter {item.strip()!r} in scheme spec "
+                    f"{spec!r}; expected 'key=value'")
+            key, _, value = item.partition("=")
+            key = key.strip().lower()
+            if not key.isidentifier():
+                raise ValueError(
+                    f"bad parameter name {key!r} in scheme spec {spec!r}")
+            params[key] = _parse_value(value)
+    return name, params
+
+
+def canonical_scheme_spec(name: str, params: dict | None = None) -> str:
+    """Render ``(name, params)`` back into a normalized spec string.
+
+    Round-trips with :func:`parse_scheme_spec` (parameters sorted by
+    key), which makes it a stable cache-key component.
+    """
+    base, spec_params = parse_scheme_spec(name)
+    merged = {**spec_params, **(params or {})}
+    if not merged:
+        return base
+    body = ",".join(f"{k}={merged[k]!r}" if isinstance(merged[k], str)
+                    else f"{k}={merged[k]}" for k in sorted(merged))
+    return f"{base}({body})"
+
 
 def available_schemes() -> list[str]:
-    """Names accepted by :func:`get_scheme`."""
+    """Canonical names accepted by :func:`get_scheme`.
+
+    Deterministically sorted (ascending), so sweeps and reports are
+    reproducible run to run.  Aliases (:data:`SCHEME_ALIASES`) and
+    inline parameter specs are accepted by :func:`get_scheme` but not
+    listed here.
+    """
     return sorted(SCHEMES)
 
 
@@ -63,18 +159,22 @@ def get_scheme(name: str, p: int, q: int, **params) -> EliminationList:
     Parameters
     ----------
     name : str
-        One of :func:`available_schemes`; ``plasma-tree`` requires a
-        ``bs`` keyword (domain size) and ``grasap`` accepts ``k``
-        (number of trailing Asap columns, default 1).
+        One of :func:`available_schemes`, an alias, or a full spec such
+        as ``"plasma(bs=5)"``; ``plasma-tree`` requires a ``bs``
+        (domain size) and ``grasap`` accepts ``k`` (number of trailing
+        Asap columns, default 1).
     p, q : int
         Tile-grid dimensions, ``p >= q``.
     **params
-        Scheme-specific parameters.
+        Scheme-specific parameters; they override identically named
+        parameters given inline in the spec.
     """
+    base, spec_params = parse_scheme_spec(name)
+    merged = {**spec_params, **params}
     try:
-        factory = SCHEMES[name]
+        factory = SCHEMES[base]
     except KeyError:
         raise ValueError(
-            f"unknown scheme {name!r}; available: {available_schemes()}"
+            f"unknown scheme {base!r}; available: {available_schemes()}"
         ) from None
-    return factory(p, q, **params)
+    return factory(p, q, **merged)

@@ -19,27 +19,34 @@ import numpy as np
 
 from ..dag.tasks import TaskGraph
 from ..kernels.costs import Kernel
-from .simulate import bottom_levels
+from .simulate import _resolve, bottom_levels
 
 __all__ = ["PRIORITIES", "priority_vector"]
 
 
-def critical_path_priority(graph: TaskGraph) -> np.ndarray:
+def _graph_of(graph) -> TaskGraph:
+    """Accept a TaskGraph or a Plan, return the TaskGraph."""
+    g, _ = _resolve(graph)
+    return g
+
+
+def critical_path_priority(graph) -> np.ndarray:
     """Largest bottom level first — the standard CP heuristic."""
     return -bottom_levels(graph)
 
 
-def fifo_priority(graph: TaskGraph) -> np.ndarray:
+def fifo_priority(graph) -> np.ndarray:
     """Emission (program) order."""
-    return np.arange(len(graph.tasks), dtype=float)
+    return np.arange(len(_graph_of(graph).tasks), dtype=float)
 
 
-def panel_first_priority(graph: TaskGraph) -> np.ndarray:
+def panel_first_priority(graph) -> np.ndarray:
     """Factor kernels before update kernels, then program order.
 
     Mirrors PLASMA's practice of prioritizing the panel to expose new
     parallelism early.
     """
+    graph = _graph_of(graph)
     n = len(graph.tasks)
     prio = np.arange(n, dtype=float)
     panel = {Kernel.GEQRT, Kernel.TSQRT, Kernel.TTQRT}
@@ -49,22 +56,24 @@ def panel_first_priority(graph: TaskGraph) -> np.ndarray:
     return prio
 
 
-def column_major_priority(graph: TaskGraph) -> np.ndarray:
+def column_major_priority(graph) -> np.ndarray:
     """Leftmost panel column first (greedy pipeline draining)."""
+    graph = _graph_of(graph)
     n = len(graph.tasks)
     return np.array([t.col * n + t.tid for t in graph.tasks], dtype=float)
 
 
-def heaviest_first_priority(graph: TaskGraph) -> np.ndarray:
+def heaviest_first_priority(graph) -> np.ndarray:
     """Longest processing time (LPT) first, tie-broken by program order."""
+    graph = _graph_of(graph)
     n = len(graph.tasks)
     return np.array([-t.weight * n + t.tid for t in graph.tasks], dtype=float)
 
 
-def random_priority(graph: TaskGraph, seed: int = 0) -> np.ndarray:
+def random_priority(graph, seed: int = 0) -> np.ndarray:
     """Uniformly random dispatch order (the ablation's control arm)."""
     rng = np.random.default_rng(seed)
-    return rng.permutation(len(graph.tasks)).astype(float)
+    return rng.permutation(len(_graph_of(graph).tasks)).astype(float)
 
 
 PRIORITIES = {
@@ -77,7 +86,7 @@ PRIORITIES = {
 }
 
 
-def priority_vector(graph: TaskGraph, name: str, **kwargs) -> np.ndarray:
+def priority_vector(graph, name: str, **kwargs) -> np.ndarray:
     """Resolve a policy by name and compute its priority vector."""
     try:
         fn = PRIORITIES[name]

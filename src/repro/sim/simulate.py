@@ -5,6 +5,19 @@ This replaces the SimGrid-based simulator the authors built (footnote
 supports both unbounded processors (critical-path analysis, the
 paper's Tables 3-5) and a bounded processor count with list scheduling
 (the experimental-performance reproduction, Tables 6-9 / Figures 1, 6).
+
+The hot loops run on the graph's :class:`~repro.dag.index.GraphIndex`
+— CSR predecessor/successor arrays and a topological level
+decomposition — rather than per-task Python object walks.  The
+unbounded pass is one ``np.maximum.reduceat`` per level; the bounded
+list scheduler keeps its event loop (it is inherently sequential) but
+reads weights, in-degrees and successor segments from flat arrays.
+Results are bit-for-bit identical to the original per-task
+implementations, which are kept here (``_reference_*``) as the test
+oracle.
+
+Every entry point accepts either a :class:`~repro.dag.tasks.TaskGraph`
+or a :class:`~repro.planner.Plan` (whose prebuilt index is reused).
 """
 
 from __future__ import annotations
@@ -14,9 +27,25 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from ..dag.index import GraphIndex
 from ..dag.tasks import TaskGraph
 
-__all__ = ["SimResult", "simulate_unbounded", "simulate_bounded", "zero_out_table"]
+__all__ = ["SimResult", "simulate_unbounded", "simulate_bounded",
+           "bottom_levels", "zero_out_table"]
+
+
+def _resolve(graph) -> tuple[TaskGraph, GraphIndex]:
+    """Accept a TaskGraph or anything Plan-shaped (``.graph`` + ``.index``)."""
+    if isinstance(graph, TaskGraph):
+        return graph, graph.index()
+    g = getattr(graph, "graph", None)
+    idx = getattr(graph, "index", None)
+    if isinstance(g, TaskGraph) and idx is not None:
+        idx = idx() if callable(idx) else idx
+        if isinstance(idx, GraphIndex):
+            return g, idx
+    raise TypeError(
+        f"expected a TaskGraph or a Plan, got {type(graph).__name__}")
 
 
 @dataclass
@@ -47,13 +76,159 @@ class SimResult:
         return zero_out_table(self.graph, self.finish)
 
 
-def simulate_unbounded(graph: TaskGraph) -> SimResult:
+def simulate_unbounded(graph) -> SimResult:
     """ASAP schedule with unbounded processors.
 
     Every task starts the instant its last dependency finishes, so the
-    makespan equals the critical path length of the DAG.  Tasks are
-    stored in topological order, which makes this a single linear pass.
+    makespan equals the critical path length of the DAG.  One
+    ``reduceat`` pass per topological level over the graph index.
+
+    Parameters
+    ----------
+    graph : TaskGraph or Plan
     """
+    g, idx = _resolve(graph)
+    n = idx.n
+    w = idx.weights
+    start = np.zeros(n)
+    finish = np.zeros(n)
+    order, lp = idx.order, idx.level_ptr
+    if n:
+        src = order[lp[0]:lp[1]]
+        finish[src] = w[src]  # level 0: no dependencies, start at 0
+    for lvl in range(1, len(lp) - 1):
+        seg = order[lp[lvl]:lp[lvl + 1]]
+        a, b = idx.fwd_pred_ptr[lp[lvl]], idx.fwd_pred_ptr[lp[lvl + 1]]
+        # every task past level 0 has >= 1 predecessor, so no segment
+        # of the reduceat is empty
+        s = np.maximum.reduceat(finish[idx.fwd_pred_adj[a:b]],
+                                idx.fwd_pred_ptr[lp[lvl]:lp[lvl + 1]] - a)
+        np.maximum(s, 0.0, out=s)
+        start[seg] = s
+        finish[seg] = s + w[seg]
+    makespan = float(finish.max()) if n else 0.0
+    return SimResult(graph=g, start=start, finish=finish, makespan=makespan)
+
+
+def bottom_levels(graph) -> np.ndarray:
+    """Length of the longest weighted path from each task to a sink.
+
+    The classical critical-path priority for list scheduling: a task
+    with a larger bottom level is more urgent.
+    """
+    _, idx = _resolve(graph)
+    w = idx.weights
+    bl = w.copy()  # sinks: bottom level is the task's own weight
+    nodes, sp = idx.rev_nodes, idx.rev_seg_ptr
+    for si in range(len(sp) - 1):
+        seg = nodes[sp[si]:sp[si + 1]]
+        a, b = idx.rev_succ_ptr[sp[si]], idx.rev_succ_ptr[sp[si + 1]]
+        m = np.maximum.reduceat(bl[idx.rev_succ_adj[a:b]],
+                                idx.rev_succ_ptr[sp[si]:sp[si + 1]] - a)
+        np.maximum(m, 0.0, out=m)
+        bl[seg] = m + w[seg]
+    return bl
+
+
+def simulate_bounded(
+    graph,
+    processors: int,
+    priority: str | np.ndarray = "critical-path",
+) -> SimResult:
+    """List scheduling on ``processors`` identical workers.
+
+    Ready tasks are dispatched to idle workers in priority order; this
+    models PLASMA's dynamic scheduler with a greedy non-preemptive
+    policy.
+
+    Parameters
+    ----------
+    graph : TaskGraph or Plan
+    processors : int
+        Number of workers (the paper's 48 cores).
+    priority : str or ndarray
+        A policy name from :data:`repro.sim.priorities.PRIORITIES`
+        (default ``"critical-path"``: largest bottom level first, task
+        id as tie-break) or an explicit per-task priority vector
+        (lower dispatches first).
+    """
+    if processors < 1:
+        raise ValueError(f"need at least one processor, got {processors}")
+    g, idx = _resolve(graph)
+    n = idx.n
+    if isinstance(priority, str):
+        from .priorities import priority_vector  # local: avoids cycle
+
+        prio = priority_vector(graph, priority)
+    else:
+        prio = np.asarray(priority, dtype=float)
+        if prio.shape != (n,):
+            raise ValueError(
+                f"priority vector has shape {prio.shape}, expected ({n},)")
+
+    w = idx.weights
+    succ_ptr, succ_adj = idx.succ_ptr, idx.succ_adj
+    start = np.zeros(n)
+    finish = np.zeros(n)
+    worker = np.full(n, -1, dtype=np.int64)
+    indeg = idx.indegree
+
+    ready: list[tuple[float, int]] = []  # (priority, tid)
+    for tid in np.flatnonzero(indeg == 0).tolist():
+        heapq.heappush(ready, (prio[tid], tid))
+
+    # (finish_time, tid, worker) completion events; idle worker pool
+    running: list[tuple[float, int, int]] = []
+    idle = list(range(processors - 1, -1, -1))
+    now = 0.0
+    done = 0
+    while done < n:
+        # dispatch as many ready tasks as there are idle workers
+        while ready and idle:
+            _, tid = heapq.heappop(ready)
+            wk = idle.pop()
+            start[tid] = now
+            finish[tid] = now + w[tid]
+            worker[tid] = wk
+            heapq.heappush(running, (finish[tid], tid, wk))
+        if not running:
+            raise RuntimeError("deadlock: no running tasks but work remains")
+        # advance to the next completion (batch equal finish times)
+        now, tid, wk = heapq.heappop(running)
+        completions = [(tid, wk)]
+        while running and running[0][0] == now:
+            _, tid2, w2 = heapq.heappop(running)
+            completions.append((tid2, w2))
+        for tid2, w2 in completions:
+            done += 1
+            idle.append(w2)
+            for s in succ_adj[succ_ptr[tid2]:succ_ptr[tid2 + 1]].tolist():
+                indeg[s] -= 1
+                if indeg[s] == 0:
+                    heapq.heappush(ready, (prio[s], s))
+    makespan = float(finish.max()) if n else 0.0
+    return SimResult(graph=g, start=start, finish=finish,
+                     makespan=makespan, processors=processors, worker=worker)
+
+
+def zero_out_table(graph: TaskGraph, finish: np.ndarray) -> np.ndarray:
+    """The paper's Table-3-style view: when each sub-diagonal tile is zeroed.
+
+    Entry ``(i, k)`` is the finish time of the TSQRT/TTQRT task that
+    zeroes tile ``(i, k)``; zero elsewhere.
+    """
+    table = np.zeros((graph.p, graph.q))
+    for (i, k), tid in graph.zero_task.items():
+        table[i, k] = finish[tid]
+    return table
+
+
+# ----------------------------------------------------------------------
+# reference implementations — the original per-task-object loops, kept
+# as the oracle for the byte-identical tests of the vectorized paths
+# ----------------------------------------------------------------------
+
+def _reference_unbounded(graph: TaskGraph) -> SimResult:
     n = len(graph.tasks)
     start = np.zeros(n)
     finish = np.zeros(n)
@@ -66,15 +241,11 @@ def simulate_unbounded(graph: TaskGraph) -> SimResult:
         start[t.tid] = s
         finish[t.tid] = s + t.weight
     makespan = float(finish.max()) if n else 0.0
-    return SimResult(graph=graph, start=start, finish=finish, makespan=makespan)
+    return SimResult(graph=graph, start=start, finish=finish,
+                     makespan=makespan)
 
 
-def bottom_levels(graph: TaskGraph) -> np.ndarray:
-    """Length of the longest weighted path from each task to a sink.
-
-    The classical critical-path priority for list scheduling: a task
-    with a larger bottom level is more urgent.
-    """
+def _reference_bottom_levels(graph: TaskGraph) -> np.ndarray:
     n = len(graph.tasks)
     bl = np.zeros(n)
     succ = graph.successors()
@@ -87,40 +258,20 @@ def bottom_levels(graph: TaskGraph) -> np.ndarray:
     return bl
 
 
-def simulate_bounded(
+def _reference_bounded(
     graph: TaskGraph,
     processors: int,
     priority: str | np.ndarray = "critical-path",
 ) -> SimResult:
-    """List scheduling on ``processors`` identical workers.
-
-    Ready tasks are dispatched to idle workers in priority order; this
-    models PLASMA's dynamic scheduler with a greedy non-preemptive
-    policy.
-
-    Parameters
-    ----------
-    processors : int
-        Number of workers (the paper's 48 cores).
-    priority : str or ndarray
-        A policy name from :data:`repro.sim.priorities.PRIORITIES`
-        (default ``"critical-path"``: largest bottom level first, task
-        id as tie-break) or an explicit per-task priority vector
-        (lower dispatches first).
-    """
     if processors < 1:
         raise ValueError(f"need at least one processor, got {processors}")
     n = len(graph.tasks)
     if isinstance(priority, str):
-        from .priorities import priority_vector  # local: avoids cycle
+        from .priorities import priority_vector
 
         prio = priority_vector(graph, priority)
     else:
         prio = np.asarray(priority, dtype=float)
-        if prio.shape != (n,):
-            raise ValueError(
-                f"priority vector has shape {prio.shape}, expected ({n},)")
-
     start = np.zeros(n)
     finish = np.zeros(n)
     worker = np.full(n, -1, dtype=np.int64)
@@ -128,19 +279,15 @@ def simulate_bounded(
     succ = graph.successors()
     for t in graph.tasks:
         indeg[t.tid] = len(t.deps)
-
-    ready: list[tuple[float, int]] = []  # (priority, tid)
+    ready: list[tuple[float, int]] = []
     for t in graph.tasks:
         if indeg[t.tid] == 0:
             heapq.heappush(ready, (prio[t.tid], t.tid))
-
-    # (finish_time, tid, worker) completion events; idle worker pool
     running: list[tuple[float, int, int]] = []
     idle = list(range(processors - 1, -1, -1))
     now = 0.0
     done = 0
     while done < n:
-        # dispatch as many ready tasks as there are idle workers
         while ready and idle:
             _, tid = heapq.heappop(ready)
             w = idle.pop()
@@ -150,7 +297,6 @@ def simulate_bounded(
             heapq.heappush(running, (finish[tid], tid, w))
         if not running:
             raise RuntimeError("deadlock: no running tasks but work remains")
-        # advance to the next completion (batch equal finish times)
         now, tid, w = heapq.heappop(running)
         completions = [(tid, w)]
         while running and running[0][0] == now:
@@ -166,15 +312,3 @@ def simulate_bounded(
     makespan = float(finish.max()) if n else 0.0
     return SimResult(graph=graph, start=start, finish=finish,
                      makespan=makespan, processors=processors, worker=worker)
-
-
-def zero_out_table(graph: TaskGraph, finish: np.ndarray) -> np.ndarray:
-    """The paper's Table-3-style view: when each sub-diagonal tile is zeroed.
-
-    Entry ``(i, k)`` is the finish time of the TSQRT/TTQRT task that
-    zeroes tile ``(i, k)``; zero elsewhere.
-    """
-    table = np.zeros((graph.p, graph.q))
-    for (i, k), tid in graph.zero_task.items():
-        table[i, k] = finish[tid]
-    return table

@@ -1,0 +1,171 @@
+"""Tests for the two-tier plan cache (S18).
+
+The process-wide :data:`~repro.planner.cache.PLAN_METRICS` registry is
+cumulative, so every assertion below compares *deltas* around the call
+under test, never absolute counter values.
+"""
+
+import numpy as np
+import pytest
+
+from repro.kernels.costs import Kernel, KernelFamily
+from repro.planner import (
+    clear_plan_cache,
+    plan,
+    plan_cache_dir,
+    plan_cache_stats,
+    plan_signature,
+)
+
+
+@pytest.fixture(autouse=True)
+def _fresh_cache(monkeypatch):
+    monkeypatch.delenv("REPRO_PLAN_CACHE", raising=False)
+    monkeypatch.delenv("REPRO_PLAN_CACHE_SIZE", raising=False)
+    clear_plan_cache()
+    yield
+    clear_plan_cache()
+
+
+def _delta(before, after):
+    return {k: after[k] - before[k] for k in after}
+
+
+class TestSignature:
+    def test_distinguishes_every_input(self):
+        base = plan_signature("greedy", 15, 6, KernelFamily.TT)
+        assert plan_signature("greedy", 15, 6, KernelFamily.TS) != base
+        assert plan_signature("greedy", 16, 6, KernelFamily.TT) != base
+        assert plan_signature("greedy", 15, 5, KernelFamily.TT) != base
+        assert plan_signature("fibonacci", 15, 6, KernelFamily.TT) != base
+        assert plan_signature("greedy", 15, 6, KernelFamily.TT,
+                              {Kernel.GEQRT: 5.0}) != base
+
+    def test_params_in_spec(self):
+        a = plan_signature("plasma-tree(bs=4)", 15, 6, KernelFamily.TT)
+        b = plan_signature("plasma-tree(bs=5)", 15, 6, KernelFamily.TT)
+        assert a != b
+
+    def test_stable_across_cost_ordering(self):
+        c1 = {Kernel.GEQRT: 1.0, Kernel.TTQRT: 2.0}
+        c2 = {Kernel.TTQRT: 2.0, Kernel.GEQRT: 1.0}
+        assert plan_signature("greedy", 8, 4, KernelFamily.TT, c1) == \
+            plan_signature("greedy", 8, 4, KernelFamily.TT, c2)
+
+
+class TestMemoryTier:
+    def test_hit_returns_same_object(self):
+        a = plan(15, 6, "greedy")
+        before = plan_cache_stats()
+        b = plan(15, 6, "greedy")
+        d = _delta(before, plan_cache_stats())
+        assert a is b
+        assert d["memory.hits"] == 1 and d["builds"] == 0
+
+    def test_no_false_hits_across_family_params_costs(self):
+        tt = plan(15, 6, "greedy")
+        ts = plan(15, 6, "greedy", "TS")
+        costed = plan(15, 6, "greedy", costs={Kernel.GEQRT: 40.0})
+        bs4 = plan(15, 6, "plasma-tree", bs=4)
+        bs5 = plan(15, 6, "plasma-tree", bs=5)
+        plans = [tt, ts, costed, bs4, bs5]
+        assert len({id(p) for p in plans}) == 5
+        assert len({p.key for p in plans}) == 5
+        assert tt.critical_path() != ts.critical_path()
+        assert costed.critical_path() != tt.critical_path()
+        assert bs4.critical_path() != bs5.critical_path()
+
+    def test_cache_false_bypasses(self):
+        a = plan(8, 4, "greedy")
+        before = plan_cache_stats()
+        b = plan(8, 4, "greedy", cache=False)
+        d = _delta(before, plan_cache_stats())
+        assert b is not a
+        assert d["memory.hits"] == 0 and d["builds"] == 1
+
+    def test_lru_eviction(self, monkeypatch):
+        monkeypatch.setenv("REPRO_PLAN_CACHE_SIZE", "2")
+        a = plan(4, 2, "greedy")
+        plan(5, 2, "greedy")
+        plan(6, 2, "greedy")  # evicts (4, 2)
+        before = plan_cache_stats()
+        a2 = plan(4, 2, "greedy")
+        d = _delta(before, plan_cache_stats())
+        assert a2 is not a
+        assert d["builds"] == 1
+        # (6, 2) is still resident
+        before = plan_cache_stats()
+        plan(6, 2, "greedy")
+        assert _delta(before, plan_cache_stats())["memory.hits"] == 1
+
+    def test_lru_recency_order(self, monkeypatch):
+        monkeypatch.setenv("REPRO_PLAN_CACHE_SIZE", "2")
+        a = plan(4, 2, "greedy")
+        plan(5, 2, "greedy")
+        assert plan(4, 2, "greedy") is a  # refresh (4, 2)
+        plan(6, 2, "greedy")  # evicts (5, 2), not (4, 2)
+        assert plan(4, 2, "greedy") is a
+
+
+class TestDiskTier:
+    def test_round_trip_equals_fresh(self, tmp_path):
+        fresh = plan(15, 6, "fibonacci", "TS", disk_cache=tmp_path)
+        assert (tmp_path / f"{fresh.key}.npz").is_file()
+        clear_plan_cache()
+        before = plan_cache_stats()
+        loaded = plan(15, 6, "fibonacci", "TS", disk_cache=tmp_path)
+        d = _delta(before, plan_cache_stats())
+        assert d["disk.hits"] == 1 and d["builds"] == 0
+        assert loaded is not fresh
+        assert loaded.key == fresh.key
+        assert list(loaded.elims) == list(fresh.elims)
+        ra, rb = loaded.unbounded(), fresh.unbounded()
+        assert np.array_equal(ra.start, rb.start)
+        assert np.array_equal(ra.finish, rb.finish)
+
+    def test_disk_hit_populates_memory(self, tmp_path):
+        plan(8, 4, "greedy", disk_cache=tmp_path)
+        clear_plan_cache()
+        loaded = plan(8, 4, "greedy", disk_cache=tmp_path)
+        before = plan_cache_stats()
+        again = plan(8, 4, "greedy", disk_cache=tmp_path)
+        d = _delta(before, plan_cache_stats())
+        assert again is loaded
+        assert d["memory.hits"] == 1 and d["disk.hits"] == 0
+
+    def test_corrupt_entry_rebuilds(self, tmp_path):
+        fresh = plan(8, 4, "greedy", disk_cache=tmp_path)
+        path = tmp_path / f"{fresh.key}.npz"
+        path.write_bytes(b"not an npz archive")
+        clear_plan_cache()
+        before = plan_cache_stats()
+        rebuilt = plan(8, 4, "greedy", disk_cache=tmp_path)
+        d = _delta(before, plan_cache_stats())
+        assert d["disk.hits"] == 0 and d["builds"] == 1
+        assert rebuilt.critical_path() == fresh.critical_path()
+        # the fresh build overwrote the corrupt entry
+        clear_plan_cache()
+        before = plan_cache_stats()
+        plan(8, 4, "greedy", disk_cache=tmp_path)
+        assert _delta(before, plan_cache_stats())["disk.hits"] == 1
+
+    def test_env_var_controls_tier(self, tmp_path, monkeypatch):
+        assert plan_cache_dir() is None  # default: off
+        monkeypatch.setenv("REPRO_PLAN_CACHE", str(tmp_path))
+        assert plan_cache_dir() == tmp_path
+        monkeypatch.setenv("REPRO_PLAN_CACHE", "off")
+        assert plan_cache_dir() is None
+        monkeypatch.setenv("REPRO_PLAN_CACHE", "1")
+        assert plan_cache_dir() is not None
+        # the disk_cache argument wins over the environment
+        monkeypatch.setenv("REPRO_PLAN_CACHE", str(tmp_path))
+        assert plan_cache_dir(False) is None
+
+    def test_env_var_round_trip(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_PLAN_CACHE", str(tmp_path))
+        fresh = plan(6, 3, "greedy")
+        assert (tmp_path / f"{fresh.key}.npz").is_file()
+        clear_plan_cache()
+        before = plan_cache_stats()
+        plan(6, 3, "greedy")
+        assert _delta(before, plan_cache_stats())["disk.hits"] == 1

@@ -1,0 +1,152 @@
+"""Tests for the Plan object and the ``plan()`` entry point (S18)."""
+
+import numpy as np
+import pytest
+
+from repro.dag.build import build_dag
+from repro.kernels.costs import Kernel, KernelFamily
+from repro.planner import clear_plan_cache, load_plan, plan, save_plan
+from repro.schemes.registry import get_scheme
+from repro.sim.simulate import simulate_bounded, simulate_unbounded
+
+
+@pytest.fixture(autouse=True)
+def _fresh_cache():
+    clear_plan_cache()
+    yield
+    clear_plan_cache()
+
+
+class TestPlanObject:
+    def test_matches_direct_construction(self):
+        pl = plan(15, 6, "greedy")
+        elims = get_scheme("greedy", 15, 6)
+        g = build_dag(elims, KernelFamily.TT)
+        assert list(pl.elims) == list(elims)
+        assert len(pl) == len(g)
+        assert pl.critical_path() == simulate_unbounded(g).makespan == 128.0
+
+    def test_zero_out_steps(self):
+        pl = plan(15, 6, "greedy")
+        tb = pl.zero_out_steps()
+        assert tb.shape == (15, 6)
+        assert tb.max() == pl.critical_path()
+
+    def test_schedule_memoized(self):
+        pl = plan(8, 4, "fibonacci")
+        r1 = pl.schedule(4)
+        r2 = pl.schedule(4)
+        assert r1 is r2
+        assert pl.schedule(None) is pl.unbounded()
+        # explicit vectors are not memoized
+        prio = np.arange(len(pl), dtype=np.float64)
+        v1 = pl.schedule(4, prio)
+        v2 = pl.schedule(4, prio)
+        assert v1 is not v2
+        assert np.array_equal(v1.start, v2.start)
+
+    def test_schedule_matches_simulator(self):
+        pl = plan(10, 4, "greedy")
+        ref = simulate_bounded(pl.graph, 5, priority="critical-path")
+        got = pl.schedule(5)
+        assert np.array_equal(got.start, ref.start)
+        assert np.array_equal(got.worker, ref.worker)
+
+    def test_rescaled(self):
+        pl = plan(8, 4, "greedy")
+        heavy = {Kernel.GEQRT: 100.0}
+        derived = pl.rescaled(heavy)
+        assert derived.key is None
+        assert derived.critical_path() > pl.critical_path()
+        # the source plan is untouched
+        assert pl.critical_path() == plan(8, 4, "greedy").critical_path()
+        # structure shared, weights distinct
+        assert derived.index.pred_adj is pl.index.pred_adj
+        assert not np.array_equal(derived.index.weights, pl.index.weights)
+
+
+class TestPlanInputs:
+    def test_elimination_list_input(self):
+        elims = get_scheme("fibonacci", 10, 4)
+        pl = plan(10, 4, elims)
+        assert pl.key is None and pl.scheme is None
+        assert pl.critical_path() == plan(10, 4, "fibonacci").critical_path()
+
+    def test_elimination_list_shape_mismatch(self):
+        elims = get_scheme("greedy", 10, 4)
+        with pytest.raises(ValueError, match="10 x 4"):
+            plan(9, 4, elims)
+
+    def test_plan_passthrough(self):
+        pl = plan(8, 4, "greedy")
+        assert plan(8, 4, pl) is pl
+
+    def test_plan_passthrough_mismatch(self):
+        pl = plan(8, 4, "greedy")
+        with pytest.raises(ValueError, match="8 x 4"):
+            plan(9, 4, pl)
+        with pytest.raises(ValueError, match="family"):
+            plan(8, 4, pl, family="TS")
+
+    def test_bad_scheme_type(self):
+        with pytest.raises(TypeError, match="scheme"):
+            plan(8, 4, 12345)
+
+    def test_spec_string_equals_params(self):
+        a = plan(15, 6, "plasma(bs=5)")
+        b = plan(15, 6, "plasma-tree", bs=5)
+        assert a is b  # same canonical signature -> same cached object
+        assert a.scheme == "plasma-tree(bs=5)"
+
+    def test_kwargs_override_spec(self):
+        a = plan(15, 6, "plasma(bs=3)", bs=5)
+        assert a is plan(15, 6, "plasma-tree", bs=5)
+
+
+class TestSaveLoad:
+    def test_round_trip_equals_fresh(self, tmp_path):
+        fresh = plan(15, 6, "plasma-tree", "TS", bs=4)
+        path = tmp_path / "p.npz"
+        save_plan(fresh, path)
+        loaded = load_plan(path)
+        assert (loaded.p, loaded.q) == (15, 6)
+        assert loaded.family is KernelFamily.TS
+        assert loaded.scheme == fresh.scheme
+        assert loaded.key == fresh.key
+        assert list(loaded.elims) == list(fresh.elims)
+        assert len(loaded.graph) == len(fresh.graph)
+        for a, b in zip(loaded.graph.tasks, fresh.graph.tasks):
+            assert (a.tid, a.kernel, a.row, a.piv, a.col, a.j,
+                    a.weight, a.deps) == \
+                   (b.tid, b.kernel, b.row, b.piv, b.col, b.j,
+                    b.weight, b.deps)
+        ra, rb = simulate_unbounded(loaded.graph), fresh.unbounded()
+        assert np.array_equal(ra.start, rb.start)
+        assert np.array_equal(ra.finish, rb.finish)
+
+    def test_round_trip_with_costs(self, tmp_path):
+        costs = {Kernel.GEQRT: 7.5, Kernel.TTQRT: 1.25}
+        fresh = plan(8, 4, "greedy", costs=costs)
+        path = tmp_path / "c.npz"
+        save_plan(fresh, path)
+        loaded = load_plan(path)
+        assert loaded.costs == fresh.costs
+        assert loaded.key == fresh.key
+        assert simulate_unbounded(loaded.graph).makespan == \
+            fresh.critical_path()
+
+    def test_version_check(self, tmp_path):
+        fresh = plan(4, 2, "greedy")
+        path = tmp_path / "v.npz"
+        save_plan(fresh, path)
+        import numpy as _np
+
+        from repro.core._npz import pack_meta, unpack_meta
+        with _np.load(path) as data:
+            arrays = {name: data[name] for name in data.files}
+            meta = unpack_meta(data)
+        meta["version"] = 99
+        arrays["meta"] = pack_meta(meta)
+        _np.savez_compressed(path, **arrays)
+        with pytest.raises(ValueError, match="format"):
+            load_plan(path)

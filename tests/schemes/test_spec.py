@@ -1,0 +1,82 @@
+"""Tests for the scheme spec grammar and registry helpers (S18)."""
+
+import pytest
+
+from repro.schemes.registry import (
+    SCHEME_ALIASES,
+    available_schemes,
+    canonical_scheme_spec,
+    get_scheme,
+    parse_scheme_spec,
+)
+
+
+class TestParseSchemeSpec:
+    def test_bare_name(self):
+        assert parse_scheme_spec("greedy") == ("greedy", {})
+
+    def test_params(self):
+        name, params = parse_scheme_spec("plasma-tree(bs=5)")
+        assert name == "plasma-tree"
+        assert params == {"bs": 5}
+        assert isinstance(params["bs"], int)
+
+    def test_multiple_params_and_spaces(self):
+        name, params = parse_scheme_spec(" grasap ( k = 2 ) ")
+        assert name == "grasap"
+        assert params == {"k": 2}
+
+    def test_aliases(self):
+        assert parse_scheme_spec("plasma(bs=5)") == \
+            ("plasma-tree", {"bs": 5})
+        for alias, target in SCHEME_ALIASES.items():
+            assert parse_scheme_spec(alias)[0] == target
+
+    def test_case_and_underscores(self):
+        assert parse_scheme_spec("Flat_Tree")[0] == "flat-tree"
+        assert parse_scheme_spec("PLASMA(BS=3)") == \
+            ("plasma-tree", {"bs": 3})
+
+    def test_float_and_string_values(self):
+        _, params = parse_scheme_spec("greedy(x=1.5,y=abc)")
+        assert params == {"x": 1.5, "y": "abc"}
+
+    def test_malformed(self):
+        for bad in ("", "greedy(", "greedy)x(", "greedy(bs)", "a b"):
+            with pytest.raises(ValueError):
+                parse_scheme_spec(bad)
+
+
+class TestCanonicalSpec:
+    def test_no_params(self):
+        assert canonical_scheme_spec("greedy", {}) == "greedy"
+
+    def test_sorted_params(self):
+        assert canonical_scheme_spec("plasma(b=2)", {"a": 1}) == \
+            "plasma-tree(a=1,b=2)"
+
+    def test_kwargs_override_inline(self):
+        assert canonical_scheme_spec("plasma(bs=3)", {"bs": 5}) == \
+            "plasma-tree(bs=5)"
+
+
+class TestRegistry:
+    def test_available_schemes_deterministic(self):
+        names = available_schemes()
+        assert names == sorted(names)
+        assert names == available_schemes()
+        assert "greedy" in names and "plasma-tree" in names
+
+    def test_get_scheme_accepts_spec(self):
+        a = get_scheme("plasma(bs=5)", 15, 6)
+        b = get_scheme("plasma-tree", 15, 6, bs=5)
+        assert list(a) == list(b)
+
+    def test_get_scheme_kwargs_override(self):
+        a = get_scheme("plasma(bs=3)", 15, 6, bs=5)
+        b = get_scheme("plasma-tree", 15, 6, bs=5)
+        assert list(a) == list(b)
+
+    def test_unknown_scheme(self):
+        with pytest.raises(ValueError, match="[Uu]nknown"):
+            get_scheme("no-such-tree", 8, 4)

@@ -1,0 +1,131 @@
+"""Tests for the ``repro.api`` facade (S18)."""
+
+import numpy as np
+import pytest
+
+import repro
+from repro import clear_plan_cache, factor, plan, simulate
+from repro.schemes.registry import get_scheme
+from repro.sim.simulate import SimResult
+
+
+@pytest.fixture(autouse=True)
+def _fresh_cache():
+    clear_plan_cache()
+    yield
+    clear_plan_cache()
+
+
+class TestExports:
+    def test_top_level_reexports(self):
+        for name in ("plan", "factor", "simulate", "Plan",
+                     "plan_cache_stats", "clear_plan_cache",
+                     "parse_scheme_spec"):
+            assert hasattr(repro, name)
+            assert name in repro.__all__
+
+    def test_api_module(self):
+        from repro import api
+        assert api.plan is plan
+        assert api.factor is factor
+        assert api.simulate is simulate
+
+
+class TestFactor:
+    def test_matches_tiled_qr(self):
+        a = np.random.default_rng(1).standard_normal((48, 24))
+        f1 = factor(a, nb=8, scheme="greedy")
+        f2 = repro.tiled_qr(a, nb=8, scheme="greedy")
+        assert np.array_equal(f1.r(), f2.r())
+        assert np.allclose(f1.q() @ f1.r(), a)
+
+    def test_accepts_plan(self):
+        a = np.random.default_rng(2).standard_normal((64, 32))
+        pl = plan(8, 4, "fibonacci")
+        f = factor(a, nb=8, scheme=pl)
+        assert f.graph is pl.graph
+        assert np.allclose(f.q() @ f.r(), a)
+
+    def test_plan_shape_mismatch(self):
+        a = np.random.default_rng(3).standard_normal((64, 32))
+        pl = plan(9, 4, "greedy")
+        with pytest.raises(ValueError, match="9 x 4"):
+            factor(a, nb=8, scheme=pl)
+
+    def test_plan_family_wins(self):
+        a = np.random.default_rng(4).standard_normal((40, 16))
+        pl = plan(5, 2, "greedy", "TS")
+        f = factor(a, nb=8, scheme=pl, family="TT")
+        assert f.graph is pl.graph
+        assert np.allclose(f.q() @ f.r(), a)
+
+    def test_bad_scheme_type(self):
+        a = np.random.default_rng(5).standard_normal((16, 8))
+        with pytest.raises(TypeError, match="scheme"):
+            factor(a, nb=8, scheme=object())
+
+
+class TestSimulate:
+    def test_by_name(self):
+        res = simulate("greedy", 15, 6)
+        assert isinstance(res, SimResult)
+        assert res.makespan == 128.0
+
+    def test_requires_grid_for_names(self):
+        with pytest.raises(ValueError, match="p and q"):
+            simulate("greedy")
+
+    def test_accepts_plan(self):
+        pl = plan(15, 6, "greedy")
+        res = simulate(pl)
+        assert res is pl.unbounded()
+        assert simulate(pl, 15, 6) is res
+
+    def test_plan_shape_mismatch(self):
+        pl = plan(15, 6, "greedy")
+        with pytest.raises(ValueError, match="15 x 6"):
+            simulate(pl, 14, 6)
+
+    def test_accepts_elimination_list(self):
+        elims = get_scheme("fibonacci", 10, 4)
+        res = simulate(elims)
+        assert res.makespan == simulate("fibonacci", 10, 4).makespan
+
+    def test_bounded_and_priority(self):
+        r1 = simulate("greedy", 10, 4, processors=3)
+        assert r1.processors == 3
+        r2 = simulate("greedy", 10, 4, processors=3, priority="fifo")
+        assert r2.processors == 3
+        assert simulate("greedy", 10, 4, processors=3) is r1  # memoized
+
+    def test_spec_string(self):
+        res = simulate("plasma(bs=5)", 15, 6)
+        assert res.makespan == 166.0
+
+    def test_costs(self):
+        from repro.kernels.costs import Kernel
+        base = simulate("greedy", 8, 4)
+        heavy = simulate("greedy", 8, 4, costs={Kernel.GEQRT: 400.0})
+        assert heavy.makespan > base.makespan
+
+    def test_shares_plan_cache(self):
+        res = simulate("greedy", 8, 4, processors=4)
+        pl = plan(8, 4, "greedy")
+        assert pl.schedule(4) is res
+
+
+class TestPipelineReport:
+    def test_from_plan_and_result(self):
+        from repro.analysis.pipeline import pipeline_report
+        pl = plan(10, 4, "greedy")
+        rep = pipeline_report(pl, processors=4)
+        rep2 = pipeline_report(pl.schedule(4))
+        assert rep == rep2
+        assert rep["makespan"] == pl.schedule(4).makespan
+        assert rep["overlap"] >= 1.0
+        assert len(rep["windows"]) == 4
+
+    def test_rejects_garbage(self):
+        from repro.analysis.pipeline import pipeline_report
+        with pytest.raises(TypeError):
+            pipeline_report(42)

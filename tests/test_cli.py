@@ -34,9 +34,31 @@ class TestSweep:
         out = capsys.readouterr().out
         for name in ("greedy", "fibonacci", "flat-tree", "binary-tree"):
             assert name in out
+        assert "plan cache:" in out
         # greedy first (shortest cp)
         lines = [l for l in out.splitlines() if l.strip().startswith("greedy")]
         assert lines
+
+    def test_metrics_json(self, tmp_path, capsys):
+        import json
+
+        from repro import clear_plan_cache
+        path = tmp_path / "metrics.json"
+        clear_plan_cache()
+        assert main(["sweep", "15", "6", "--metrics-json", str(path)]) == 0
+        snap1 = json.loads(path.read_text())
+        assert snap1["plan_cache"]["builds"] >= 1
+        # second identical sweep: every plan is a cache hit
+        assert main(["sweep", "15", "6", "--metrics-json", str(path)]) == 0
+        snap2 = json.loads(path.read_text())
+        delta = snap2["plan_cache"]["hits"] - snap1["plan_cache"]["hits"]
+        assert delta >= 1
+        assert snap2["plan_cache"]["builds"] == snap1["plan_cache"]["builds"]
+        assert "plan.build.seconds" in snap2["metrics"]
+
+    def test_scheme_spec_via_cp(self, capsys):
+        assert main(["cp", "plasma(bs=5)", "15", "6"]) == 0
+        assert "166" in capsys.readouterr().out
 
 
 class TestTune:
