@@ -1,0 +1,293 @@
+"""Bench-snapshot harness: the repo's performance trajectory.
+
+Runs a pinned grid of (scheme, p, q, P) cases and emits a versioned
+``BENCH_<n>.json`` at the repository root — wall times (plan build
+cold/warm, simulation, analysis), plan-cache stats, simulator
+throughput, and the :mod:`repro.obs.analyze` summary of each schedule.
+A comparator diffs two snapshots:
+
+* **structural** metrics (makespan, critical-path length, task count,
+  utilization) are deterministic — any drift is a behavior change and
+  fails the comparison;
+* **timing** metrics are flagged when they regress by more than
+  ``--tolerance`` (default 15%); they fail the run only under
+  ``--strict-timing``, since absolute times are machine-dependent
+  (CI runs them advisory).
+
+Usage::
+
+    python benchmarks/snapshot.py                 # full grid, next BENCH_<n>.json
+    python benchmarks/snapshot.py --quick         # CI-sized subset
+    python benchmarks/snapshot.py --quick --check --baseline BENCH_1.json \
+        --out bench-ci.json                       # the CI smoke step
+
+The quick grid is a strict subset of the full grid, so a quick run
+always compares cleanly against a committed full snapshot.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import re
+import sys
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+# make `python benchmarks/snapshot.py` work without PYTHONPATH=src
+_src = str(REPO_ROOT / "src")
+if _src not in sys.path:
+    sys.path.insert(0, _src)
+
+import numpy as np  # noqa: E402
+
+from repro.api import plan  # noqa: E402
+from repro.obs.analyze import analyze_sim  # noqa: E402
+from repro.planner import clear_plan_cache, plan_cache_stats  # noqa: E402
+
+SCHEMA = "repro-bench-snapshot"
+SCHEMA_VERSION = 1
+
+#: the CI-sized subset — GREEDY at the acceptance grid plus two
+#: contrasting trees on the same grid
+QUICK_CASES = [
+    ("greedy", 30, 10, 16),
+    ("fibonacci", 30, 10, 16),
+    ("flat-tree", 30, 10, 16),
+]
+
+#: the full pinned grid (superset of QUICK_CASES)
+FULL_CASES = QUICK_CASES + [
+    ("plasma(bs=8)", 30, 10, 16),
+    ("binary-tree", 32, 8, 16),
+    ("greedy", 40, 5, 16),
+    ("greedy", 60, 20, 32),
+]
+
+#: timing metrics, lower is better (seconds)
+TIMING_LOWER = ("plan_cold_s", "plan_warm_s", "sim_s", "analyze_s")
+#: timing metrics, higher is better
+TIMING_HIGHER = ("sim_tasks_per_s",)
+
+
+def case_key(scheme: str, p: int, q: int, processors: int) -> str:
+    return f"{scheme}|p={p}|q={q}|P={processors}"
+
+
+def run_case(scheme: str, p: int, q: int, processors: int) -> dict:
+    """Benchmark one (scheme, p, q, P) cell; cold plan, warm plan, sim."""
+    clear_plan_cache()
+    stats0 = plan_cache_stats()
+
+    t0 = time.perf_counter()
+    pl = plan(p, q, scheme)
+    plan_cold = time.perf_counter() - t0
+    t0 = time.perf_counter()
+    plan(p, q, scheme)
+    plan_warm = time.perf_counter() - t0
+
+    from repro.sim.simulate import simulate_bounded
+
+    t0 = time.perf_counter()
+    res = simulate_bounded(pl, processors)
+    sim_s = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    report = analyze_sim(res)
+    analyze_s = time.perf_counter() - t0
+
+    stats1 = plan_cache_stats()
+    cp = report.critical_path
+    return {
+        "structural": {
+            "tasks": report.tasks,
+            "total_work": report.total_busy,
+            "makespan": report.makespan,
+            "critical_path_length": cp.length,
+            "critical_path_tasks": len(cp),
+            "unbounded_cp": report.bounds["critical_path"],
+            "utilization": round(report.utilization, 12),
+            "efficiency": round(report.bounds["efficiency"], 12),
+            "max_slack": report.slack.max,
+            "kernel_shares": {k: round(v, 12)
+                              for k, v in report.kernel_shares().items()},
+        },
+        "timing": {
+            "plan_cold_s": plan_cold,
+            "plan_warm_s": plan_warm,
+            "sim_s": sim_s,
+            "analyze_s": analyze_s,
+            "sim_tasks_per_s": report.tasks / sim_s if sim_s else 0.0,
+        },
+        "plan_cache": {
+            "warm_hits": stats1["hits"] - stats0["hits"],
+            "builds": stats1["builds"] - stats0["builds"],
+        },
+    }
+
+
+def take_snapshot(quick: bool) -> dict:
+    cases = QUICK_CASES if quick else FULL_CASES
+    t0 = time.perf_counter()
+    out_cases = {}
+    for scheme, p, q, processors in cases:
+        key = case_key(scheme, p, q, processors)
+        print(f"  running {key} ...", flush=True)
+        out_cases[key] = run_case(scheme, p, q, processors)
+    return {
+        "schema": SCHEMA,
+        "version": SCHEMA_VERSION,
+        "quick": quick,
+        "python": platform.python_version(),
+        "numpy": np.__version__,
+        "cases": out_cases,
+        "plan_cache": plan_cache_stats(),
+        "wall_seconds": time.perf_counter() - t0,
+    }
+
+
+# ----------------------------------------------------------------------
+# comparator
+# ----------------------------------------------------------------------
+
+def _flat(d: dict, prefix: str = "") -> dict:
+    out = {}
+    for k, v in d.items():
+        key = f"{prefix}.{k}" if prefix else k
+        if isinstance(v, dict):
+            out.update(_flat(v, key))
+        else:
+            out[key] = v
+    return out
+
+
+def compare_snapshots(base: dict, new: dict,
+                      tolerance: float = 0.15) -> tuple[list[dict], int]:
+    """Diff two snapshots; returns ``(issues, compared_case_count)``.
+
+    Issues are dicts with ``kind`` ``"structural"`` (exact-match
+    metrics drifted) or ``"timing"`` (a timing metric regressed past
+    ``tolerance``).  Only cases present in both snapshots are
+    compared.
+    """
+    issues: list[dict] = []
+    common = sorted(set(base.get("cases", {})) & set(new.get("cases", {})))
+    for key in common:
+        b, n = base["cases"][key], new["cases"][key]
+        bs, ns = _flat(b.get("structural", {})), _flat(n.get("structural", {}))
+        for metric in sorted(set(bs) & set(ns)):
+            bv, nv = bs[metric], ns[metric]
+            if not np.isclose(bv, nv, rtol=1e-9, atol=1e-12):
+                issues.append({"case": key, "metric": metric,
+                               "kind": "structural", "base": bv, "new": nv})
+        bt, nt = b.get("timing", {}), n.get("timing", {})
+        for metric in TIMING_LOWER:
+            if metric in bt and metric in nt and bt[metric] > 0:
+                ratio = nt[metric] / bt[metric]
+                if ratio > 1.0 + tolerance:
+                    issues.append({"case": key, "metric": metric,
+                                   "kind": "timing", "base": bt[metric],
+                                   "new": nt[metric], "ratio": ratio})
+        for metric in TIMING_HIGHER:
+            if metric in bt and metric in nt and bt[metric] > 0:
+                ratio = nt[metric] / bt[metric]
+                if ratio < 1.0 - tolerance:
+                    issues.append({"case": key, "metric": metric,
+                                   "kind": "timing", "base": bt[metric],
+                                   "new": nt[metric], "ratio": ratio})
+    return issues, len(common)
+
+
+def render_issues(issues: list[dict]) -> str:
+    lines = []
+    for i in issues:
+        if i["kind"] == "structural":
+            lines.append(f"STRUCTURAL  {i['case']}  {i['metric']}: "
+                         f"{i['base']} -> {i['new']}")
+        else:
+            lines.append(f"TIMING      {i['case']}  {i['metric']}: "
+                         f"{i['base']:.6g} -> {i['new']:.6g} "
+                         f"({i['ratio']:.2f}x)")
+    return "\n".join(lines)
+
+
+# ----------------------------------------------------------------------
+# snapshot numbering and CLI
+# ----------------------------------------------------------------------
+
+def existing_snapshots(root: Path = REPO_ROOT) -> list[tuple[int, Path]]:
+    """``BENCH_<n>.json`` files at the repo root, ascending by n."""
+    found = []
+    for path in root.glob("BENCH_*.json"):
+        m = re.fullmatch(r"BENCH_(\d+)\.json", path.name)
+        if m:
+            found.append((int(m.group(1)), path))
+    return sorted(found)
+
+
+def main(argv: list[str] | None = None) -> int:
+    ap = argparse.ArgumentParser(
+        description="pinned bench-snapshot grid + regression comparator")
+    ap.add_argument("--quick", action="store_true",
+                    help="run the CI-sized subset of the grid")
+    ap.add_argument("--out", metavar="PATH",
+                    help="write the snapshot here (default: the next "
+                         "BENCH_<n>.json at the repo root)")
+    ap.add_argument("--check", action="store_true",
+                    help="compare-only: never allocate a new BENCH_<n> "
+                         "number (still writes --out when given)")
+    ap.add_argument("--baseline", metavar="PATH",
+                    help="snapshot to compare against (default: the "
+                         "highest committed BENCH_<n>.json)")
+    ap.add_argument("--tolerance", type=float, default=0.15,
+                    help="relative timing-regression threshold "
+                         "(default 0.15 = 15%%)")
+    ap.add_argument("--strict-timing", action="store_true",
+                    help="timing regressions fail the run (structural "
+                         "drift always does)")
+    args = ap.parse_args(argv)
+
+    prior = existing_snapshots()
+    label = "quick" if args.quick else "full"
+    print(f"bench snapshot ({label} grid)")
+    snap = take_snapshot(quick=args.quick)
+
+    out_path = None
+    if args.out:
+        out_path = Path(args.out)
+    elif not args.check:
+        n = prior[-1][0] + 1 if prior else 1
+        out_path = REPO_ROOT / f"BENCH_{n}.json"
+    if out_path is not None:
+        out_path.write_text(json.dumps(snap, indent=1, sort_keys=True) + "\n")
+        print(f"snapshot written to {out_path}")
+
+    base_path = Path(args.baseline) if args.baseline else (
+        prior[-1][1] if prior else None)
+    if base_path is None or (out_path is not None
+                             and base_path.resolve() == out_path.resolve()):
+        print("no baseline snapshot to compare against")
+        return 0
+    base = json.loads(base_path.read_text())
+    issues, compared = compare_snapshots(base, snap,
+                                         tolerance=args.tolerance)
+    structural = [i for i in issues if i["kind"] == "structural"]
+    timing = [i for i in issues if i["kind"] == "timing"]
+    print(f"compared {compared} cases against {base_path.name}: "
+          f"{len(structural)} structural mismatches, "
+          f"{len(timing)} timing regressions "
+          f"(> {args.tolerance * 100:.0f}%)")
+    if issues:
+        print(render_issues(issues))
+    if structural:
+        return 1
+    if timing and args.strict_timing:
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

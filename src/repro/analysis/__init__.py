@@ -15,7 +15,8 @@ from .optimality import (
     count_column_sequences,
     exhaustive_optimal_cp,
 )
-from .pipeline import column_period, column_windows, pipeline_overlap
+from .pipeline import (column_period, column_windows, pipeline_overlap,
+                       pipeline_report)
 
 __all__ = [
     "flat_tree_cp",
@@ -35,4 +36,5 @@ __all__ = [
     "column_windows",
     "column_period",
     "pipeline_overlap",
+    "pipeline_report",
 ]

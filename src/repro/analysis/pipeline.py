@@ -59,7 +59,8 @@ def column_period(result: SimResult) -> float:
 
 
 def pipeline_report(source, processors: int | None = None,
-                    priority: str = "critical-path") -> dict:
+                    priority: str = "critical-path",
+                    analytics: bool = True) -> dict:
     """All pipeline metrics of a schedule in one dict.
 
     Parameters
@@ -71,13 +72,19 @@ def pipeline_report(source, processors: int | None = None,
         ``processors`` is ``None``).
     processors, priority
         Forwarded to the plan's scheduler; ignored for a SimResult.
+    analytics : bool
+        Include the :mod:`repro.obs.analyze` schedule summary
+        (utilization, kernel shares, critical-path attribution, slack)
+        under the ``"schedule"`` key.
 
     Returns
     -------
     dict
         ``makespan``, ``overlap`` (mean open column windows),
-        ``period`` (median column completion spacing) and ``windows``
-        (per-column activity spans).
+        ``period`` (median column completion spacing), ``windows``
+        (per-column activity spans), and — unless ``analytics=False``
+        — ``schedule`` (the compact
+        :meth:`~repro.obs.analyze.ScheduleReport.summary`).
     """
     if isinstance(source, SimResult):
         result = source
@@ -87,9 +94,14 @@ def pipeline_report(source, processors: int | None = None,
             raise TypeError(
                 f"expected a SimResult or a Plan, got {type(source).__name__}")
         result = schedule(processors, priority)
-    return {
+    report = {
         "makespan": float(result.makespan),
         "overlap": pipeline_overlap(result),
         "period": column_period(result),
         "windows": column_windows(result),
     }
+    if analytics:
+        from ..obs.analyze import analyze_sim  # local: analysis <-> obs
+
+        report["schedule"] = analyze_sim(result).summary()
+    return report

@@ -16,7 +16,12 @@ Subcommands
              trace-event JSON (``--format chrome``, for Perfetto)
 ``profile``  execute a factorization with the span tracer and metrics
              registry on, write a Chrome trace (optionally overlaying
-             the simulated schedule), print the metrics summary
+             the simulated schedule), print the metrics summary and
+             the schedule-analytics report
+``analyze``  schedule analytics of a simulated schedule (or an
+             exported Chrome trace): per-processor utilization,
+             time-by-kernel pivot, the critical-path chain realizing
+             the makespan, per-task slack, lower-bound efficiency
 
 Examples
 --------
@@ -30,6 +35,8 @@ Examples
     python -m repro trace greedy 15 6 --workers 8 --format gantt
     python -m repro trace greedy 15 6 --workers 4 --format chrome
     python -m repro profile greedy 15 6 --workers 8 --out trace.json
+    python -m repro analyze greedy 30 10 --workers 16
+    python -m repro analyze --from-trace trace.json --format markdown
 """
 
 from __future__ import annotations
@@ -116,7 +123,9 @@ def _cmd_sweep(args) -> int:
     print(f"\nplan cache: {stats['hits']} hits "
           f"({stats['memory.hits']} memory, {stats['disk.hits']} disk), "
           f"{stats['builds']} builds, "
-          f"{stats['build_seconds']:.3f} s building")
+          f"{stats['build_seconds']:.3f} s building, "
+          f"{stats['memory.evictions']:g} evictions, "
+          f"{stats['disk.errors']:g} disk errors")
     if args.metrics_json:
         snapshot = {"plan_cache": stats, "metrics": PLAN_METRICS.to_dict()}
         with open(args.metrics_json, "w") as fh:
@@ -282,6 +291,36 @@ def _cmd_trace(args) -> int:
     return 0
 
 
+def _cmd_analyze(args) -> int:
+    from .obs.analyze import analyze_chrome_trace, analyze_sim, render_report
+
+    if args.from_trace:
+        if args.scheme is not None:
+            print("analyze: give either a scheme/grid or --from-trace, "
+                  "not both", file=sys.stderr)
+            return 2
+        reports = analyze_chrome_trace(args.from_trace)
+        if not reports:
+            print(f"analyze: no trace events in {args.from_trace}",
+                  file=sys.stderr)
+            return 1
+        print("\n\n".join(render_report(r, args.format) for r in reports))
+        return 0
+    if args.scheme is None or args.p is None or args.q is None:
+        print("analyze: need SCHEME P Q (or --from-trace FILE)",
+              file=sys.stderr)
+        return 2
+
+    from .api import plan
+
+    pl = plan(args.p, args.q, args.scheme, args.family,
+              **_scheme_params(args))
+    res = pl.schedule(args.workers, args.priority)
+    report = analyze_sim(res)
+    print(render_report(report, args.format))
+    return 0
+
+
 def _cmd_profile(args) -> int:
     from .api import plan
     from .obs.chrome_trace import write_chrome_trace
@@ -330,6 +369,17 @@ def _cmd_profile(args) -> int:
     print(metrics.render(title="execution metrics"))
     print()
     print(PLAN_METRICS.render(title="plan metrics"))
+    if not args.no_analyze:
+        from .obs.analyze import (analyze_sim, analyze_tracer,
+                                  overlay_diff, render_overlay,
+                                  render_report)
+
+        print()
+        print(render_report(analyze_tracer(tracer), "text"))
+        if sim is not None:
+            print()
+            print(render_overlay(overlay_diff(analyze_tracer(tracer),
+                                              analyze_sim(sim))))
     if args.out:
         write_chrome_trace(args.out, tracer=tracer, sim=sim,
                            sim_time_scale=1e6)
@@ -430,6 +480,32 @@ def build_parser() -> argparse.ArgumentParser:
     p.set_defaults(fn=_cmd_trace)
 
     p = sub.add_parser(
+        "analyze",
+        help="schedule analytics: utilization, kernel shares, critical "
+             "path, slack, lower-bound efficiency")
+    p.add_argument("scheme", nargs="?", default=None,
+                   help="elimination tree name or spec (omit with "
+                        "--from-trace)")
+    p.add_argument("p", type=int, nargs="?", default=None, help="tile rows")
+    p.add_argument("q", type=int, nargs="?", default=None,
+                   help="tile columns")
+    p.add_argument("--family", default="TT", choices=["TT", "TS"])
+    p.add_argument("--bs", type=int, default=None,
+                   help="domain size (plasma-tree / hadri-tree)")
+    p.add_argument("--k", type=int, default=None,
+                   help="trailing Asap columns (grasap)")
+    p.add_argument("--workers", type=int, default=None,
+                   help="processor count (omit for the unbounded ASAP "
+                        "schedule)")
+    p.add_argument("--priority", default="critical-path")
+    p.add_argument("--format", default="text",
+                   choices=["text", "json", "markdown"])
+    p.add_argument("--from-trace", metavar="FILE",
+                   help="analyze an exported Chrome trace instead of "
+                        "simulating")
+    p.set_defaults(fn=_cmd_analyze)
+
+    p = sub.add_parser(
         "profile",
         help="execute with tracing + metrics, export a Chrome trace")
     _add_grid(p)
@@ -443,6 +519,9 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--metrics-json", help="write the metrics snapshot here")
     p.add_argument("--no-sim", action="store_true",
                    help="skip the simulated-schedule overlay lanes")
+    p.add_argument("--no-analyze", action="store_true",
+                   help="skip the schedule-analytics report and the "
+                        "measured-vs-simulated overhead diff")
     p.set_defaults(fn=_cmd_profile)
     return parser
 

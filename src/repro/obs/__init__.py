@@ -1,21 +1,29 @@
-"""Observability for the tiled-QR runtimes (S17).
+"""Observability for the tiled-QR runtimes (S17, S19).
 
-Three pieces, shared by the threaded executor, the discrete-event
+Four pieces, shared by the threaded executor, the discrete-event
 simulator, and the benchmark harness:
 
 * :mod:`repro.obs.tracer` — a thread-safe span tracer recording one
   :class:`Span` per retired kernel task (submit/start/finish
   wall-times, worker thread), plus a zero-cost :class:`NullTracer`;
 * :mod:`repro.obs.metrics` — a :class:`MetricsRegistry` of counters,
-  gauges, and fixed-bucket histograms with plain-text and JSON
-  summaries;
+  gauges, and fixed-bucket histograms with deterministic plain-text
+  and JSON summaries;
 * :mod:`repro.obs.chrome_trace` — export of a measured capture and/or
   a simulated schedule to Chrome trace-event JSON, loadable in
-  Perfetto / ``chrome://tracing`` for lane-by-lane comparison.
+  Perfetto / ``chrome://tracing`` for lane-by-lane comparison;
+* :mod:`repro.obs.analyze` — schedule analytics: per-processor
+  utilization, time-by-kernel pivots, critical-path attribution,
+  per-task slack, lower-bound efficiency, and sim-vs-measured
+  overhead diffs, as a structured :class:`ScheduleReport`.
 
 See ``docs/observability.md`` for a walkthrough.
 """
 
+from .analyze import (CriticalPath, ScheduleReport, analyze,
+                      analyze_chrome_trace, analyze_sim, analyze_tracer,
+                      critical_path_tasks, overlay_diff, render_overlay,
+                      render_report, task_slack)
 from .chrome_trace import (chrome_trace, sim_to_events, tracer_to_events,
                            write_chrome_trace)
 from .metrics import Counter, Gauge, Histogram, MetricsRegistry
@@ -34,4 +42,15 @@ __all__ = [
     "sim_to_events",
     "chrome_trace",
     "write_chrome_trace",
+    "ScheduleReport",
+    "CriticalPath",
+    "analyze",
+    "analyze_sim",
+    "analyze_tracer",
+    "analyze_chrome_trace",
+    "critical_path_tasks",
+    "task_slack",
+    "overlay_diff",
+    "render_report",
+    "render_overlay",
 ]

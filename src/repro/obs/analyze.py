@@ -1,0 +1,735 @@
+"""Schedule analytics: where the time of a schedule goes (S19).
+
+The paper's whole argument is an *attribution* argument — critical
+paths (Table 5), processor efficiency at small ``q`` (Tables 6-9),
+kernel-cost tradeoffs (Table 1).  This module turns a schedule into a
+structured :class:`ScheduleReport` answering those questions for any
+of the three schedule sources the repo produces:
+
+* a simulated :class:`~repro.sim.simulate.SimResult` (bounded or
+  unbounded) — :func:`analyze_sim`;
+* a measured capture — a :class:`~repro.obs.tracer.Tracer` or an
+  :class:`~repro.runtime.executor.ExecutionContext` that carries one —
+  :func:`analyze_tracer`;
+* a Chrome trace-event JSON document (or file) previously exported by
+  :mod:`repro.obs.chrome_trace` — :func:`analyze_chrome_trace`.
+
+A report holds the per-processor busy/idle/utilization breakdown, the
+time-by-kernel-family pivot (GEQRT/TSQRT/TTQRT/UNMQR/TSMQR/TTMQR),
+the *actual* chain of tasks realizing the makespan
+(:func:`critical_path_tasks`, a backward walk over the CSR
+:class:`~repro.dag.index.GraphIndex`), per-task slack/laxity from the
+existing bottom-levels pass (:func:`task_slack`), and efficiency
+against the closed-form lower bounds of Theorem 1.  A measured report
+and a simulated report of the same DAG diff into a per-kernel
+overhead attribution via :func:`overlay_diff`.
+
+Rendering: ``report.to_dict()`` is JSON-ready;
+:func:`render_report` gives ``text`` / ``markdown`` / ``json``.
+
+Identities (tested on the paper's Table 3-5 grids):
+
+* ``sum(lane.busy) + sum(lane.idle) == makespan * processors``;
+* the critical path's total weight equals the makespan — for the
+  unbounded ASAP schedule that is the classical critical path, for a
+  bounded list schedule the chain alternates dependency edges and
+  worker-reuse edges but still tiles ``[0, makespan]`` exactly;
+* ``slack >= 0`` everywhere, with equality exactly on tasks lying on
+  some unbounded critical path.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Optional, Union
+
+import numpy as np
+
+from ..kernels.costs import Kernel
+from ..sim.simulate import SimResult, bottom_levels, simulate_unbounded
+from .tracer import Tracer
+
+__all__ = [
+    "LaneStats",
+    "KernelStats",
+    "CriticalPathStep",
+    "CriticalPath",
+    "SlackStats",
+    "ScheduleReport",
+    "analyze",
+    "analyze_sim",
+    "analyze_tracer",
+    "analyze_chrome_trace",
+    "critical_path_tasks",
+    "task_slack",
+    "overlay_diff",
+    "render_report",
+    "render_overlay",
+]
+
+#: canonical kernel-family order of every pivot table
+KERNEL_ORDER = tuple(k.value for k in Kernel)
+
+
+# ----------------------------------------------------------------------
+# report containers
+# ----------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class LaneStats:
+    """Busy/idle accounting of one processor lane."""
+
+    lane: int
+    tasks: int
+    busy: float
+    idle: float
+    utilization: float
+
+    def to_dict(self) -> dict:
+        return {"lane": self.lane, "tasks": self.tasks, "busy": self.busy,
+                "idle": self.idle, "utilization": self.utilization}
+
+
+@dataclass(frozen=True)
+class KernelStats:
+    """Time attributed to one kernel family."""
+
+    kernel: str
+    count: int
+    total: float
+    mean: float
+    share: float  #: fraction of the schedule's total busy time
+
+    def to_dict(self) -> dict:
+        return {"kernel": self.kernel, "count": self.count,
+                "total": self.total, "mean": self.mean, "share": self.share}
+
+
+@dataclass(frozen=True)
+class CriticalPathStep:
+    """One task on the makespan-realizing chain.
+
+    ``via`` records what pinned the task's start time: ``"source"``
+    (starts at t=0), ``"dep"`` (a predecessor finished then), or
+    ``"worker"`` (the task was ready earlier but waited for a
+    processor that another task's completion freed — only possible in
+    bounded schedules).
+    """
+
+    tid: int
+    name: str
+    kernel: str
+    weight: float
+    start: float
+    finish: float
+    via: str
+
+    def to_dict(self) -> dict:
+        return {"tid": self.tid, "name": self.name, "kernel": self.kernel,
+                "weight": self.weight, "start": self.start,
+                "finish": self.finish, "via": self.via}
+
+
+@dataclass(frozen=True)
+class CriticalPath:
+    """The chain of tasks realizing a schedule's makespan.
+
+    ``length`` (the sum of step weights) equals the makespan: the
+    steps tile ``[0, makespan]`` with no gaps.  ``dep_edges`` counts
+    true dependency links, ``worker_edges`` resource waits.
+    """
+
+    steps: tuple[CriticalPathStep, ...]
+    length: float
+    makespan: float
+    dep_edges: int
+    worker_edges: int
+
+    def __len__(self) -> int:
+        return len(self.steps)
+
+    def kernel_counts(self) -> dict[str, int]:
+        """How many chain steps each kernel family contributes."""
+        out: dict[str, int] = {}
+        for s in self.steps:
+            out[s.kernel] = out.get(s.kernel, 0) + 1
+        return {k: out[k] for k in KERNEL_ORDER if k in out}
+
+    def to_dict(self) -> dict:
+        return {"length": self.length, "makespan": self.makespan,
+                "tasks": len(self.steps), "dep_edges": self.dep_edges,
+                "worker_edges": self.worker_edges,
+                "kernel_counts": self.kernel_counts(),
+                "steps": [s.to_dict() for s in self.steps]}
+
+
+@dataclass(frozen=True)
+class SlackStats:
+    """Distribution summary of per-task slack (laxity)."""
+
+    min: float
+    max: float
+    mean: float
+    critical_tasks: int  #: tasks with zero slack (on some critical path)
+
+    def to_dict(self) -> dict:
+        return {"min": self.min, "max": self.max, "mean": self.mean,
+                "critical_tasks": self.critical_tasks}
+
+
+@dataclass
+class ScheduleReport:
+    """Structured analytics of one schedule.
+
+    ``source`` is ``"sim"``, ``"measured"``, or ``"trace"``.  Fields
+    that need the task DAG (critical path, slack, bounds) are ``None``
+    for sources that do not carry one.
+    """
+
+    source: str
+    label: str
+    makespan: float
+    processors: Optional[int]
+    tasks: int
+    total_busy: float
+    utilization: Optional[float]
+    lanes: list[LaneStats] = field(default_factory=list)
+    kernels: list[KernelStats] = field(default_factory=list)
+    critical_path: Optional[CriticalPath] = None
+    slack: Optional[SlackStats] = None
+    bounds: Optional[dict] = None
+
+    # ------------------------------------------------------------------
+    def kernel_shares(self) -> dict[str, float]:
+        """``{kernel: fraction of total busy time}`` in canonical order."""
+        return {k.kernel: k.share for k in self.kernels}
+
+    def total_idle(self) -> float:
+        return sum(l.idle for l in self.lanes)
+
+    def to_dict(self) -> dict:
+        """JSON-ready snapshot of the full report."""
+        return {
+            "source": self.source,
+            "label": self.label,
+            "makespan": self.makespan,
+            "processors": self.processors,
+            "tasks": self.tasks,
+            "total_busy": self.total_busy,
+            "total_idle": self.total_idle(),
+            "utilization": self.utilization,
+            "lanes": [l.to_dict() for l in self.lanes],
+            "kernels": [k.to_dict() for k in self.kernels],
+            "critical_path": None if self.critical_path is None
+                             else self.critical_path.to_dict(),
+            "slack": None if self.slack is None else self.slack.to_dict(),
+            "bounds": self.bounds,
+        }
+
+    def summary(self) -> dict:
+        """Compact dict for embedding in other reports (pipeline, bench)."""
+        out = {
+            "source": self.source,
+            "makespan": self.makespan,
+            "processors": self.processors,
+            "tasks": self.tasks,
+            "utilization": self.utilization,
+            "kernel_shares": self.kernel_shares(),
+        }
+        if self.critical_path is not None:
+            out["critical_path_length"] = self.critical_path.length
+            out["critical_path_tasks"] = len(self.critical_path)
+        if self.slack is not None:
+            out["critical_tasks"] = self.slack.critical_tasks
+            out["max_slack"] = self.slack.max
+        if self.bounds is not None:
+            out["efficiency"] = self.bounds.get("efficiency")
+        return out
+
+
+# ----------------------------------------------------------------------
+# DAG-side analytics: slack and the makespan-realizing chain
+# ----------------------------------------------------------------------
+
+def task_slack(graph, unbounded: Optional[SimResult] = None) -> np.ndarray:
+    """Per-task slack (laxity) against the unbounded critical path.
+
+    ``slack[t] = cp - est[t] - bl[t]`` where ``est`` is the ASAP start
+    (:func:`~repro.sim.simulate.simulate_unbounded`), ``bl`` the
+    bottom level (longest weighted path from ``t`` to a sink,
+    *including* ``t``), and ``cp`` the critical path length.  Zero
+    exactly on tasks lying on some critical path; a positive value is
+    how long the task may be delayed without stretching the DAG's
+    makespan.
+
+    Parameters
+    ----------
+    graph : TaskGraph or Plan
+    unbounded : SimResult, optional
+        A precomputed unbounded simulation of ``graph`` (saves the
+        forward pass when the caller already has one).
+    """
+    if unbounded is None:
+        unbounded = simulate_unbounded(graph)
+    bl = bottom_levels(graph)
+    cp = unbounded.makespan
+    slack = cp - unbounded.start - bl
+    # exact for integral Table-1 weights; forgive float round-off from
+    # measured-seconds weights
+    tol = 1e-9 * max(cp, 1.0)
+    slack[(slack < 0.0) & (slack > -tol)] = 0.0
+    return slack
+
+
+def critical_path_tasks(result: SimResult) -> CriticalPath:
+    """Extract the chain of tasks realizing ``result``'s makespan.
+
+    Walks backward from the last-finishing task over the graph's CSR
+    index.  At each step the current task started at ``s`` because
+    either a predecessor finished at ``s`` (a *dependency* edge) or —
+    bounded schedules only — some task's completion at ``s`` freed a
+    processor (a *worker* edge; the same-worker task is preferred).
+    Either way the chain is gapless, so its total weight equals the
+    makespan.  Ties break to the smallest task id, making the chain
+    deterministic.
+    """
+    g = result.graph
+    idx = g.index()
+    n = idx.n
+    makespan = float(result.makespan)
+    if n == 0:
+        return CriticalPath(steps=(), length=0.0, makespan=makespan,
+                            dep_edges=0, worker_edges=0)
+    start, finish = result.start, result.finish
+    pred_ptr, pred_adj = idx.pred_ptr, idx.pred_adj
+    by_finish = np.argsort(finish, kind="stable")
+    fsorted = finish[by_finish]
+    visited = np.zeros(n, dtype=bool)
+
+    cur = int(np.flatnonzero(finish == finish.max()).min())
+    steps: list[CriticalPathStep] = []
+    dep_edges = worker_edges = 0
+    for _ in range(n):  # bounded: each task appears at most once
+        visited[cur] = True
+        s = float(start[cur])
+        nxt: Optional[int] = None
+        if s <= 0.0:
+            via = "source"
+        else:
+            preds = pred_adj[pred_ptr[cur]:pred_ptr[cur + 1]]
+            dep = preds[(finish[preds] == s) & ~visited[preds]]
+            if dep.size:
+                via, nxt = "dep", int(dep.min())
+            else:
+                lo = np.searchsorted(fsorted, s, side="left")
+                hi = np.searchsorted(fsorted, s, side="right")
+                cand = by_finish[lo:hi]
+                cand = cand[~visited[cand]]
+                if cand.size == 0:
+                    # no event at s: a gap (never happens for the
+                    # repo's list schedules; be safe for foreign data)
+                    via = "source"
+                else:
+                    if result.worker is not None:
+                        same = cand[result.worker[cand]
+                                    == result.worker[cur]]
+                        nxt = int(same.min()) if same.size else int(cand.min())
+                    else:
+                        nxt = int(cand.min())
+                    via = "worker"
+        t = g.tasks[cur]
+        steps.append(CriticalPathStep(
+            tid=cur, name=str(t), kernel=t.kernel.value,
+            weight=float(idx.weights[cur]), start=s,
+            finish=float(finish[cur]), via=via))
+        if nxt is None:
+            break
+        if via == "dep":
+            dep_edges += 1
+        else:
+            worker_edges += 1
+        cur = nxt
+    steps.reverse()
+    length = float(sum(st.weight for st in steps))
+    return CriticalPath(steps=tuple(steps), length=length, makespan=makespan,
+                        dep_edges=dep_edges, worker_edges=worker_edges)
+
+
+# ----------------------------------------------------------------------
+# analyzers, one per schedule source
+# ----------------------------------------------------------------------
+
+def _kernel_pivot(names: list[str], durations: list[float]) -> list[KernelStats]:
+    """Aggregate ``(kernel name, duration)`` pairs in canonical order."""
+    total_by: dict[str, float] = {}
+    count_by: dict[str, int] = {}
+    for name, d in zip(names, durations):
+        total_by[name] = total_by.get(name, 0.0) + d
+        count_by[name] = count_by.get(name, 0) + 1
+    grand = sum(total_by.values())
+    order = [k for k in KERNEL_ORDER if k in total_by] + sorted(
+        k for k in total_by if k not in KERNEL_ORDER)
+    return [KernelStats(kernel=k, count=count_by[k], total=total_by[k],
+                        mean=total_by[k] / count_by[k],
+                        share=total_by[k] / grand if grand else 0.0)
+            for k in order]
+
+
+def _lane_stats(workers: np.ndarray, durations: np.ndarray,
+                makespan: float, n_lanes: int) -> list[LaneStats]:
+    busy = np.bincount(workers, weights=durations, minlength=n_lanes)
+    counts = np.bincount(workers, minlength=n_lanes)
+    return [LaneStats(lane=k, tasks=int(counts[k]), busy=float(busy[k]),
+                      idle=float(makespan - busy[k]),
+                      utilization=float(busy[k] / makespan) if makespan
+                                  else 1.0)
+            for k in range(n_lanes)]
+
+
+def analyze_sim(result: SimResult, label: str = "",
+                bounds: bool = True) -> ScheduleReport:
+    """Full analytics of a simulated schedule.
+
+    Includes the critical-path chain, slack statistics, and (with
+    ``bounds=True``) efficiency against the schedule's lower bounds:
+    the DAG critical path, the work bound ``total_weight / P``, and —
+    when ``q >= 2`` — the paper's Theorem 1(3) bound ``22q - 30``
+    (meaningful for Table-1 weights).
+    """
+    g = result.graph
+    idx = g.index()
+    w = idx.weights
+    makespan = float(result.makespan)
+    total_busy = float(w.sum())
+    P = result.processors
+
+    lanes: list[LaneStats] = []
+    if result.worker is not None and idx.n:
+        n_lanes = P if P is not None else int(result.worker.max()) + 1
+        lanes = _lane_stats(result.worker, w, makespan, n_lanes)
+    utilization = (total_busy / (P * makespan)
+                   if P and makespan > 0 else None)
+
+    kernels = _kernel_pivot([t.kernel.value for t in g.tasks], w.tolist())
+
+    unbounded = result if P is None else simulate_unbounded(g)
+    slack_arr = task_slack(g, unbounded=unbounded)
+    slack = SlackStats(
+        min=float(slack_arr.min()) if idx.n else 0.0,
+        max=float(slack_arr.max()) if idx.n else 0.0,
+        mean=float(slack_arr.mean()) if idx.n else 0.0,
+        critical_tasks=int((slack_arr == 0.0).sum()))
+
+    cp = critical_path_tasks(result)
+
+    bounds_dict = None
+    if bounds:
+        cp_bound = float(unbounded.makespan)
+        bounds_dict = {"critical_path": cp_bound}
+        if P:
+            work_bound = total_busy / P
+            lower = max(cp_bound, work_bound)
+            bounds_dict.update({
+                "work": work_bound,
+                "lower": lower,
+                "efficiency": lower / makespan if makespan else 1.0,
+                "speedup": total_busy / makespan if makespan else float(P),
+            })
+        else:
+            bounds_dict["efficiency"] = (cp_bound / makespan
+                                         if makespan else 1.0)
+        if g.q >= 2:
+            from ..analysis.formulas import optimal_cp_lower_bound
+
+            bounds_dict["paper_cp_lower_bound"] = float(
+                optimal_cp_lower_bound(g.q))
+
+    name = label or (g.name or "simulated")
+    return ScheduleReport(source="sim", label=name, makespan=makespan,
+                          processors=P, tasks=idx.n, total_busy=total_busy,
+                          utilization=utilization, lanes=lanes,
+                          kernels=kernels, critical_path=cp, slack=slack,
+                          bounds=bounds_dict)
+
+
+def analyze_tracer(tracer: Tracer, label: str = "measured") -> ScheduleReport:
+    """Analytics of a measured span capture (times in seconds).
+
+    Per-worker busy time is the sum of kernel durations; idle is
+    everything else inside the capture's makespan window.  The DAG is
+    not reconstructed, so critical path / slack / bounds are ``None``
+    — diff against a simulated report via :func:`overlay_diff` for
+    the model-vs-reality attribution.
+    """
+    spans = list(tracer.spans)
+    makespan = float(tracer.makespan())
+    n_lanes = tracer.worker_count if spans else 0
+    durations = np.array([s.duration for s in spans], dtype=np.float64)
+    workers = np.array([s.worker for s in spans], dtype=np.int64)
+    total_busy = float(durations.sum()) if spans else 0.0
+    lanes = (_lane_stats(workers, durations, makespan, n_lanes)
+             if spans else [])
+    utilization = (total_busy / (n_lanes * makespan)
+                   if n_lanes and makespan > 0 else None)
+    kernels = _kernel_pivot([s.kernel for s in spans], durations.tolist())
+    return ScheduleReport(source="measured", label=label, makespan=makespan,
+                          processors=n_lanes or None, tasks=len(spans),
+                          total_busy=total_busy, utilization=utilization,
+                          lanes=lanes, kernels=kernels)
+
+
+def analyze_chrome_trace(source: Union[str, dict]) -> list[ScheduleReport]:
+    """Analytics of an exported Chrome trace, one report per process.
+
+    ``source`` is a trace document (the ``{"traceEvents": [...]}``
+    dict) or a path to one.  Each ``pid`` group — e.g. ``measured``
+    and ``simulated`` lanes exported together by ``repro profile`` —
+    yields one report; timestamps are converted from microseconds back
+    to seconds.  Placeholder events emitted for empty sources are
+    ignored.
+    """
+    if not isinstance(source, dict):
+        with open(source) as fh:
+            source = json.load(fh)
+    events = source.get("traceEvents", [])
+    names: dict[int, str] = {}
+    by_pid: dict[int, list[dict]] = {}
+    for e in events:
+        pid = int(e.get("pid", 0))
+        if e.get("ph") == "M":
+            if e.get("name") == "process_name":
+                names[pid] = e.get("args", {}).get("name", str(pid))
+        elif e.get("ph") == "X" and not e.get("args", {}).get("placeholder"):
+            by_pid.setdefault(pid, []).append(e)
+
+    reports = []
+    for pid in sorted(set(names) | set(by_pid)):
+        xs = by_pid.get(pid, [])
+        label = names.get(pid, str(pid))
+        if not xs:
+            reports.append(ScheduleReport(
+                source="trace", label=label, makespan=0.0, processors=None,
+                tasks=0, total_busy=0.0, utilization=None))
+            continue
+        ts = np.array([float(e["ts"]) for e in xs]) / 1e6
+        dur = np.array([float(e.get("dur", 0.0)) for e in xs]) / 1e6
+        tids = sorted({int(e.get("tid", 0)) for e in xs})
+        lane_of = {t: i for i, t in enumerate(tids)}
+        workers = np.array([lane_of[int(e.get("tid", 0))] for e in xs],
+                           dtype=np.int64)
+        makespan = float((ts + dur).max() - ts.min())
+        total_busy = float(dur.sum())
+        kernels = _kernel_pivot(
+            [e.get("args", {}).get("kernel") or e["name"].split("(")[0]
+             for e in xs],
+            dur.tolist())
+        lanes = _lane_stats(workers, dur, makespan, len(tids))
+        utilization = (total_busy / (len(tids) * makespan)
+                       if tids and makespan > 0 else None)
+        reports.append(ScheduleReport(
+            source="trace", label=label, makespan=makespan,
+            processors=len(tids), tasks=len(xs), total_busy=total_busy,
+            utilization=utilization, lanes=lanes, kernels=kernels))
+    return reports
+
+
+def analyze(source, processors: Optional[int] = None,
+            priority: str = "critical-path") -> ScheduleReport:
+    """Dispatch to the right analyzer for ``source``.
+
+    * :class:`SimResult` → :func:`analyze_sim`;
+    * a Plan (anything with ``.schedule``) → scheduled on
+      ``processors`` (``None`` = unbounded) then :func:`analyze_sim`;
+    * :class:`Tracer`, or an ExecutionContext carrying one →
+      :func:`analyze_tracer`.
+
+    For Chrome traces (multiple process groups per document) call
+    :func:`analyze_chrome_trace` directly.
+    """
+    if isinstance(source, SimResult):
+        return analyze_sim(source)
+    if isinstance(source, Tracer):
+        return analyze_tracer(source)
+    tracer = getattr(source, "tracer", None)
+    if isinstance(tracer, Tracer) and tracer.enabled:
+        return analyze_tracer(tracer)
+    schedule = getattr(source, "schedule", None)
+    if callable(schedule):
+        return analyze_sim(schedule(processors, priority))
+    raise TypeError(
+        "expected a SimResult, Plan, Tracer, or a traced ExecutionContext, "
+        f"got {type(source).__name__}")
+
+
+# ----------------------------------------------------------------------
+# sim-vs-measured overlay diff
+# ----------------------------------------------------------------------
+
+def overlay_diff(measured: ScheduleReport,
+                 simulated: ScheduleReport) -> dict:
+    """Attribute measured runtime overhead per kernel type.
+
+    Both reports must be in the same time unit — in practice the
+    measured capture (seconds) against a simulation of the same DAG
+    rescaled with the measured mean kernel times (what ``repro
+    profile`` builds).  Per kernel: measured total vs simulated total
+    and their difference (the *execution* overhead beyond the model);
+    plus makespan inflation (scheduling + idling overhead) and idle
+    totals.
+    """
+    m_tot = {k.kernel: k.total for k in measured.kernels}
+    s_tot = {k.kernel: k.total for k in simulated.kernels}
+    order = [k for k in KERNEL_ORDER if k in m_tot or k in s_tot]
+    order += sorted((set(m_tot) | set(s_tot)) - set(order))
+    kernels = {}
+    for k in order:
+        m, s = m_tot.get(k, 0.0), s_tot.get(k, 0.0)
+        kernels[k] = {"measured": m, "simulated": s, "overhead": m - s,
+                      "ratio": m / s if s else None}
+    return {
+        "makespan": {
+            "measured": measured.makespan,
+            "simulated": simulated.makespan,
+            "overhead": measured.makespan - simulated.makespan,
+            "ratio": (measured.makespan / simulated.makespan
+                      if simulated.makespan else None),
+        },
+        "busy": {"measured": measured.total_busy,
+                 "simulated": simulated.total_busy,
+                 "overhead": measured.total_busy - simulated.total_busy},
+        "idle": {"measured": measured.total_idle(),
+                 "simulated": simulated.total_idle()},
+        "kernels": kernels,
+    }
+
+
+# ----------------------------------------------------------------------
+# rendering
+# ----------------------------------------------------------------------
+
+def _fmt(v, nd: int = 6) -> str:
+    if v is None:
+        return "-"
+    if isinstance(v, float):
+        return f"{v:.{nd}g}"
+    return str(v)
+
+
+def _table(headers: list[str], rows: list[list], markdown: bool) -> list[str]:
+    cells = [[str(h) for h in headers]] + [[_fmt(c) for c in row]
+                                           for row in rows]
+    widths = [max(len(r[i]) for r in cells) for i in range(len(headers))]
+    if markdown:
+        out = ["| " + " | ".join(h.ljust(w) for h, w in
+                                 zip(cells[0], widths)) + " |"]
+        out.append("|" + "|".join("-" * (w + 2) for w in widths) + "|")
+        for row in cells[1:]:
+            out.append("| " + " | ".join(c.ljust(w) for c, w in
+                                         zip(row, widths)) + " |")
+        return out
+    out = ["  ".join(h.ljust(w) for h, w in zip(cells[0], widths))]
+    out.append("  ".join("-" * w for w in widths))
+    for row in cells[1:]:
+        out.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return out
+
+
+def _render(report: ScheduleReport, markdown: bool) -> str:
+    h1 = "## " if markdown else "== "
+    h1e = "" if markdown else " =="
+    lines = [f"{h1}schedule report: {report.label} ({report.source}){h1e}"]
+    lines.append("")
+    procs = report.processors if report.processors is not None else "unbounded"
+    lines.append(f"makespan {_fmt(report.makespan)} | processors {procs} | "
+                 f"tasks {report.tasks} | busy {_fmt(report.total_busy)}"
+                 + (f" | utilization {report.utilization * 100:.1f}%"
+                    if report.utilization is not None else ""))
+    if report.kernels:
+        lines.append("")
+        lines.append(("### " if markdown else "-- ") + "time by kernel"
+                     + ("" if markdown else " --"))
+        lines.extend(_table(
+            ["kernel", "count", "total", "mean", "share"],
+            [[k.kernel, k.count, round(k.total, 6), round(k.mean, 6),
+              f"{k.share * 100:.1f}%"] for k in report.kernels],
+            markdown))
+    if report.lanes:
+        lines.append("")
+        lines.append(("### " if markdown else "-- ") + "processors"
+                     + ("" if markdown else " --"))
+        lines.extend(_table(
+            ["lane", "tasks", "busy", "idle", "utilization"],
+            [[l.lane, l.tasks, round(l.busy, 6), round(l.idle, 6),
+              f"{l.utilization * 100:.1f}%"] for l in report.lanes],
+            markdown))
+    cp = report.critical_path
+    if cp is not None:
+        lines.append("")
+        lines.append(("### " if markdown else "-- ") + "critical path"
+                     + ("" if markdown else " --"))
+        comp = ", ".join(f"{k} x{c}" for k, c in cp.kernel_counts().items())
+        lines.append(f"{len(cp)} tasks, total weight {_fmt(cp.length)} "
+                     f"(= makespan), {cp.dep_edges} dependency edges, "
+                     f"{cp.worker_edges} worker-wait edges")
+        if comp:
+            lines.append(f"composition: {comp}")
+        if cp.steps:
+            shown = cp.steps if len(cp.steps) <= 12 else (
+                list(cp.steps[:6]) + [None] + list(cp.steps[-5:]))
+            chain = " -> ".join("..." if s is None else s.name for s in shown)
+            lines.append(f"chain: {chain}")
+    if report.slack is not None:
+        s = report.slack
+        lines.append("")
+        lines.append(f"slack: min {_fmt(s.min)}, mean {_fmt(s.mean)}, "
+                     f"max {_fmt(s.max)}; {s.critical_tasks} zero-slack "
+                     "(critical) tasks")
+    if report.bounds:
+        b = report.bounds
+        lines.append("")
+        lines.append(("### " if markdown else "-- ") + "lower bounds"
+                     + ("" if markdown else " --"))
+        for key, lab in (("critical_path", "DAG critical path"),
+                         ("work", "work / P"),
+                         ("lower", "best lower bound"),
+                         ("paper_cp_lower_bound", "paper 22q - 30")):
+            if key in b:
+                lines.append(f"{lab:>20s}  {_fmt(b[key])}")
+        if b.get("efficiency") is not None:
+            lines.append(f"{'efficiency':>20s}  {b['efficiency'] * 100:.1f}%"
+                         + (f"  (speedup {_fmt(b['speedup'])})"
+                            if "speedup" in b else ""))
+    return "\n".join(lines)
+
+
+def render_report(report: ScheduleReport, fmt: str = "text") -> str:
+    """Render a report as ``"text"``, ``"markdown"``, or ``"json"``."""
+    if fmt == "json":
+        return json.dumps(report.to_dict(), indent=1, sort_keys=True)
+    if fmt == "markdown":
+        return _render(report, markdown=True)
+    if fmt == "text":
+        return _render(report, markdown=False)
+    raise ValueError(f"unknown format {fmt!r} "
+                     "(choose from text, markdown, json)")
+
+
+def render_overlay(diff: dict, markdown: bool = False) -> str:
+    """Human-readable view of an :func:`overlay_diff` result."""
+    lines = [("### " if markdown else "-- ")
+             + "measured vs simulated (per-kernel overhead)"
+             + ("" if markdown else " --")]
+    mk = diff["makespan"]
+    ratio = f", {mk['ratio']:.2f}x" if mk.get("ratio") else ""
+    lines.append(f"makespan: measured {_fmt(mk['measured'])} vs simulated "
+                 f"{_fmt(mk['simulated'])} "
+                 f"(overhead {_fmt(mk['overhead'])}{ratio})")
+    rows = []
+    for k, d in diff["kernels"].items():
+        rows.append([k, round(d["measured"], 6), round(d["simulated"], 6),
+                     round(d["overhead"], 6),
+                     f"{d['ratio']:.2f}x" if d["ratio"] else "-"])
+    lines.extend(_table(["kernel", "measured", "simulated", "overhead",
+                         "ratio"], rows, markdown))
+    return "\n".join(lines)

@@ -27,10 +27,36 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..sim.simulate import SimResult
 
 __all__ = ["tracer_to_events", "sim_to_events", "chrome_trace",
-           "to_chrome_json", "write_chrome_trace"]
+           "to_chrome_json", "write_chrome_trace", "MIN_EVENT_DUR_US"]
 
 #: trace-event categories, useful for filtering in the viewer UI
 _PANEL = {"GEQRT", "TSQRT", "TTQRT"}
+
+#: smallest duration (us) emitted for a complete event.  Perfetto and
+#: chrome://tracing silently drop ``"ph": "X"`` events with ``dur`` 0,
+#: so zero-duration tasks (e.g. rescaled weights of a kernel that never
+#: ran) are clamped to this floor and tagged ``args.zero_duration``.
+MIN_EVENT_DUR_US = 1e-3
+
+
+def _clamped_dur(dur_us: float, args: dict) -> float:
+    """Clamp ``dur_us`` to the Perfetto-visible floor, tagging ``args``."""
+    if dur_us <= 0.0:
+        args["zero_duration"] = True
+        return MIN_EVENT_DUR_US
+    return dur_us
+
+
+def _placeholder(pid: int) -> dict:
+    """A visible stand-in event for a source with no tasks.
+
+    A process group whose only records are ``M`` metadata renders as
+    nothing at all in Perfetto; this keeps an empty capture loadable
+    and visibly empty instead of silently absent.
+    """
+    return {"name": "(empty)", "cat": "meta", "ph": "X", "ts": 0.0,
+            "dur": MIN_EVENT_DUR_US, "pid": pid, "tid": 0,
+            "args": {"placeholder": True}}
 
 
 def _meta(pid: int, process_name: str, n_lanes: int,
@@ -49,18 +75,21 @@ def tracer_to_events(tracer: Tracer, pid: int = 1,
     """Complete-events for every span of a real capture (ts/dur in us)."""
     events = _meta(pid, process_name, tracer.worker_count, "worker")
     for s in tracer.spans:
+        args = {"kernel": s.kernel, "tid": s.tid, "row": s.row,
+                "piv": s.piv, "col": s.col, "j": s.j,
+                "queue_delay_us": s.queue_delay * 1e6}
         events.append({
             "name": s.name,
             "cat": "panel" if s.kernel in _PANEL else "update",
             "ph": "X",
             "ts": s.start * 1e6,
-            "dur": s.duration * 1e6,
+            "dur": _clamped_dur(s.duration * 1e6, args),
             "pid": pid,
             "tid": s.worker,
-            "args": {"kernel": s.kernel, "tid": s.tid, "row": s.row,
-                     "piv": s.piv, "col": s.col, "j": s.j,
-                     "queue_delay_us": s.queue_delay * 1e6},
+            "args": args,
         })
+    if not tracer.spans:
+        events.append(_placeholder(pid))
     return events
 
 
@@ -83,18 +112,21 @@ def sim_to_events(result: "SimResult", pid: int = 2,
         lane = int(result.worker[t.tid]) if result.worker is not None else 0
         start = float(result.start[t.tid])
         finish = float(result.finish[t.tid])
+        args = {"kernel": t.kernel.value, "tid": t.tid, "row": t.row,
+                "piv": t.piv, "col": t.col, "j": t.j,
+                "weight": t.weight}
         events.append({
             "name": str(t),
             "cat": "panel" if t.kernel.value in _PANEL else "update",
             "ph": "X",
             "ts": start * time_scale,
-            "dur": (finish - start) * time_scale,
+            "dur": _clamped_dur((finish - start) * time_scale, args),
             "pid": pid,
             "tid": lane,
-            "args": {"kernel": t.kernel.value, "tid": t.tid, "row": t.row,
-                     "piv": t.piv, "col": t.col, "j": t.j,
-                     "weight": t.weight},
+            "args": args,
         })
+    if not result.graph.tasks:
+        events.append(_placeholder(pid))
     return events
 
 

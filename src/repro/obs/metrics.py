@@ -133,6 +133,7 @@ class Histogram:
     def to_dict(self) -> dict:
         d = {"type": "histogram", "count": self.count, "sum": self.sum,
              "mean": self.mean,
+             "bucket_edges": list(self.buckets),
              "buckets": [list(b) for b in zip(self.buckets, self.counts)],
              "overflow": self.counts[-1]}
         if self.count:
@@ -192,7 +193,11 @@ class MetricsRegistry:
         return {name: m.to_dict() for name, m in items}
 
     def to_json(self, indent: int | None = 1) -> str:
-        return json.dumps(self.to_dict(), indent=indent)
+        """Deterministic JSON: metric names *and* keys inside each
+        metric are emitted sorted, so two identically populated
+        registries render byte-for-byte the same — snapshot files and
+        CI diffs stay stable across runs and dict insertion orders."""
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
 
     def render(self, title: str = "metrics") -> str:
         """Plain-text summary, one block per metric."""

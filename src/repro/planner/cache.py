@@ -116,15 +116,25 @@ def clear_plan_cache() -> None:
 
 
 def plan_cache_stats() -> dict[str, float]:
-    """Snapshot of the cache counters (zeros for untouched ones)."""
+    """Snapshot of the cache counters (zeros for untouched ones).
+
+    Besides hits/misses this surfaces the failure-path counters: LRU
+    ``memory.evictions``, ``disk.load_errors`` (unreadable or stale
+    ``.npz`` entries treated as misses), ``disk.write_errors``
+    (read-only or full cache directory), and their sum
+    ``disk.errors``.
+    """
     out = {}
     for name in ("plan.cache.memory.hits", "plan.cache.memory.misses",
                  "plan.cache.memory.evictions", "plan.cache.disk.hits",
-                 "plan.cache.disk.misses"):
+                 "plan.cache.disk.misses", "plan.cache.disk.writes",
+                 "plan.cache.disk.load_errors",
+                 "plan.cache.disk.write_errors"):
         m = PLAN_METRICS.get(name)
         out[name.removeprefix("plan.cache.")] = m.value if m else 0.0
     h = PLAN_METRICS.get("plan.build.seconds")
     out["builds"] = float(h.count) if h else 0.0
     out["build_seconds"] = float(h.sum) if h else 0.0
     out["hits"] = out["memory.hits"] + out["disk.hits"]
+    out["disk.errors"] = out["disk.load_errors"] + out["disk.write_errors"]
     return out

@@ -364,7 +364,7 @@ def _load_from_dir(cache_dir: Path, key: str) -> Optional[Plan]:
     except Exception:
         # unreadable/stale entry: treat as a miss and let the fresh
         # build overwrite it
-        _cache.PLAN_METRICS.counter("plan.cache.disk.errors").inc()
+        _cache.PLAN_METRICS.counter("plan.cache.disk.load_errors").inc()
         _cache.PLAN_METRICS.counter("plan.cache.disk.misses").inc()
         return None
     _cache.PLAN_METRICS.counter("plan.cache.disk.hits").inc()
@@ -382,4 +382,4 @@ def _save_to_dir(cache_dir: Path, p: Plan) -> None:
         _cache.PLAN_METRICS.counter("plan.cache.disk.writes").inc()
     except OSError:
         # a read-only or full cache directory must never fail the run
-        _cache.PLAN_METRICS.counter("plan.cache.disk.errors").inc()
+        _cache.PLAN_METRICS.counter("plan.cache.disk.write_errors").inc()

@@ -2,7 +2,8 @@
 
 import pytest
 
-from repro.analysis.pipeline import column_period, column_windows, pipeline_overlap
+from repro.analysis.pipeline import (column_period, column_windows,
+                                     pipeline_overlap, pipeline_report)
 from repro.dag import build_dag
 from repro.schemes import flat_tree, greedy
 from repro.sim import simulate_unbounded
@@ -72,3 +73,37 @@ class TestColumnPeriod:
     def test_single_column(self):
         res = run(greedy, 8, 1)
         assert column_period(res) == res.makespan
+
+
+class TestPipelineReport:
+    def test_from_sim_result(self):
+        res = run(greedy, 10, 4)
+        rep = pipeline_report(res)
+        assert rep["makespan"] == res.makespan
+        assert rep["overlap"] == pipeline_overlap(res)
+        assert len(rep["windows"]) == 4
+
+    def test_from_plan_with_processors(self):
+        from repro.api import plan, simulate
+
+        pl = plan(10, 4, "greedy")
+        rep = pipeline_report(pl, processors=4)
+        assert rep["makespan"] == simulate(pl, processors=4).makespan
+
+    def test_includes_schedule_analytics(self):
+        from repro.api import plan
+
+        rep = pipeline_report(plan(10, 4, "greedy"), processors=4)
+        sched = rep["schedule"]
+        assert sched["processors"] == 4
+        assert 0 < sched["utilization"] <= 1
+        assert sched["critical_path_length"] == rep["makespan"]
+        assert sum(sched["kernel_shares"].values()) == pytest.approx(1.0)
+
+    def test_analytics_opt_out(self):
+        res = run(greedy, 8, 2)
+        assert "schedule" not in pipeline_report(res, analytics=False)
+
+    def test_rejects_garbage(self):
+        with pytest.raises(TypeError):
+            pipeline_report("not a sim result")

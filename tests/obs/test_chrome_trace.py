@@ -70,6 +70,57 @@ class TestEventSchema:
         assert {e["tid"] for e in xs} == {0}
 
 
+class TestEdgeCases:
+    """Empty sources and zero-duration spans must stay Perfetto-visible."""
+
+    def test_empty_tracer_emits_placeholder(self):
+        doc = chrome_trace(tracer=Tracer())
+        xs = complete_events(doc["traceEvents"])
+        assert len(xs) == 1
+        assert xs[0]["args"]["placeholder"] is True
+        assert xs[0]["dur"] > 0
+
+    def test_empty_sim_emits_placeholder(self):
+        from repro.dag.tasks import TaskGraph
+
+        res = simulate_unbounded(TaskGraph(1, 1, "empty"))
+        assert len(res.graph.tasks) == 0
+        xs = complete_events(sim_to_events(res))
+        assert len(xs) == 1
+        assert xs[0]["args"]["placeholder"] is True
+
+    def test_zero_duration_span_is_clamped(self):
+        from repro.obs.chrome_trace import MIN_EVENT_DUR_US
+
+        g = build_dag(greedy(3, 1), "TT")
+        tr = Tracer()
+        for t in g.tasks:
+            tr.record(t, submit=0.0, start=1.0, finish=1.0, worker=0)
+        xs = complete_events(tracer_to_events(tr))
+        assert len(xs) == len(g.tasks)
+        for e in xs:
+            assert e["dur"] == MIN_EVENT_DUR_US
+            assert e["args"]["zero_duration"] is True
+
+    def test_zero_weight_sim_task_is_clamped(self):
+        g = build_dag(greedy(3, 1), "TT")
+        rescaled = g.rescale({k: 0.0 for k in
+                              {t.kernel for t in g.tasks}})
+        res = simulate_unbounded(rescaled)
+        for e in complete_events(sim_to_events(res)):
+            assert e["dur"] > 0
+            assert e["args"]["zero_duration"] is True
+
+    def test_positive_durations_not_tagged(self, bounded):
+        for e in complete_events(sim_to_events(bounded)):
+            assert "zero_duration" not in e["args"]
+
+    def test_normal_trace_has_no_placeholder(self, capture):
+        _, tr = capture
+        for e in complete_events(tracer_to_events(tr)):
+            assert "placeholder" not in e["args"]
+
+
 class TestTopLevel:
     def test_overlay_has_both_process_groups(self, capture, bounded):
         _, tr = capture

@@ -100,6 +100,33 @@ class TestRegistry:
         assert "kernel.seconds.GEQRT" in text
         assert "n=1" in text
 
+    def test_json_is_deterministic_under_insertion_order(self):
+        def build(order):
+            r = MetricsRegistry()
+            for name in order:
+                r.counter(name).inc()
+            return r.to_json()
+
+        names = ["z.last", "a.first", "m.middle"]
+        assert build(names) == build(list(reversed(names)))
+
+    def test_json_keys_are_sorted(self):
+        r = MetricsRegistry()
+        r.counter("zz").inc()
+        r.gauge("aa").set(1)
+        d = json.loads(r.to_json())
+        assert list(d) == sorted(d)
+        # nested key order is sorted too, so byte-level diffs are stable
+        assert r.to_json() == json.dumps(json.loads(r.to_json()),
+                                         indent=1, sort_keys=True)
+
+    def test_histogram_dict_exposes_bucket_edges(self):
+        h = Histogram("h", buckets=(10, 1))
+        h.observe(5)
+        d = h.to_dict()
+        assert d["bucket_edges"] == [1.0, 10.0]
+        assert d["buckets"] == [[1.0, 0], [10.0, 1]]
+
     def test_concurrent_counting(self):
         r = MetricsRegistry()
         barrier = threading.Barrier(4)

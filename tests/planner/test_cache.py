@@ -169,3 +169,58 @@ class TestDiskTier:
         before = plan_cache_stats()
         plan(6, 3, "greedy")
         assert _delta(before, plan_cache_stats())["disk.hits"] == 1
+
+
+class TestFailureCounters:
+    """Evictions and disk-tier failures must show up in the stats."""
+
+    def test_stats_expose_failure_keys(self):
+        stats = plan_cache_stats()
+        for key in ("memory.evictions", "disk.load_errors",
+                    "disk.write_errors", "disk.errors"):
+            assert key in stats
+
+    def test_eviction_counter(self, monkeypatch):
+        monkeypatch.setenv("REPRO_PLAN_CACHE_SIZE", "2")
+        before = plan_cache_stats()
+        plan(4, 2, "greedy")
+        plan(5, 2, "greedy")
+        plan(6, 2, "greedy")  # third insert evicts the first
+        d = _delta(before, plan_cache_stats())
+        assert d["memory.evictions"] == 1
+
+    def test_corrupt_entry_counts_load_error(self, tmp_path):
+        fresh = plan(8, 4, "greedy", disk_cache=tmp_path)
+        (tmp_path / f"{fresh.key}.npz").write_bytes(b"not an npz archive")
+        clear_plan_cache()
+        before = plan_cache_stats()
+        plan(8, 4, "greedy", disk_cache=tmp_path)
+        d = _delta(before, plan_cache_stats())
+        assert d["disk.load_errors"] == 1
+        assert d["disk.errors"] == 1
+        assert d["disk.write_errors"] == 0
+
+    def test_failed_write_counts_write_error(self, tmp_path, monkeypatch):
+        # chmod tricks don't work under root, so fail the save itself
+        # (importlib: the package re-exports a `plan` *function*, which
+        # shadows the submodule on attribute access)
+        import importlib
+
+        plan_mod = importlib.import_module("repro.planner.plan")
+
+        def boom(p, path):
+            raise OSError("disk full")
+
+        monkeypatch.setattr(plan_mod, "save_plan", boom)
+        before = plan_cache_stats()
+        pl = plan(8, 4, "greedy", disk_cache=tmp_path)
+        d = _delta(before, plan_cache_stats())
+        assert pl is not None  # the failure is non-fatal
+        assert d["disk.write_errors"] == 1
+        assert d["disk.errors"] == 1
+        assert not list(tmp_path.glob("*.npz"))
+
+    def test_disk_errors_is_the_sum(self):
+        stats = plan_cache_stats()
+        assert stats["disk.errors"] == (stats["disk.load_errors"]
+                                        + stats["disk.write_errors"])

@@ -154,6 +154,84 @@ class TestProfile:
         assert {e["pid"] for e in xs} == {1}  # measured lanes only
 
 
+class TestAnalyze:
+    def test_bounded_report(self, capsys):
+        assert main(["analyze", "greedy", "30", "10", "--workers", "16"]) == 0
+        out = capsys.readouterr().out
+        assert "schedule report" in out
+        assert "utilization" in out
+        assert "critical path" in out and "(= makespan)" in out
+        for kernel in ("GEQRT", "UNMQR", "TTQRT", "TTMQR"):
+            assert kernel in out
+
+    def test_unbounded_report(self, capsys):
+        assert main(["analyze", "greedy", "15", "6"]) == 0
+        out = capsys.readouterr().out
+        assert "processors unbounded" in out
+        assert "128" in out  # the Table 5 critical path
+
+    def test_json_format(self, capsys):
+        import json
+        assert main(["analyze", "greedy", "8", "4", "--workers", "4",
+                     "--format", "json"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["processors"] == 4
+        assert doc["critical_path"]["length"] == doc["makespan"]
+        assert len(doc["lanes"]) == 4
+
+    def test_markdown_format(self, capsys):
+        assert main(["analyze", "greedy", "6", "3", "--workers", "2",
+                     "--format", "markdown"]) == 0
+        assert "| kernel" in capsys.readouterr().out
+
+    def test_from_trace(self, tmp_path, capsys):
+        import json
+        trace_path = tmp_path / "trace.json"
+        assert main(["trace", "greedy", "6", "2", "--workers", "3",
+                     "--format", "chrome"]) == 0
+        trace_path.write_text(capsys.readouterr().out)
+        assert main(["analyze", "--from-trace", str(trace_path)]) == 0
+        assert "schedule report" in capsys.readouterr().out
+
+    def test_trace_and_scheme_conflict(self, tmp_path, capsys):
+        assert main(["analyze", "greedy", "6", "2",
+                     "--from-trace", "x.json"]) == 2
+
+    def test_missing_args(self, capsys):
+        assert main(["analyze"]) == 2
+        assert main(["analyze", "greedy"]) == 2
+
+    def test_scheme_spec(self, capsys):
+        assert main(["analyze", "plasma(bs=5)", "15", "6",
+                     "--workers", "8"]) == 0
+        assert "schedule report" in capsys.readouterr().out
+
+
+class TestSweepCacheLine:
+    def test_sweep_reports_evictions_and_disk_errors(self, capsys):
+        assert main(["sweep", "15", "6"]) == 0
+        out = capsys.readouterr().out
+        line = next(l for l in out.splitlines() if "plan cache:" in l)
+        assert "evictions" in line
+        assert "disk errors" in line
+
+
+class TestProfileAnalytics:
+    def test_profile_prints_report_and_overlay(self, tmp_path, capsys):
+        assert main(["profile", "greedy", "4", "2", "--nb", "8", "--ib", "4",
+                     "--backend", "reference", "--workers", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "schedule report" in out
+        assert "measured vs simulated" in out
+
+    def test_no_analyze_flag(self, capsys):
+        assert main(["profile", "greedy", "3", "2", "--nb", "8", "--ib", "4",
+                     "--backend", "reference", "--workers", "1",
+                     "--no-analyze"]) == 0
+        out = capsys.readouterr().out
+        assert "schedule report" not in out
+
+
 class TestRecommend:
     def test_cp_only(self, capsys):
         assert main(["recommend", "40", "5"]) == 0
