@@ -72,6 +72,23 @@ TIMING_LOWER = ("plan_cold_s", "plan_warm_s", "sim_s", "analyze_s")
 #: timing metrics, higher is better
 TIMING_HIGHER = ("sim_tasks_per_s",)
 
+#: numeric factorization cases: (scheme, family, m, n, nb, ib).
+#: ib = nb/4 makes the widest reference/batched contrast while staying
+#: a realistic inner blocking (see docs/performance.md).
+FACTOR_QUICK_CASES = [
+    ("greedy", "TT", 256, 256, 32, 8),
+]
+
+#: full factor grid — includes the ISSUE 5 acceptance case
+#: (1024 x 1024, nb=64)
+FACTOR_FULL_CASES = FACTOR_QUICK_CASES + [
+    ("greedy", "TT", 1024, 1024, 64, 16),
+]
+
+#: factor timing metrics, lower / higher is better
+FACTOR_TIMING_LOWER = ("reference_s", "batched_s")
+FACTOR_TIMING_HIGHER = ("speedup", "reference_gflops", "batched_gflops")
+
 
 def case_key(scheme: str, p: int, q: int, processors: int) -> str:
     return f"{scheme}|p={p}|q={q}|P={processors}"
@@ -129,14 +146,83 @@ def run_case(scheme: str, p: int, q: int, processors: int) -> dict:
     }
 
 
+def qr_flops(m: int, n: int) -> float:
+    """Householder QR flop count ``2mn^2 - 2n^3/3`` (real arithmetic)."""
+    return 2.0 * m * n * n - 2.0 * n ** 3 / 3.0
+
+
+def factor_case_key(scheme: str, family: str, m: int, n: int,
+                    nb: int, ib: int) -> str:
+    return f"{scheme}|{family}|m={m}|n={n}|nb={nb}|ib={ib}"
+
+
+def run_factor_case(scheme: str, family: str, m: int, n: int,
+                    nb: int, ib: int, rounds: int = 3) -> dict:
+    """Time the reference task executor against the batched backend.
+
+    Wall clock on shared machines drifts minute to minute, so each
+    round times the two backends back to back and the recorded speedup
+    is the *median of per-round ratios* — drift hits both sides of a
+    ratio equally.  Absolute seconds are still recorded (advisory, like
+    every other timing metric here).
+    """
+    from repro.api import factor
+
+    rng = np.random.default_rng(20110814)  # the paper's SC 2011 vintage
+    a = rng.standard_normal((m, n))
+    pl = plan(m // nb, n // nb, scheme, family)
+    groups = pl.level_groups()
+    sizes = [len(g) for g in groups]
+
+    def time_mode(mode: str) -> float:
+        t0 = time.perf_counter()
+        factor(a, nb=nb, ib=ib, scheme=pl, mode=mode)
+        return time.perf_counter() - t0
+
+    time_mode("batched")  # warm both paths (plan, pools, LAPACK wrappers)
+    time_mode("task")
+    ref_s, bat_s, ratios = [], [], []
+    for _ in range(rounds):
+        tb = time_mode("batched")
+        tr = time_mode("task")
+        bat_s.append(tb)
+        ref_s.append(tr)
+        ratios.append(tr / tb)
+    ref = float(np.median(ref_s))
+    bat = float(np.median(bat_s))
+    flops = qr_flops(m, n)
+    return {
+        "structural": {
+            "tasks": len(pl.graph.tasks),
+            "levels": groups[-1].level + 1 if groups else 0,
+            "groups": len(groups),
+            "max_batch": max(sizes) if sizes else 0,
+            "mean_batch": round(float(np.mean(sizes)), 12) if sizes else 0.0,
+        },
+        "timing": {
+            "reference_s": ref,
+            "batched_s": bat,
+            "speedup": float(np.median(ratios)),
+            "reference_gflops": flops / 1e9 / ref if ref else 0.0,
+            "batched_gflops": flops / 1e9 / bat if bat else 0.0,
+        },
+    }
+
+
 def take_snapshot(quick: bool) -> dict:
     cases = QUICK_CASES if quick else FULL_CASES
+    factor_cases = FACTOR_QUICK_CASES if quick else FACTOR_FULL_CASES
     t0 = time.perf_counter()
     out_cases = {}
     for scheme, p, q, processors in cases:
         key = case_key(scheme, p, q, processors)
         print(f"  running {key} ...", flush=True)
         out_cases[key] = run_case(scheme, p, q, processors)
+    out_factor = {}
+    for scheme, family, m, n, nb, ib in factor_cases:
+        key = factor_case_key(scheme, family, m, n, nb, ib)
+        print(f"  factoring {key} ...", flush=True)
+        out_factor[key] = run_factor_case(scheme, family, m, n, nb, ib)
     return {
         "schema": SCHEMA,
         "version": SCHEMA_VERSION,
@@ -144,6 +230,7 @@ def take_snapshot(quick: bool) -> dict:
         "python": platform.python_version(),
         "numpy": np.__version__,
         "cases": out_cases,
+        "factor": out_factor,
         "plan_cache": plan_cache_stats(),
         "wall_seconds": time.perf_counter() - t0,
     }
@@ -174,31 +261,41 @@ def compare_snapshots(base: dict, new: dict,
     compared.
     """
     issues: list[dict] = []
-    common = sorted(set(base.get("cases", {})) & set(new.get("cases", {})))
-    for key in common:
-        b, n = base["cases"][key], new["cases"][key]
-        bs, ns = _flat(b.get("structural", {})), _flat(n.get("structural", {}))
-        for metric in sorted(set(bs) & set(ns)):
-            bv, nv = bs[metric], ns[metric]
-            if not np.isclose(bv, nv, rtol=1e-9, atol=1e-12):
-                issues.append({"case": key, "metric": metric,
-                               "kind": "structural", "base": bv, "new": nv})
-        bt, nt = b.get("timing", {}), n.get("timing", {})
-        for metric in TIMING_LOWER:
-            if metric in bt and metric in nt and bt[metric] > 0:
-                ratio = nt[metric] / bt[metric]
-                if ratio > 1.0 + tolerance:
+    compared = 0
+    # (section, timing-lower metrics, timing-higher metrics); a baseline
+    # predating a section simply contributes no common keys for it
+    sections = (("cases", TIMING_LOWER, TIMING_HIGHER),
+                ("factor", FACTOR_TIMING_LOWER, FACTOR_TIMING_HIGHER))
+    for section, lower, higher in sections:
+        common = sorted(set(base.get(section, {}))
+                        & set(new.get(section, {})))
+        compared += len(common)
+        for key in common:
+            b, n = base[section][key], new[section][key]
+            bs = _flat(b.get("structural", {}))
+            ns = _flat(n.get("structural", {}))
+            for metric in sorted(set(bs) & set(ns)):
+                bv, nv = bs[metric], ns[metric]
+                if not np.isclose(bv, nv, rtol=1e-9, atol=1e-12):
                     issues.append({"case": key, "metric": metric,
-                                   "kind": "timing", "base": bt[metric],
-                                   "new": nt[metric], "ratio": ratio})
-        for metric in TIMING_HIGHER:
-            if metric in bt and metric in nt and bt[metric] > 0:
-                ratio = nt[metric] / bt[metric]
-                if ratio < 1.0 - tolerance:
-                    issues.append({"case": key, "metric": metric,
-                                   "kind": "timing", "base": bt[metric],
-                                   "new": nt[metric], "ratio": ratio})
-    return issues, len(common)
+                                   "kind": "structural",
+                                   "base": bv, "new": nv})
+            bt, nt = b.get("timing", {}), n.get("timing", {})
+            for metric in lower:
+                if metric in bt and metric in nt and bt[metric] > 0:
+                    ratio = nt[metric] / bt[metric]
+                    if ratio > 1.0 + tolerance:
+                        issues.append({"case": key, "metric": metric,
+                                       "kind": "timing", "base": bt[metric],
+                                       "new": nt[metric], "ratio": ratio})
+            for metric in higher:
+                if metric in bt and metric in nt and bt[metric] > 0:
+                    ratio = nt[metric] / bt[metric]
+                    if ratio < 1.0 - tolerance:
+                        issues.append({"case": key, "metric": metric,
+                                       "kind": "timing", "base": bt[metric],
+                                       "new": nt[metric], "ratio": ratio})
+    return issues, compared
 
 
 def render_issues(issues: list[dict]) -> str:

@@ -66,6 +66,8 @@ def factor(
     family: KernelFamily | str = KernelFamily.TT,
     backend: str = "reference",
     workers: Optional[int] = None,
+    mode: str = "task",
+    numeric: str = "auto",
     **scheme_params,
 ) -> TiledQRFactorization:
     """Tiled QR factorization of ``a`` — facade over :func:`repro.tiled_qr`.
@@ -75,9 +77,15 @@ def factor(
     :class:`~repro.schemes.elimination.EliminationList`, or a
     :class:`~repro.planner.Plan` from :func:`plan` (whose grid must
     match the tiling of ``a``; its kernel family wins over ``family``).
+    ``mode="batched"`` runs the level-synchronous batched backend
+    (stacked 3-D kernels over a contiguous tile pool) instead of the
+    per-task executors — usually the fastest way to factor a real
+    matrix; ``numeric`` picks its factor-kernel implementation
+    (``"auto"``/``"numpy"``/``"lapack"``); see docs/performance.md.
     """
     return tiled_qr(a, nb=nb, ib=ib, scheme=scheme, family=family,
-                    backend=backend, workers=workers, **scheme_params)
+                    backend=backend, workers=workers, mode=mode,
+                    numeric=numeric, **scheme_params)
 
 
 def simulate(

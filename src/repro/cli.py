@@ -170,10 +170,12 @@ def _cmd_factor(args) -> int:
     params = {"bs": args.bs} if args.bs is not None else {}
     f = tiled_qr(a, nb=args.nb, ib=args.ib, scheme=args.scheme,
                  family=args.family, backend=args.backend,
-                 workers=args.workers, **params)
+                 workers=args.workers, mode=args.mode,
+                 numeric=args.numeric, **params)
     rep = assess(f, a)
+    how = args.mode if args.mode == "batched" else args.backend
     print(f"factored {src} with {args.scheme} ({args.family}, "
-          f"{args.backend}, nb={args.nb})")
+          f"{how}, nb={args.nb})")
     print(f"  backward error   {rep.backward_error:.3e}")
     print(f"  orthogonality    {rep.orthogonality:.3e}")
     print(f"  eps multiple     {rep.eps_multiple:.1f}  "
@@ -338,12 +340,17 @@ def _cmd_profile(args) -> int:
 
     tracer = Tracer()
     ctx = execute_graph(pl, tiled, backend=args.backend, ib=min(args.ib, nb),
-                        workers=args.workers, tracer=tracer,
+                        workers=args.workers, mode=args.mode,
+                        numeric=args.numeric, tracer=tracer,
                         collect_metrics=True)
     metrics = ctx.metrics
 
     sim = None
-    if not args.no_sim:
+    if args.mode == "batched":
+        # one span per (level, kernel) group; per-task weights would be
+        # meaningless, so skip the simulated overlay
+        sim = None
+    elif not args.no_sim:
         # Simulate the same DAG with the *measured* mean kernel times as
         # weights, so the simulated lanes share the measured time axis.
         weights = {}
@@ -353,7 +360,8 @@ def _cmd_profile(args) -> int:
         procs = args.workers if args.workers and args.workers > 1 else 1
         sim = pl.rescaled(weights).schedule(procs)
 
-    print(f"profiled {args.scheme} ({args.family}, {args.backend}) on a "
+    how = "batched" if args.mode == "batched" else args.backend
+    print(f"profiled {args.scheme} ({args.family}, {how}) on a "
           f"{m} x {n} matrix, nb={nb}, workers={args.workers}")
     print(f"  tasks            {len(tracer)}")
     print(f"  makespan         {tracer.makespan() * 1e3:.2f} ms")
@@ -433,6 +441,12 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--backend", default="lapack",
                    choices=["reference", "lapack"])
     p.add_argument("--workers", type=int, default=None)
+    p.add_argument("--mode", default="task", choices=["task", "batched"],
+                   help="batched = level-synchronous stacked kernels "
+                        "(fastest; ignores --backend/--workers)")
+    p.add_argument("--numeric", default="auto",
+                   choices=["auto", "numpy", "lapack"],
+                   help="factor-kernel implementation for --mode batched")
     p.add_argument("--bs", type=int, default=None)
     p.add_argument("--save", help="save the factorization to this .npz")
     p.set_defaults(fn=_cmd_factor)
@@ -514,6 +528,13 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--backend", default="lapack",
                    choices=["reference", "lapack"])
     p.add_argument("--workers", type=int, default=4)
+    p.add_argument("--mode", default="task", choices=["task", "batched"],
+                   help="batched = level-synchronous stacked kernels; "
+                        "spans cover (level, kernel) groups and the "
+                        "simulated overlay is skipped")
+    p.add_argument("--numeric", default="auto",
+                   choices=["auto", "numpy", "lapack"],
+                   help="factor-kernel implementation for --mode batched")
     p.add_argument("--seed", type=int, default=0)
     p.add_argument("--out", help="write Chrome trace-event JSON here")
     p.add_argument("--metrics-json", help="write the metrics snapshot here")

@@ -154,6 +154,8 @@ def tiled_qr(
     family: KernelFamily | str = KernelFamily.TT,
     backend: str = "reference",
     workers: int | None = None,
+    mode: str = "task",
+    numeric: str = "auto",
     **scheme_params,
 ) -> TiledQRFactorization:
     """Tiled QR factorization of ``a`` (``m >= n``).
@@ -185,6 +187,17 @@ def tiled_qr(
         Numeric kernel implementation.
     workers : int or None
         ``None``/1 = sequential; ``>= 2`` = threaded dataflow runtime.
+        Ignored when ``mode="batched"``.
+    mode : {"task", "batched"}
+        ``"task"`` retires one tile task at a time; ``"batched"``
+        executes each (DAG level, kernel) group of independent tasks
+        as stacked 3-D NumPy operations — typically much faster (see
+        docs/performance.md).  ``backend`` is ignored in batched mode.
+    numeric : {"auto", "numpy", "lapack"}
+        Factor-kernel implementation for ``mode="batched"`` (ignored
+        otherwise): ``"lapack"`` runs the three factor kernels as
+        per-slice LAPACK calls (real dtypes), ``"numpy"`` keeps the
+        stacked NumPy kernels, ``"auto"`` picks LAPACK when supported.
     **scheme_params
         Extra parameters for the scheme (e.g. ``bs`` for plasma-tree).
 
@@ -213,7 +226,9 @@ def tiled_qr(
             "scheme must be a scheme name/spec string, an EliminationList, "
             f"or a Plan, got {type(scheme).__name__}")
     pl = build_plan(tiled.p, tiled.q, scheme, family, **scheme_params)
-    ctx = execute_graph(pl.graph, tiled, backend=backend, ib=min(ib, nb),
-                        workers=workers)
+    # pass the Plan itself: batched mode reuses its cached level groups
+    # and the threaded scheduler its memoized bottom-levels
+    ctx = execute_graph(pl, tiled, backend=backend, ib=min(ib, nb),
+                        workers=workers, mode=mode, numeric=numeric)
     return TiledQRFactorization(m=m, n=n, nb=nb, scheme=pl.elims,
                                 graph=pl.graph, context=ctx)

@@ -1,0 +1,618 @@
+"""Batched (stacked 3-D) variants of the six tile kernels (S20).
+
+At any Kahn level of the factorization DAG many tasks of the *same*
+kernel type are independent (the paper's whole point — Section 2.2's
+weighted critical paths count exactly this parallelism).  PLASMA
+exploits it with tuned kernels on many cores; the NumPy equivalent is
+to stack the operand tiles of one ``(level, kernel)`` group into a
+``(batch, nb, nb)`` array and execute the group as *one* sequence of
+3-D operations:
+
+* the update kernels (``UNMQR``/``TSMQR``/``TTMQR``) become a handful
+  of ``np.matmul`` calls on ``(batch, nb, nb)`` stacks — BLAS-3 over
+  the whole group instead of one small GEMM per task;
+* the factor kernels (``GEQRT``/``TSQRT``/``TTQRT``) keep their inner
+  ``ib`` panel loop in Python but vectorize every step — reflector
+  generation, the rank-1 panel updates, the ``larft`` accumulation and
+  the blocked trailing update — across the batch axis.
+
+The implementations mirror :mod:`repro.kernels.geqrt` and
+:mod:`repro.kernels.stacked` step for step (same formulas, same
+conditional writes on zero-norm columns), so each batch slice agrees
+with the reference kernel to rounding; they are *not* bitwise
+identical because batched reductions may associate differently.
+
+Tiles are expected zero-padded to a uniform ``nb x nb`` (see
+:class:`repro.tiles.pool.TilePool`): zero padding is exact — padded
+columns yield ``tau = 0`` identity reflectors and padded rows carry
+zero Householder entries, so the valid region of a padded computation
+equals the unpadded one.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from .geqrt import TFactor, panel_starts
+from .stacked import ts_support, tt_support
+
+__all__ = [
+    "BatchedTFactor",
+    "geqrt_batched",
+    "unmqr_batched",
+    "tsqrt_batched",
+    "tsmqr_batched",
+    "ttqrt_batched",
+    "ttmqr_batched",
+    "factor_stacked_batched",
+    "apply_stacked_batched",
+    "geqrt_lapack_batched",
+    "factor_stacked_lapack_batched",
+    "lapack_batched_supported",
+    "geqrt_lapack_pool",
+    "factor_stacked_lapack_pool",
+]
+
+
+class BatchedTFactor:
+    """Compact-WY ``T`` factors of a batch of same-shaped factorizations.
+
+    Attributes
+    ----------
+    blocks : list of ndarray
+        One ``(batch, jb, jb)`` stack per inner panel of ``ib`` columns.
+    ib : int
+        Inner blocking size (the last panel may be narrower).
+    """
+
+    def __init__(self, ib: int = 1):
+        self.ib = ib
+        self.blocks: list[np.ndarray] = []
+
+    def __len__(self) -> int:
+        return len(self.blocks)
+
+    def batch_size(self) -> int:
+        return self.blocks[0].shape[0] if self.blocks else 0
+
+    def task_tfactor(self, b: int, k: int) -> TFactor:
+        """Per-task :class:`TFactor` of batch element ``b``, sliced to
+        the valid reflector count ``k`` of the *unpadded* tile.
+
+        The slices are views into the stacked blocks (no copies), and
+        the leading ``k`` columns of a zero-padded factorization are
+        identical to the unpadded one, so the result is directly usable
+        by the per-tile apply kernels (``unmqr``/``tsmqr``/``ttmqr``),
+        e.g. when replaying ``Q`` via ``ExecutionContext.apply_q``.
+        """
+        t = TFactor(ib=self.ib)
+        for j0, jb in panel_starts(k, self.ib):
+            t.blocks.append(self.blocks[j0 // self.ib][b, :jb, :jb])
+        return t
+
+
+def _batched_reflector(x: np.ndarray):
+    """Householder reflectors of each row of ``x`` (shape ``(B, s)``).
+
+    The batch-axis analogue of :func:`repro.kernels.householder.reflector`
+    — same formulas, same conventions (``v[:, 0] = 1``, real ``tau``,
+    ``beta = -phase * ||x||``), with zero-norm rows yielding the
+    identity reflector ``tau = 0``.
+    """
+    norm = np.linalg.norm(x, axis=1)
+    alpha = x[:, 0]
+    absa = np.abs(alpha)
+    phase = np.where(absa == 0.0, 1.0,
+                     alpha / np.where(absa == 0.0, 1.0, absa))
+    beta = -phase * norm
+    u0 = alpha - beta
+    nz = norm != 0.0
+    safe = np.where(nz, u0, 1.0)
+    v = x / safe[:, None]
+    v[:, 0] = 1.0
+    uhu = 2.0 * (norm * norm + absa * norm)
+    tau = np.where(nz, 2.0 * np.abs(safe) ** 2 / np.where(nz, uhu, 1.0), 0.0)
+    beta = np.where(nz, beta, 0.0)
+    return v, tau, beta
+
+
+def _ct(a: np.ndarray) -> np.ndarray:
+    """Batched conjugate transpose (swap the last two axes).
+
+    For real dtypes the conjugation is skipped, making this a free
+    strided view (``np.matmul`` handles transposed operands natively);
+    complex dtypes pay one conjugated copy.
+    """
+    if a.dtype.kind == "c":
+        a = a.conj()
+    return a.swapaxes(-1, -2)
+
+
+_MASK_CACHE: dict = {}
+
+
+def _strict_lower_mask(rows: int, cols: int) -> np.ndarray:
+    """Cached strictly-lower-triangular float mask (``rows x cols``)."""
+    key = (rows, cols)
+    m = _MASK_CACHE.get(key)
+    if m is None:
+        m = np.tril(np.ones((rows, cols)), -1)
+        _MASK_CACHE[key] = m
+    return m
+
+
+_PANEL_CACHE: dict = {}
+
+
+def _panels(k: int, ib: int) -> tuple:
+    """Cached :func:`~repro.kernels.geqrt.panel_starts` (hot path)."""
+    key = (k, ib)
+    p = _PANEL_CACHE.get(key)
+    if p is None:
+        p = tuple(panel_starts(k, ib))
+        _PANEL_CACHE[key] = p
+    return p
+
+
+_SUPPORT_MASK_CACHE: dict = {}
+
+
+def _support_mask(support, j0: int, jb: int, smax: int,
+                  mb: int) -> np.ndarray:
+    """Cached boolean mask zeroing ``v`` rows below each column's
+    support (the TT kernels' co-resident GEQRT vectors)."""
+    key = (support, j0, jb, smax, mb)
+    m = _SUPPORT_MASK_CACHE.get(key)
+    if m is None:
+        sup = np.fromiter((support(j0 + c, mb) for c in range(jb)),
+                          dtype=np.int64, count=jb)
+        m = np.arange(smax)[:, None] < sup
+        _SUPPORT_MASK_CACHE[key] = m
+    return m
+
+
+def geqrt_batched(a: np.ndarray, ib: int) -> BatchedTFactor:
+    """Blocked QR of a ``(batch, mb, nb)`` stack of tiles, in place.
+
+    The batch-axis analogue of :func:`repro.kernels.geqrt.geqrt`: each
+    slice ``a[i]`` is overwritten with ``V`` below the diagonal and
+    ``R`` on and above it.
+    """
+    nbatch, m, n = a.shape
+    k = min(m, n)
+    t = BatchedTFactor(ib=ib)
+    for j0, jb in panel_starts(k, ib):
+        panel = a[:, j0:, j0 : j0 + jb]
+        tblk = np.zeros((nbatch, jb, jb), dtype=a.dtype)
+        vmat = np.zeros((nbatch, m - j0, jb), dtype=a.dtype)
+        for jj in range(jb):
+            v, tau, beta = _batched_reflector(panel[:, jj:, jj])
+            panel[:, jj, jj] = beta
+            panel[:, jj + 1 :, jj] = v[:, 1:]
+            vmat[:, jj, jj] = 1.0
+            vmat[:, jj + 1 :, jj] = v[:, 1:]
+            if jj + 1 < jb:
+                c = panel[:, jj:, jj + 1 :]
+                w = np.matmul(v.conj()[:, None, :], c)
+                c -= tau[:, None, None] * np.matmul(v[:, :, None], w)
+            tblk[:, jj, jj] = tau
+            if jj:
+                w = np.matmul(_ct(vmat[:, :, :jj]), vmat[:, :, jj : jj + 1])
+                tblk[:, :jj, jj : jj + 1] = -tau[:, None, None] * np.matmul(
+                    tblk[:, :jj, :jj], w)
+        t.blocks.append(tblk)
+        if j0 + jb < n:
+            c = a[:, j0:, j0 + jb :]
+            w = np.matmul(_ct(vmat), c)
+            w = np.matmul(_ct(tblk), w)
+            c -= np.matmul(vmat, w)
+    return t
+
+
+def unmqr_batched(
+    v: np.ndarray,
+    t: BatchedTFactor,
+    c: np.ndarray,
+    adjoint: bool = True,
+) -> None:
+    """Apply the orthogonal factors of a GEQRT'd stack to ``c`` in place.
+
+    Batched left-side analogue of :func:`repro.kernels.apply.unmqr`:
+    ``v`` and ``c`` are ``(batch, mb, *)`` stacks, ``t`` the matching
+    :class:`BatchedTFactor`.
+    """
+    _, m, n = v.shape
+    k = min(m, n)
+    panels = _panels(k, t.ib)
+    if len(panels) != len(t.blocks):
+        raise ValueError(
+            f"T factor has {len(t.blocks)} blocks but the tile implies "
+            f"{len(panels)}")
+    order = range(len(panels)) if adjoint else range(len(panels) - 1, -1, -1)
+    for idx in order:
+        j0, jb = panels[idx]
+        vmat = v[:, j0:, j0 : j0 + jb] * _strict_lower_mask(m - j0, jb)
+        d = np.arange(jb)
+        vmat[:, d, d] = 1.0
+        tblk = t.blocks[idx]
+        tb = _ct(tblk) if adjoint else tblk
+        w = np.matmul(_ct(vmat), c[:, j0:, :])
+        c[:, j0:, :] -= np.matmul(vmat, np.matmul(tb, w))
+
+
+def factor_stacked_batched(
+    r: np.ndarray,
+    b: np.ndarray,
+    ib: int,
+    support: Callable[[int, int], int],
+) -> BatchedTFactor:
+    """Factor a batch of stacked ``[R; B]`` pairs in place.
+
+    Batch-axis analogue of :func:`repro.kernels.stacked.factor_stacked`
+    — ``r`` is a ``(batch, nb, nb)`` stack of upper triangular pivot
+    tiles, ``b`` the ``(batch, mb, nb)`` stack of tiles being zeroed,
+    ``support`` the per-column bottom-row reach (full for TS,
+    triangular for TT).
+    """
+    nbatch, _, n = r.shape
+    mb = b.shape[1]
+    t = BatchedTFactor(ib=ib)
+    for j0, jb in panel_starts(n, ib):
+        smax = support(j0 + jb - 1, mb)
+        vmat = np.zeros((nbatch, smax, jb), dtype=b.dtype)
+        tblk = np.zeros((nbatch, jb, jb), dtype=b.dtype)
+        for jj in range(jb):
+            j = j0 + jj
+            s = support(j, mb)
+            top = r[:, j, j].copy()
+            col = b[:, :s, j]
+            norm = np.sqrt(np.abs(top) ** 2
+                           + np.sum(np.abs(col) ** 2, axis=1))
+            absa = np.abs(top)
+            phase = np.where(absa == 0.0, 1.0,
+                             top / np.where(absa == 0.0, 1.0, absa))
+            beta = -phase * norm
+            u0 = top - beta
+            nz = norm != 0.0
+            safe = np.where(nz, u0, 1.0)
+            vb = col / safe[:, None]
+            uhu = 2.0 * (norm * norm + absa * norm)
+            tau = np.where(
+                nz, 2.0 * np.abs(safe) ** 2 / np.where(nz, uhu, 1.0), 0.0)
+            # conditional writes: zero-norm columns are left untouched,
+            # matching the reference kernel's norm == 0 early-out
+            r[:, j, j] = np.where(nz, beta, top)
+            b[:, :s, j] = np.where(nz[:, None], vb, col)
+            vmat[:, :s, jj] = np.where(nz[:, None], vb, 0.0)
+            if jj + 1 < jb:
+                cols = slice(j + 1, j0 + jb)
+                w = r[:, j, cols] + np.matmul(
+                    vmat[:, :s, jj].conj()[:, None, :], b[:, :s, cols])[:, 0]
+                r[:, j, cols] -= tau[:, None] * w
+                b[:, :s, cols] -= tau[:, None, None] * np.matmul(
+                    vmat[:, :s, jj : jj + 1], w[:, None, :])
+            tblk[:, jj, jj] = tau
+            if jj:
+                w = np.matmul(_ct(vmat[:, :, :jj]), vmat[:, :, jj : jj + 1])
+                tblk[:, :jj, jj : jj + 1] = -tau[:, None, None] * np.matmul(
+                    tblk[:, :jj, :jj], w)
+        t.blocks.append(tblk)
+        if j0 + jb < n:
+            cols = slice(j0 + jb, n)
+            w = r[:, j0 : j0 + jb, cols] + np.matmul(
+                _ct(vmat), b[:, :smax, cols])
+            w = np.matmul(_ct(tblk), w)
+            r[:, j0 : j0 + jb, cols] -= w
+            b[:, :smax, cols] -= np.matmul(vmat, w)
+    return t
+
+
+def apply_stacked_batched(
+    v: np.ndarray,
+    t: BatchedTFactor,
+    c_top: np.ndarray,
+    c_bot: np.ndarray,
+    support: Callable[[int, int], int],
+    adjoint: bool = True,
+    mask: bool = False,
+) -> None:
+    """Apply a batch of stacked transformations to ``[c_top; c_bot]``.
+
+    Batch-axis, left-side analogue of
+    :func:`repro.kernels.stacked.apply_stacked`.  With ``mask=True``
+    (the TT kernels) entries of ``v`` below each column's support are
+    zeroed before use — they hold the GEQRT vectors sharing the tile.
+    """
+    _, mb, n = v.shape
+    panels = _panels(n, t.ib)
+    if len(panels) != len(t.blocks):
+        raise ValueError(
+            f"T factor has {len(t.blocks)} blocks but width {n} implies "
+            f"{len(panels)}")
+    order = range(len(panels)) if adjoint else range(len(panels) - 1, -1, -1)
+    for idx in order:
+        j0, jb = panels[idx]
+        smax = support(j0 + jb - 1, mb)
+        vblk = v[:, :smax, j0 : j0 + jb]
+        if mask:
+            vblk = np.where(_support_mask(support, j0, jb, smax, mb),
+                            vblk, 0.0)
+        tblk = t.blocks[idx]
+        tb = _ct(tblk) if adjoint else tblk
+        w = c_top[:, j0 : j0 + jb, :] + np.matmul(_ct(vblk),
+                                                  c_bot[:, :smax, :])
+        w = np.matmul(tb, w)
+        c_top[:, j0 : j0 + jb, :] -= w
+        c_bot[:, :smax, :] -= np.matmul(vblk, w)
+
+
+def tsqrt_batched(r: np.ndarray, a: np.ndarray, ib: int) -> BatchedTFactor:
+    """Batched :func:`repro.kernels.tsqrt.tsqrt`: zero square stacks."""
+    return factor_stacked_batched(r, a, ib, ts_support)
+
+
+def tsmqr_batched(v, t, c_top, c_bot, adjoint: bool = True) -> None:
+    """Batched :func:`repro.kernels.tsqrt.tsmqr` (left side)."""
+    apply_stacked_batched(v, t, c_top, c_bot, ts_support,
+                          adjoint=adjoint, mask=False)
+
+
+def ttqrt_batched(r: np.ndarray, r_bot: np.ndarray,
+                  ib: int) -> BatchedTFactor:
+    """Batched :func:`repro.kernels.ttqrt.ttqrt`: zero triangular stacks.
+
+    As in the per-tile kernel, the strictly lower triangle of each
+    ``r_bot`` slice (holding that tile's GEQRT vectors) is neither read
+    nor written.
+    """
+    return factor_stacked_batched(r, r_bot, ib, tt_support)
+
+
+def ttmqr_batched(v, t, c_top, c_bot, adjoint: bool = True) -> None:
+    """Batched :func:`repro.kernels.ttqrt.ttmqr` (left side, masked)."""
+    apply_stacked_batched(v, t, c_top, c_bot, tt_support,
+                          adjoint=adjoint, mask=True)
+
+
+# ---------------------------------------------------------------------------
+# LAPACK-accelerated factor kernels (per-slice ?geqrt / ?tpqrt)
+# ---------------------------------------------------------------------------
+#
+# The stacked NumPy *update* kernels above are a handful of large
+# ``np.matmul`` calls and run at BLAS speed, but the *factor* kernels
+# keep a per-column Python loop whose interpreter constants dominate on
+# small tiles.  LAPACK's ``?geqrt``/``?tpqrt`` do the same panel
+# factorization in compiled code (~100 us per 64 x 64 tile vs ~2.5 ms
+# for the column loop), so the batched executor can call them slice by
+# slice and still hand back a :class:`BatchedTFactor` with exactly the
+# layout the stacked applies expect (``?geqrt``/``?tpqrt`` store ``T``
+# as side-by-side ``(ib, jb)`` panel blocks).
+#
+# One convention difference needs patching: LAPACK's ``?larfg``
+# early-outs with ``tau = 0`` (identity) when a column's tail is
+# exactly zero, while :func:`repro.kernels.householder.reflector`
+# always applies ``H = -I`` there (``tau = 2``, ``beta = -alpha``).
+# The fix-up below rewrites those columns to the reference convention
+# (flip the ``R`` row, recompute the ``T`` column from the stored
+# ``V``), so this path reproduces the reference ``R`` to rounding —
+# including on zero-padded ragged tiles, where zero tails are routine.
+# Real dtypes only: ``?larfg``'s complex branch also rotates ``alpha``
+# to the real axis, which is not expressible in our real-``tau``
+# convention, so complex stacks stay on the NumPy kernels.
+
+
+def lapack_batched_supported(dtype) -> bool:
+    """Whether the per-slice LAPACK factor path can handle ``dtype``."""
+    if np.dtype(dtype).type not in (np.float32, np.float64):
+        return False
+    try:
+        from scipy.linalg import get_lapack_funcs  # noqa: F401
+    except ImportError:  # pragma: no cover - scipy ships with the repo
+        return False
+    return True
+
+
+def _fix_zero_tail_geqrt(a: np.ndarray, tstack: np.ndarray,
+                         ib: int, k: int) -> None:
+    """Rewrite LAPACK's zero-tail ``tau = 0`` columns to the reference
+    ``H = -I`` convention, in place (see the section comment above)."""
+    for j0, jb in panel_starts(k, ib):
+        cols = j0 + np.arange(jb)
+        taud = tstack[:, np.arange(jb), cols]
+        diag = a[:, cols, cols]
+        hits = (taud == 0.0) & (diag != 0.0)
+        if not hits.any():
+            continue
+        for jj in np.nonzero(hits.any(axis=0))[0]:
+            j = j0 + int(jj)
+            idx = np.nonzero(hits[:, jj])[0]
+            if jj:
+                # T[:jj, j] = -tau * T[:jj, :jj] @ (V[:, :jj]^H e_jj);
+                # the inner product collapses to stored V row j.
+                g = a[idx, j, j0:j]
+                tsub = tstack[idx, :jj, j0:j]
+                tstack[idx, :jj, j] = -2.0 * np.matmul(
+                    tsub, g[:, :, None])[:, :, 0]
+            tstack[idx, jj, j] = 2.0
+            a[idx, j, j:] *= -1.0
+
+
+def geqrt_lapack_batched(a: np.ndarray, ib: int) -> BatchedTFactor:
+    """Per-slice LAPACK ``?geqrt`` over a ``(batch, mb, nb)`` stack.
+
+    Same in-place contract and return type as :func:`geqrt_batched`,
+    and the same numerical convention (zero-tail columns are fixed up
+    to the reference reflector), so the two are interchangeable.
+    """
+    from scipy.linalg import get_lapack_funcs
+
+    nbatch, m, n = a.shape
+    k = min(m, n)
+    nbq = max(1, min(ib, k))
+    (geqrt,) = get_lapack_funcs(("geqrt",), (a,))
+    tstack = np.empty((nbatch, nbq, k), dtype=a.dtype)
+    for i in range(nbatch):
+        out, tl, info = geqrt(nbq, a[i])
+        if info != 0:  # pragma: no cover - only on invalid arguments
+            raise RuntimeError(f"?geqrt failed with info={info}")
+        a[i] = out
+        tstack[i] = tl
+    _fix_zero_tail_geqrt(a, tstack, nbq, k)
+    t = BatchedTFactor(ib=nbq)
+    for j0, jb in panel_starts(k, nbq):
+        t.blocks.append(tstack[:, :jb, j0:j0 + jb])
+    return t
+
+
+def factor_stacked_lapack_batched(
+    r: np.ndarray,
+    b: np.ndarray,
+    ib: int,
+    triangular: bool,
+) -> BatchedTFactor:
+    """Per-slice LAPACK ``?tpqrt`` over stacked ``[R; B]`` pairs.
+
+    Drop-in for :func:`factor_stacked_batched` with ``ts_support``
+    (``triangular=False``, pentagon height ``L = 0``) or ``tt_support``
+    (``triangular=True``, ``L = mb``).  As in the per-tile kernel, the
+    strictly lower triangle of each TT bottom slice (the co-resident
+    GEQRT vectors) is preserved — ``?tpqrt`` never references it.
+    """
+    from scipy.linalg import get_lapack_funcs
+
+    nbatch, _, n = r.shape
+    mb = b.shape[1]
+    l = min(mb, n) if triangular else 0
+    nbq = max(1, min(ib, n))
+    (tpqrt,) = get_lapack_funcs(("tpqrt",), (r, b))
+    tstack = np.empty((nbatch, nbq, n), dtype=r.dtype)
+    for i in range(nbatch):
+        a_out, b_out, tl, info = tpqrt(l, nbq, r[i, :n, :], b[i])
+        if info != 0:  # pragma: no cover - only on invalid arguments
+            raise RuntimeError(f"?tpqrt failed with info={info}")
+        r[i, :n, :] = a_out
+        b[i] = b_out
+        tstack[i] = tl
+    # Zero-tail fix-up: v_j = [e_j; 0] is orthogonal to every earlier
+    # reflector's top e-vector *and* bottom support, so the T column is
+    # just tau on the diagonal.
+    for j0, jb in panel_starts(n, nbq):
+        cols = j0 + np.arange(jb)
+        taud = tstack[:, np.arange(jb), cols]
+        diag = r[:, cols, cols]
+        hits = (taud == 0.0) & (diag != 0.0)
+        if not hits.any():
+            continue
+        for jj in np.nonzero(hits.any(axis=0))[0]:
+            j = j0 + int(jj)
+            idx = np.nonzero(hits[:, jj])[0]
+            tstack[idx, :, j] = 0.0
+            tstack[idx, jj, j] = 2.0
+            r[idx, j, j:] *= -1.0
+    t = BatchedTFactor(ib=nbq)
+    for j0, jb in panel_starts(n, nbq):
+        t.blocks.append(tstack[:, :jb, j0:j0 + jb])
+    return t
+
+
+# -- pool-direct variants ---------------------------------------------------
+#
+# The batched executor normally gathers a group's tiles into a fresh
+# ``(batch, nb, nb)`` stack (``pool.take``) and scatters the results
+# back (``pool.put``).  The stacked NumPy kernels need that — their 3-D
+# ``np.matmul`` calls want one contiguous operand — but the per-slice
+# LAPACK loop does not: it can factor each tile where it lives in the
+# pool, saving two full copies of every factor group's tiles.
+
+
+def _fix_zero_tail_geqrt_pool(stack: np.ndarray, slots: np.ndarray,
+                              tstack: np.ndarray, ib: int, k: int) -> None:
+    """Pool-indexed variant of :func:`_fix_zero_tail_geqrt`."""
+    for j0, jb in _panels(k, ib):
+        cols = j0 + np.arange(jb)
+        taud = tstack[:, np.arange(jb), cols]
+        diag = stack[slots[:, None], cols, cols]
+        hits = (taud == 0.0) & (diag != 0.0)
+        if not hits.any():
+            continue
+        for jj in np.nonzero(hits.any(axis=0))[0]:
+            j = j0 + int(jj)
+            idx = np.nonzero(hits[:, jj])[0]
+            sl = slots[idx]
+            if jj:
+                g = stack[sl, j, j0:j]
+                tsub = tstack[idx, :jj, j0:j]
+                tstack[idx, :jj, j] = -2.0 * np.matmul(
+                    tsub, g[:, :, None])[:, :, 0]
+            tstack[idx, jj, j] = 2.0
+            stack[sl, j, j:] *= -1.0
+
+
+def geqrt_lapack_pool(stack: np.ndarray, slots: np.ndarray,
+                      ib: int) -> BatchedTFactor:
+    """:func:`geqrt_lapack_batched` operating in place on pool slots.
+
+    ``stack`` is a :class:`~repro.tiles.pool.TilePool`'s backing array;
+    ``slots[i]`` names the tile of batch element ``i``.  No gather or
+    scatter copies are made.
+    """
+    from scipy.linalg import get_lapack_funcs
+
+    nb = stack.shape[1]
+    nbq = max(1, min(ib, nb))
+    (geqrt,) = get_lapack_funcs(("geqrt",), (stack,))
+    nbatch = len(slots)
+    tstack = np.empty((nbatch, nbq, nb), dtype=stack.dtype)
+    for i in range(nbatch):
+        s = slots[i]
+        out, tl, info = geqrt(nbq, stack[s])
+        if info != 0:  # pragma: no cover - only on invalid arguments
+            raise RuntimeError(f"?geqrt failed with info={info}")
+        stack[s] = out
+        tstack[i] = tl
+    _fix_zero_tail_geqrt_pool(stack, slots, tstack, nbq, nb)
+    t = BatchedTFactor(ib=nbq)
+    for j0, jb in _panels(nb, nbq):
+        t.blocks.append(tstack[:, :jb, j0:j0 + jb])
+    return t
+
+
+def factor_stacked_lapack_pool(stack: np.ndarray, rslots: np.ndarray,
+                               bslots: np.ndarray, ib: int,
+                               triangular: bool) -> BatchedTFactor:
+    """:func:`factor_stacked_lapack_batched` operating on pool slots."""
+    from scipy.linalg import get_lapack_funcs
+
+    nb = stack.shape[1]
+    l = nb if triangular else 0
+    nbq = max(1, min(ib, nb))
+    (tpqrt,) = get_lapack_funcs(("tpqrt",), (stack, stack))
+    nbatch = len(rslots)
+    tstack = np.empty((nbatch, nbq, nb), dtype=stack.dtype)
+    for i in range(nbatch):
+        rs, bs = rslots[i], bslots[i]
+        a_out, b_out, tl, info = tpqrt(l, nbq, stack[rs], stack[bs])
+        if info != 0:  # pragma: no cover - only on invalid arguments
+            raise RuntimeError(f"?tpqrt failed with info={info}")
+        stack[rs] = a_out
+        stack[bs] = b_out
+        tstack[i] = tl
+    for j0, jb in _panels(nb, nbq):
+        cols = j0 + np.arange(jb)
+        taud = tstack[:, np.arange(jb), cols]
+        diag = stack[rslots[:, None], cols, cols]
+        hits = (taud == 0.0) & (diag != 0.0)
+        if not hits.any():
+            continue
+        for jj in np.nonzero(hits.any(axis=0))[0]:
+            j = j0 + int(jj)
+            idx = np.nonzero(hits[:, jj])[0]
+            tstack[idx, :, j] = 0.0
+            tstack[idx, jj, j] = 2.0
+            stack[rslots[idx], j, j:] *= -1.0
+    t = BatchedTFactor(ib=nbq)
+    for j0, jb in _panels(nb, nbq):
+        t.blocks.append(tstack[:, :jb, j0:j0 + jb])
+    return t

@@ -115,6 +115,10 @@ class Plan:
     _unbounded: Optional[SimResult] = field(
         default=None, repr=False, compare=False)
     _schedules: dict = field(default_factory=dict, repr=False, compare=False)
+    _bottom_levels: Optional[np.ndarray] = field(
+        default=None, repr=False, compare=False)
+    _level_groups: Optional[list] = field(
+        default=None, repr=False, compare=False)
 
     # ------------------------------------------------------------------
     @property
@@ -158,6 +162,28 @@ class Plan:
                 self._schedules[mkey] = res
             return res
         return simulate_bounded(self, processors, priority)
+
+    def bottom_levels(self) -> np.ndarray:
+        """Memoized per-task bottom levels (critical-path priority).
+
+        Used by the threaded executor's priority ready-queue and the
+        bounded simulator; see :func:`repro.sim.simulate.bottom_levels`.
+        """
+        if self._bottom_levels is None:
+            from ..sim.simulate import bottom_levels
+            self._bottom_levels = bottom_levels(self)
+        return self._bottom_levels
+
+    def level_groups(self) -> list:
+        """Memoized (Kahn level, kernel) task groups of the DAG.
+
+        The unit of work of the batched backend; see
+        :func:`repro.runtime.batched.level_kernel_groups`.
+        """
+        if self._level_groups is None:
+            from ..runtime.batched import level_kernel_groups
+            self._level_groups = level_kernel_groups(self.graph)
+        return self._level_groups
 
     def total_weight(self) -> float:
         """Sum of task weights."""

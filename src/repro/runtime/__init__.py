@@ -1,5 +1,7 @@
-"""Execution runtimes for kernel task graphs (S12)."""
+"""Execution runtimes for kernel task graphs (S12, S20)."""
 
+from .batched import execute_batched, level_kernel_groups
 from .executor import ExecutionContext, execute_graph
 
-__all__ = ["ExecutionContext", "execute_graph"]
+__all__ = ["ExecutionContext", "execute_graph", "execute_batched",
+           "level_kernel_groups"]

@@ -7,11 +7,20 @@ numeric kernels.  Two modes:
 * **sequential** — tasks in emission (topological) order; the baseline
   and reference for correctness.
 * **threaded** — a dynamic dataflow scheduler on a thread pool: a task
-  is submitted the moment its last dependency retires, mirroring
-  PLASMA's runtime.  NumPy/LAPACK kernels release the GIL inside BLAS,
-  so genuine parallelism is possible, though Python-level scheduling
-  overhead limits scaling for small tiles (this is the documented
-  substitution for the paper's 48-core C runtime; see DESIGN.md §2).
+  becomes ready the moment its last dependency retires, mirroring
+  PLASMA's runtime.  Ready tasks are popped from a heap ordered by
+  *descending bottom-level* (critical-path priority, from the Plan's
+  memoized ``bottom_levels``; FIFO when no Plan is supplied), so
+  critical-path work is never starved by ready filler tasks.
+  NumPy/LAPACK kernels release the GIL inside BLAS, so genuine
+  parallelism is possible, though Python-level scheduling overhead
+  limits scaling for small tiles (this is the documented substitution
+  for the paper's 48-core C runtime; see DESIGN.md §2).
+
+A third mode lives in :mod:`repro.runtime.batched` and is reached via
+``execute_graph(..., mode="batched")``: level-synchronous batched
+execution of stacked tile groups (the fast path for real
+factorizations; see that module and docs/performance.md).
 
 The executor owns the side table of ``T`` factors produced by the
 factor kernels and consumed by the update kernels; it is returned as an
@@ -22,6 +31,9 @@ arbitrary right-hand sides by replaying the panel tasks
 
 from __future__ import annotations
 
+import heapq
+import itertools
+import logging
 import threading
 import time
 from concurrent.futures import ThreadPoolExecutor
@@ -38,6 +50,25 @@ from ..obs.tracer import Tracer
 from ..tiles.layout import TiledMatrix
 
 __all__ = ["ExecutionContext", "execute_graph"]
+
+logger = logging.getLogger(__name__)
+
+
+def _clamp_ib(ib: int, nb: int, metrics: MetricsRegistry | None) -> int:
+    """Clamp the inner blocking size to the tile size, once, at entry.
+
+    ``ib=32`` silently exceeding a small ``nb`` used to be absorbed by
+    each kernel's internal ``min`` — correct, but invisible.  Clamp
+    here and say so.  Non-positive ``ib`` is passed through untouched
+    so kernel-level validation still fires.
+    """
+    if ib > nb:
+        logger.warning("ib=%d exceeds tile size nb=%d; clamped to %d",
+                       ib, nb, nb)
+        if metrics is not None:
+            metrics.counter("executor.ib_clamped").inc()
+        return nb
+    return ib
 
 #: which T-factor slot each kernel reads/writes
 _KIND = {
@@ -162,6 +193,8 @@ def execute_graph(
     backend: str | KernelBackend = "reference",
     ib: int = 32,
     workers: int | None = None,
+    mode: str = "task",
+    numeric: str = "auto",
     on_task_done=None,
     tracer: Tracer | None = None,
     metrics: MetricsRegistry | None = None,
@@ -174,16 +207,36 @@ def execute_graph(
     graph : TaskGraph or Plan
         The factorization DAG (from :func:`repro.dag.build_dag`), or a
         :class:`~repro.planner.Plan` wrapping one (from
-        :func:`repro.api.plan`).
+        :func:`repro.api.plan`).  Passing the Plan is preferred: the
+        batched mode reuses its cached level groups and the threaded
+        scheduler its memoized bottom-levels.
     tiled : TiledMatrix
         Tile views over the working array (mutated in place).
     backend : str or KernelBackend
-        ``"reference"`` or ``"lapack"``.
+        ``"reference"`` or ``"lapack"``.  Ignored by
+        ``mode="batched"``, which always runs its own stacked NumPy
+        kernels.
     ib : int
-        Inner blocking size for the kernels.
+        Inner blocking size for the kernels.  Clamped to ``tiled.nb``
+        at entry (with a log warning and an ``executor.ib_clamped``
+        metrics counter) — ``ib > nb`` is meaningless and used to be
+        silently absorbed by each kernel.
     workers : int or None
         ``None`` or ``1`` runs sequentially; otherwise a threaded
-        dataflow scheduler with that many workers.
+        dataflow scheduler with that many workers.  Ignored by
+        ``mode="batched"`` (level-synchronous, single-threaded
+        orchestration over multi-threaded BLAS).
+    mode : str
+        ``"task"`` (default) retires one task at a time (sequential or
+        threaded per ``workers``); ``"batched"`` delegates to
+        :func:`repro.runtime.batched.execute_batched`, which executes
+        each (level, kernel) group of independent tasks as stacked 3-D
+        operations — typically much faster for real factorizations.
+    numeric : str
+        Factor-kernel implementation for ``mode="batched"`` (ignored
+        otherwise): ``"numpy"``, ``"lapack"``, or ``"auto"`` (LAPACK
+        when the dtype supports it).  See
+        :func:`repro.runtime.batched.execute_batched`.
     on_task_done : callable or None
         Optional observer ``(task, done_count, total) -> None`` invoked
         after each kernel retires (progress bars, logging).  In
@@ -211,16 +264,27 @@ def execute_graph(
     -------
     ExecutionContext
     """
+    if mode not in ("task", "batched"):
+        raise ValueError(f"mode must be 'task' or 'batched', got {mode!r}")
+    if mode == "batched":
+        from .batched import execute_batched
+        return execute_batched(graph, tiled, ib=ib, numeric=numeric,
+                               on_task_done=on_task_done, tracer=tracer,
+                               metrics=metrics,
+                               collect_metrics=collect_metrics)
+    plan_obj = None
     if not isinstance(graph, TaskGraph):
         wrapped = getattr(graph, "graph", None)  # Plan-shaped object
         if not isinstance(wrapped, TaskGraph):
             raise TypeError(
                 f"expected a TaskGraph or a Plan, got {type(graph).__name__}")
+        plan_obj = graph
         graph = wrapped
     if tracer is not None and not tracer.enabled:
         tracer = None
     if metrics is None and collect_metrics:
         metrics = MetricsRegistry()
+    ib = _clamp_ib(ib, tiled.nb, metrics)
     ctx = ExecutionContext(tiled=tiled, graph=graph,
                            backend=get_backend(backend), ib=ib,
                            tracer=tracer, metrics=metrics)
@@ -244,93 +308,127 @@ def execute_graph(
                 on_task_done(t, i, total)
         return ctx
 
-    # threaded dataflow scheduler
+    # Threaded dataflow scheduler with a priority ready-queue.  Ready
+    # tasks sit in a heap keyed by descending bottom-level (when a Plan
+    # supplied one) so the deepest remaining critical path is always
+    # served first; the monotone push sequence breaks ties, which also
+    # makes the no-priority case plain FIFO.
     n = len(graph.tasks)
+    if n == 0:
+        return ctx
     succ = graph.successors()
     indeg = [len(t.deps) for t in graph.tasks]
+    prio = None
+    if plan_obj is not None and hasattr(plan_obj, "bottom_levels"):
+        prio = np.asarray(plan_obj.bottom_levels(), dtype=np.float64)
     lock = threading.Lock()
     done = threading.Event()
     remaining = [n]
-    inflight = [0]
+    active = [0]  # worker loops currently alive
+    seq = itertools.count()
+    ready: list[tuple[float, int, int]] = []  # (-bottom_level, seq, tid)
     errors: list[BaseException] = []
     submit_ts = [0.0] * n if tracer is not None else None
-    if n == 0:
-        return ctx
-    # Snapshot the initially ready set *before* any worker can start
-    # decrementing indeg, otherwise a task whose dependencies retire
-    # while we are still submitting would be dispatched twice.
-    initial = [t.tid for t in graph.tasks if indeg[t.tid] == 0]
+    W = max(1, workers)
 
-    with ThreadPoolExecutor(max_workers=workers) as pool:
+    def push(tid: int) -> None:  # lock held
+        if tracer is not None:
+            submit_ts[tid] = time.perf_counter() - tracer.epoch
+        key = -prio[tid] if prio is not None else 0.0
+        heapq.heappush(ready, (key, next(seq), tid))
 
-        def submit(tid: int) -> None:
-            if tracer is not None:
-                submit_ts[tid] = time.perf_counter() - tracer.epoch
-            pool.submit(run, tid)
+    def pop() -> int:  # lock held
+        _, s, tid = heapq.heappop(ready)
+        # A popped task younger than some queued task means FIFO would
+        # have run the wrong (shallower) task first.  O(queue) scan,
+        # paid only on observed runs.
+        if metrics is not None and ready and min(
+                e[1] for e in ready) < s:
+            metrics.counter("scheduler.priority_inversions_avoided").inc()
+        return tid
 
-        def retire(tid: int) -> None:
-            newly_ready = []
-            if metrics is not None:
-                t_req = time.perf_counter()
+    with ThreadPoolExecutor(max_workers=W) as pool:
+
+        def abort(exc: BaseException) -> None:
             with lock:
-                if metrics is not None:
-                    t_in = time.perf_counter()
-                remaining[0] -= 1
-                inflight[0] -= 1
-                done_count = n - remaining[0]
-                if on_task_done is not None:
-                    try:
-                        on_task_done(graph.tasks[tid], done_count, n)
-                    except BaseException as exc:
-                        # An observer failure must not leave done unset
-                        # (deadlock); abort like a kernel failure.
-                        errors.append(exc)
-                        done.set()
-                        return
-                if remaining[0] == 0:
-                    done.set()
-                for s in succ[tid]:
-                    indeg[s] -= 1
-                    if indeg[s] == 0:
-                        newly_ready.append(s)
-                inflight[0] += len(newly_ready)
-                depth = inflight[0]
-            if metrics is not None:
-                t_out = time.perf_counter()
-                metrics.counter("scheduler.lock_wait_seconds").inc(
-                    t_in - t_req)
-                metrics.counter("scheduler.lock_hold_seconds").inc(
-                    t_out - t_in)
-                metrics.gauge("scheduler.inflight_tasks").set(
-                    depth, t=t_out)
-                metrics.histogram(
-                    "scheduler.newly_ready",
-                    buckets=(0, 1, 2, 4, 8, 16, 32),
-                ).observe(len(newly_ready))
-            for s in newly_ready:
-                submit(s)
+                errors.append(exc)
+                active[0] -= 1
+            done.set()
 
-        def run(tid: int) -> None:
-            task = graph.tasks[tid]
-            if observed:
-                t0 = time.perf_counter()
-            try:
-                ctx.run_task(task)
-            except BaseException as exc:  # propagate to the caller
+        def worker_loop() -> None:
+            while True:
                 with lock:
-                    errors.append(exc)
-                done.set()
-                return
-            if observed:
-                t1 = time.perf_counter()
-                _observe_task(task, t0, t1, tracer, metrics,
-                              submit_ts=submit_ts)
-            retire(tid)
+                    if errors or not ready:
+                        active[0] -= 1
+                        return
+                    tid = pop()
+                task = graph.tasks[tid]
+                if observed:
+                    t0 = time.perf_counter()
+                try:
+                    ctx.run_task(task)
+                except BaseException as exc:  # propagate to the caller
+                    abort(exc)
+                    return
+                if observed:
+                    t1 = time.perf_counter()
+                    _observe_task(task, t0, t1, tracer, metrics,
+                                  submit_ts=submit_ts)
+                # retire: release successors, top the worker pool back up
+                newly_ready = []
+                if metrics is not None:
+                    t_req = time.perf_counter()
+                with lock:
+                    if metrics is not None:
+                        t_in = time.perf_counter()
+                    remaining[0] -= 1
+                    done_count = n - remaining[0]
+                    if on_task_done is not None:
+                        try:
+                            on_task_done(task, done_count, n)
+                        except BaseException as exc:
+                            # An observer failure must not leave done
+                            # unset (deadlock); abort like a kernel
+                            # failure.
+                            errors.append(exc)
+                            active[0] -= 1
+                            done.set()
+                            return
+                    if remaining[0] == 0:
+                        done.set()
+                    for s_ in succ[tid]:
+                        indeg[s_] -= 1
+                        if indeg[s_] == 0:
+                            newly_ready.append(s_)
+                    for s_ in newly_ready:
+                        push(s_)
+                    spawn = min(W - active[0], len(ready))
+                    active[0] += spawn
+                    depth = active[0] + len(ready)
+                if metrics is not None:
+                    t_out = time.perf_counter()
+                    metrics.counter("scheduler.lock_wait_seconds").inc(
+                        t_in - t_req)
+                    metrics.counter("scheduler.lock_hold_seconds").inc(
+                        t_out - t_in)
+                    metrics.gauge("scheduler.inflight_tasks").set(
+                        depth, t=t_out)
+                    metrics.histogram(
+                        "scheduler.newly_ready",
+                        buckets=(0, 1, 2, 4, 8, 16, 32),
+                    ).observe(len(newly_ready))
+                for _ in range(spawn):
+                    pool.submit(worker_loop)
+                # loop back for the next ready task
 
         with lock:
-            inflight[0] = len(initial)
-        for tid in initial:
-            submit(tid)
+            for t in graph.tasks:
+                if indeg[t.tid] == 0:
+                    push(t.tid)
+            spawn = min(W, len(ready))
+            active[0] = spawn
+        for _ in range(spawn):
+            pool.submit(worker_loop)
         done.wait()
     if errors:
         raise errors[0]

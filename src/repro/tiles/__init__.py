@@ -1,5 +1,6 @@
-"""Tiled matrix layout (S5)."""
+"""Tiled matrix layout and contiguous tile pool (S5, S20)."""
 
 from .layout import TiledMatrix
+from .pool import TilePool
 
-__all__ = ["TiledMatrix"]
+__all__ = ["TiledMatrix", "TilePool"]

@@ -1,0 +1,75 @@
+"""TilePool gather/scatter/take/put round-trip properties."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.tiles import TiledMatrix, TilePool
+from tests.conftest import random_matrix
+
+shapes = st.tuples(st.integers(min_value=1, max_value=40),
+                   st.integers(min_value=1, max_value=40),
+                   st.integers(min_value=1, max_value=9),
+                   st.integers(min_value=0, max_value=10_000))
+
+
+class TestRoundTrip:
+    @given(shapes)
+    @settings(max_examples=60, deadline=None)
+    def test_gather_scatter_identity(self, mns):
+        m, n, nb, seed = mns
+        rng = np.random.default_rng(seed)
+        a = rng.standard_normal((m, n))
+        tm = TiledMatrix(a.copy(), nb)
+        pool = TilePool(tm)
+        tm.array[...] = 0.0  # scatter must restore every element
+        pool.scatter()
+        assert np.array_equal(tm.array, a)
+
+    @given(shapes)
+    @settings(max_examples=40, deadline=None)
+    def test_take_put_round_trip(self, mns):
+        m, n, nb, seed = mns
+        rng = np.random.default_rng(seed)
+        tm = TiledMatrix(rng.standard_normal((m, n)), nb)
+        pool = TilePool(tm)
+        before = pool.stack.copy()
+        slots = rng.permutation(pool.ntiles)[: max(1, pool.ntiles // 2)]
+        batch = pool.take(slots)
+        assert batch.base is None  # a copy, not a view of the pool
+        pool.put(slots, batch)
+        assert np.array_equal(pool.stack, before)
+
+    def test_ragged_slots_zero_padded(self, rng):
+        a = np.asarray(random_matrix(rng, 7, 5, np.float64))
+        tm = TiledMatrix(a.copy(), 4)
+        pool = TilePool(tm)
+        assert pool.stack.shape == (4, 4, 4)
+        assert pool.stack.flags["C_CONTIGUOUS"]
+        # bottom-right ragged tile: valid 3 x 1, rest zero
+        corner = pool.stack[pool.slot(1, 1)]
+        assert np.array_equal(corner[:3, :1], a[4:, 4:])
+        assert np.all(corner[3:, :] == 0.0) and np.all(corner[:, 1:] == 0.0)
+
+    def test_slot_accepts_arrays(self, rng):
+        tm = TiledMatrix(np.asarray(random_matrix(rng, 12, 8, np.float64)), 4)
+        pool = TilePool(tm)
+        i = np.array([0, 1, 2])
+        j = np.array([1, 0, 1])
+        np.testing.assert_array_equal(pool.slot(i, j), i * pool.q + j)
+
+    def test_modified_pool_scatters_back(self, rng, dtype):
+        a = np.asarray(random_matrix(rng, 10, 6, dtype))
+        tm = TiledMatrix(a.copy(), 4)
+        pool = TilePool(tm)
+        slots = pool.slot(np.array([0, 1, 2]), np.array([0, 1, 0]))
+        batch = pool.take(slots)
+        batch *= 2.0
+        pool.put(slots, batch)
+        pool.scatter()
+        expected = a.copy()
+        expected[0:4, 0:4] *= 2.0
+        expected[4:8, 4:6] *= 2.0
+        expected[8:10, 0:4] *= 2.0
+        assert np.allclose(tm.array, expected)
