@@ -209,6 +209,41 @@ def run_factor_case(scheme: str, family: str, m: int, n: int,
     }
 
 
+def host_metadata() -> dict:
+    """Host context a performance number is meaningless without.
+
+    CPU count, platform/machine, Python/NumPy/SciPy versions, and the
+    BLAS implementation NumPy is linked against (the single biggest
+    machine-to-machine variable for these benchmarks).  Every probe is
+    guarded — a missing SciPy or an older NumPy without
+    ``show_config(mode=...)`` degrades to ``None``, never an error.
+    """
+    import os
+
+    meta = {
+        "cpu_count": os.cpu_count(),
+        "platform": platform.platform(),
+        "machine": platform.machine(),
+        "python": platform.python_version(),
+        "numpy": np.__version__,
+        "scipy": None,
+        "blas": None,
+    }
+    try:
+        import scipy
+
+        meta["scipy"] = scipy.__version__
+    except ImportError:
+        pass
+    try:
+        cfg = np.show_config(mode="dicts")
+        blas = cfg.get("Build Dependencies", {}).get("blas", {})
+        meta["blas"] = blas.get("name") or None
+    except Exception:
+        pass  # older NumPy without show_config(mode="dicts")
+    return meta
+
+
 def take_snapshot(quick: bool) -> dict:
     cases = QUICK_CASES if quick else FULL_CASES
     factor_cases = FACTOR_QUICK_CASES if quick else FACTOR_FULL_CASES
@@ -229,6 +264,7 @@ def take_snapshot(quick: bool) -> dict:
         "quick": quick,
         "python": platform.python_version(),
         "numpy": np.__version__,
+        "host": host_metadata(),
         "cases": out_cases,
         "factor": out_factor,
         "plan_cache": plan_cache_stats(),

@@ -68,6 +68,10 @@ def factor(
     workers: Optional[int] = None,
     mode: str = "task",
     numeric: str = "auto",
+    tracer=None,
+    metrics=None,
+    bus=None,
+    on_task_done=None,
     **scheme_params,
 ) -> TiledQRFactorization:
     """Tiled QR factorization of ``a`` — facade over :func:`repro.tiled_qr`.
@@ -82,10 +86,15 @@ def factor(
     per-task executors — usually the fastest way to factor a real
     matrix; ``numeric`` picks its factor-kernel implementation
     (``"auto"``/``"numpy"``/``"lapack"``); see docs/performance.md.
+    ``tracer``/``metrics``/``bus``/``on_task_done`` are the
+    observability passthroughs (span capture, metrics registry,
+    streaming event bus, completion callback) — see
+    :func:`repro.runtime.executor.execute_graph`.
     """
     return tiled_qr(a, nb=nb, ib=ib, scheme=scheme, family=family,
                     backend=backend, workers=workers, mode=mode,
-                    numeric=numeric, **scheme_params)
+                    numeric=numeric, tracer=tracer, metrics=metrics,
+                    bus=bus, on_task_done=on_task_done, **scheme_params)
 
 
 def simulate(

@@ -17,11 +17,20 @@ Subcommands
 ``profile``  execute a factorization with the span tracer and metrics
              registry on, write a Chrome trace (optionally overlaying
              the simulated schedule), print the metrics summary and
-             the schedule-analytics report
+             the schedule-analytics report; ``--events`` captures the
+             streaming event bus as JSONL, ``--prometheus`` exports
+             the registry (with sampler time series) as Prometheus
+             text, ``--progress`` shows live progress
+``top``      live TTY dashboard of a running factorization: per-kernel
+             completion bars, per-worker utilization, ready-frontier
+             depth, and a live ETA replayed against the plan's
+             simulated schedule (predicted-vs-actual drift)
 ``analyze``  schedule analytics of a simulated schedule (or an
-             exported Chrome trace): per-processor utilization,
-             time-by-kernel pivot, the critical-path chain realizing
-             the makespan, per-task slack, lower-bound efficiency
+             exported Chrome trace / JSONL event log via
+             ``--from-trace``, ``.gz`` transparently): per-processor
+             utilization, time-by-kernel pivot, the critical-path
+             chain realizing the makespan, per-task slack, measured
+             queue waits, lower-bound efficiency
 
 Examples
 --------
@@ -35,8 +44,13 @@ Examples
     python -m repro trace greedy 15 6 --workers 8 --format gantt
     python -m repro trace greedy 15 6 --workers 4 --format chrome
     python -m repro profile greedy 15 6 --workers 8 --out trace.json
+    python -m repro profile greedy 15 6 --events events.jsonl.gz \
+        --prometheus metrics.prom
+    python -m repro top greedy 20 10 --workers 8 --nb 48
+    python -m repro factor --random 600x300 --nb 50 --progress
     python -m repro analyze greedy 30 10 --workers 16
     python -m repro analyze --from-trace trace.json --format markdown
+    python -m repro analyze --from-trace events.jsonl.gz
 """
 
 from __future__ import annotations
@@ -152,6 +166,48 @@ def _cmd_tune(args) -> int:
     return 0
 
 
+def _progress_setup(pl, nb: int, workers, mode: str, label: str,
+                    bus=None, state=None, show_workers: bool = False,
+                    interval: float = 0.1):
+    """Wire a bus + live state + renderer for one planned run.
+
+    Returns ``(bus, state, renderer, replay)``; an existing
+    ``bus``/``state`` pair is reused when given.  The ETA replays
+    against the plan's memoized simulated schedule: bounded on
+    ``workers`` lanes for the threaded executor, unbounded (ASAP) for
+    the level-parallel batched backend, one lane otherwise.
+    """
+    from .obs import EventBus, LiveState, ProgressRenderer, kernel_totals
+
+    if mode == "batched":
+        procs = None
+    else:
+        procs = workers if workers and workers > 1 else 1
+    if bus is None:
+        bus = EventBus()
+    if state is None:
+        state = LiveState(total=len(pl.graph.tasks), nb=nb).connect(bus)
+    replay = pl.replay(procs)
+    renderer = ProgressRenderer(
+        state, replay, clock=bus.now, totals=kernel_totals(pl),
+        label=label, show_workers=show_workers, interval=interval)
+    return bus, state, renderer, replay
+
+
+def _eta_summary(renderer, state) -> str | None:
+    """Post-run predicted-vs-realized line (None without an estimate)."""
+    est = renderer.last_estimate
+    replay = renderer.replay
+    if est is None or replay is None or replay.first_predicted is None:
+        return None
+    realized = state.view()["last_t"]
+    first = replay.first_predicted
+    drift = realized / first - 1.0 if first else 0.0
+    return (f"makespan {realized * 1e3:.1f} ms realized vs "
+            f"{first * 1e3:.1f} ms first-predicted "
+            f"({drift * +100:+.1f}% drift)")
+
+
 def _cmd_factor(args) -> int:
     from .analysis.accuracy import assess
     from .core.serialize import save_factorization
@@ -168,10 +224,28 @@ def _cmd_factor(args) -> int:
         print("factor: need --random MxN or --input FILE", file=sys.stderr)
         return 2
     params = {"bs": args.bs} if args.bs is not None else {}
-    f = tiled_qr(a, nb=args.nb, ib=args.ib, scheme=args.scheme,
-                 family=args.family, backend=args.backend,
-                 workers=args.workers, mode=args.mode,
-                 numeric=args.numeric, **params)
+    bus = renderer = state = None
+    if args.progress:
+        from .api import plan as build_plan
+
+        p_t, q_t = -(-a.shape[0] // args.nb), -(-a.shape[1] // args.nb)
+        pl = build_plan(p_t, q_t, args.scheme, args.family, **params)
+        bus, state, renderer, _ = _progress_setup(
+            pl, args.nb, args.workers, args.mode,
+            label=f"{args.scheme} {p_t}x{q_t} nb={args.nb}")
+        renderer.start()
+    try:
+        f = tiled_qr(a, nb=args.nb, ib=args.ib, scheme=args.scheme,
+                     family=args.family, backend=args.backend,
+                     workers=args.workers, mode=args.mode,
+                     numeric=args.numeric, bus=bus, **params)
+    finally:
+        if renderer is not None:
+            renderer.stop()
+    if renderer is not None:
+        line = _eta_summary(renderer, state)
+        if line:
+            print(f"  {line}")
     rep = assess(f, a)
     how = args.mode if args.mode == "batched" else args.backend
     print(f"factored {src} with {args.scheme} ({args.family}, "
@@ -294,14 +368,23 @@ def _cmd_trace(args) -> int:
 
 
 def _cmd_analyze(args) -> int:
-    from .obs.analyze import analyze_chrome_trace, analyze_sim, render_report
+    from .obs.analyze import analyze_sim, analyze_trace_file, render_report
 
     if args.from_trace:
         if args.scheme is not None:
             print("analyze: give either a scheme/grid or --from-trace, "
                   "not both", file=sys.stderr)
             return 2
-        reports = analyze_chrome_trace(args.from_trace)
+        try:
+            reports = analyze_trace_file(args.from_trace)
+        except OSError as exc:
+            print(f"analyze: cannot read {args.from_trace}: {exc}",
+                  file=sys.stderr)
+            return 2
+        except ValueError as exc:
+            print(f"analyze: bad trace {args.from_trace}: {exc}",
+                  file=sys.stderr)
+            return 2
         if not reports:
             print(f"analyze: no trace events in {args.from_trace}",
                   file=sys.stderr)
@@ -339,11 +422,42 @@ def _cmd_profile(args) -> int:
               **_scheme_params(args))
 
     tracer = Tracer()
-    ctx = execute_graph(pl, tiled, backend=args.backend, ib=min(args.ib, nb),
-                        workers=args.workers, mode=args.mode,
-                        numeric=args.numeric, tracer=tracer,
-                        collect_metrics=True)
+    stream_on = bool(args.progress or args.events or args.prometheus)
+    bus = state = renderer = sampler = None
+    if stream_on:
+        from .obs import EventBus, LiveState, MetricsRegistry, Sampler
+
+        # --events wants every event of the run in the ring at the
+        # end; 4x tasks covers start/done plus group/frontier records
+        ntasks = len(pl.graph.tasks)
+        bus = EventBus(capacity=max(4096, 4 * ntasks))
+        state = LiveState(total=ntasks, nb=nb).connect(bus)
+        metrics_reg = MetricsRegistry()
+        sampler = Sampler(metrics_reg, state).start()
+        if args.progress:
+            _, _, renderer, _ = _progress_setup(
+                pl, nb, args.workers, args.mode,
+                label=f"{args.scheme} {args.p}x{args.q} nb={nb}",
+                bus=bus, state=state)
+            renderer.start()
+    else:
+        metrics_reg = None
+    try:
+        ctx = execute_graph(pl, tiled, backend=args.backend,
+                            ib=min(args.ib, nb), workers=args.workers,
+                            mode=args.mode, numeric=args.numeric,
+                            tracer=tracer, metrics=metrics_reg,
+                            collect_metrics=True, bus=bus)
+    finally:
+        if sampler is not None:
+            sampler.stop()
+        if renderer is not None:
+            renderer.stop()
     metrics = ctx.metrics
+    if renderer is not None:
+        line = _eta_summary(renderer, state)
+        if line:
+            print(line)
 
     sim = None
     if args.mode == "batched":
@@ -397,6 +511,62 @@ def _cmd_profile(args) -> int:
         with open(args.metrics_json, "w") as fh:
             fh.write(metrics.to_json())
         print(f"metrics JSON written to {args.metrics_json}")
+    if args.events:
+        from .obs.export import write_events_jsonl
+
+        path = write_events_jsonl(args.events, bus.snapshot())
+        note = (f"; ring dropped the oldest {bus.dropped}"
+                if bus.dropped else "")
+        print(f"event log ({bus.published} events{note}) written to {path}")
+    if args.prometheus:
+        from .obs.export import write_prometheus
+
+        write_prometheus(args.prometheus, metrics)
+        print(f"Prometheus metrics written to {args.prometheus}")
+    return 0
+
+
+def _cmd_top(args) -> int:
+    import threading
+
+    from .api import plan
+    from .runtime.executor import execute_graph
+    from .tiles.layout import TiledMatrix
+
+    nb = args.nb
+    m, n = args.p * nb, args.q * nb
+    a = np.random.default_rng(args.seed).standard_normal((m, n))
+    tiled = TiledMatrix(a, nb)
+    pl = plan(args.p, args.q, args.scheme, args.family,
+              **_scheme_params(args))
+    bus, state, renderer, replay = _progress_setup(
+        pl, nb, args.workers, args.mode,
+        label=f"{args.scheme} {args.p}x{args.q} nb={nb} ({args.mode})",
+        show_workers=True, interval=args.interval)
+
+    errors: list[BaseException] = []
+
+    def run() -> None:
+        try:
+            execute_graph(pl, tiled, backend=args.backend,
+                          ib=min(args.ib, nb), workers=args.workers,
+                          mode=args.mode, numeric=args.numeric, bus=bus)
+        except BaseException as exc:  # surfaced after the join
+            errors.append(exc)
+
+    worker = threading.Thread(target=run, name="repro-top-run", daemon=True)
+    worker.start()
+    with renderer:
+        worker.join()
+    if errors:
+        raise errors[0]
+    line = _eta_summary(renderer, state)
+    if line:
+        print(line)
+    v = state.view()
+    print(f"retired {v['done']}/{v['total']} tasks; "
+          f"dashboard events: {bus.published} published, "
+          f"{bus.dropped} dropped by the ring")
     return 0
 
 
@@ -449,6 +619,9 @@ def build_parser() -> argparse.ArgumentParser:
                    help="factor-kernel implementation for --mode batched")
     p.add_argument("--bs", type=int, default=None)
     p.add_argument("--save", help="save the factorization to this .npz")
+    p.add_argument("--progress", action="store_true",
+                   help="live progress (kernel bars + ETA on a TTY, "
+                        "periodic lines otherwise)")
     p.set_defaults(fn=_cmd_factor)
 
     p = sub.add_parser("predict", help="measure kernels, predict GFLOP/s")
@@ -515,8 +688,8 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--format", default="text",
                    choices=["text", "json", "markdown"])
     p.add_argument("--from-trace", metavar="FILE",
-                   help="analyze an exported Chrome trace instead of "
-                        "simulating")
+                   help="analyze an exported Chrome trace or JSONL "
+                        "event log (.gz ok) instead of simulating")
     p.set_defaults(fn=_cmd_analyze)
 
     p = sub.add_parser(
@@ -543,7 +716,35 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--no-analyze", action="store_true",
                    help="skip the schedule-analytics report and the "
                         "measured-vs-simulated overhead diff")
+    p.add_argument("--progress", action="store_true",
+                   help="live progress while the factorization runs")
+    p.add_argument("--events", metavar="FILE",
+                   help="write the event-bus capture as JSONL here "
+                        "(.gz = gzipped; readable by analyze "
+                        "--from-trace)")
+    p.add_argument("--prometheus", metavar="FILE",
+                   help="write the metrics registry in Prometheus text "
+                        "exposition format here (includes the sampler "
+                        "time series)")
     p.set_defaults(fn=_cmd_profile)
+
+    p = sub.add_parser(
+        "top",
+        help="live TTY dashboard of a running factorization: per-kernel "
+             "bars, worker utilization, ETA vs the simulated schedule")
+    _add_grid(p)
+    p.add_argument("--nb", type=int, default=64, help="tile size")
+    p.add_argument("--ib", type=int, default=32, help="inner blocking")
+    p.add_argument("--backend", default="lapack",
+                   choices=["reference", "lapack"])
+    p.add_argument("--workers", type=int, default=4)
+    p.add_argument("--mode", default="task", choices=["task", "batched"])
+    p.add_argument("--numeric", default="auto",
+                   choices=["auto", "numpy", "lapack"])
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--interval", type=float, default=0.1,
+                   help="dashboard repaint cadence in seconds")
+    p.set_defaults(fn=_cmd_top)
     return parser
 
 

@@ -156,6 +156,10 @@ def tiled_qr(
     workers: int | None = None,
     mode: str = "task",
     numeric: str = "auto",
+    tracer=None,
+    metrics=None,
+    bus=None,
+    on_task_done=None,
     **scheme_params,
 ) -> TiledQRFactorization:
     """Tiled QR factorization of ``a`` (``m >= n``).
@@ -198,6 +202,14 @@ def tiled_qr(
         otherwise): ``"lapack"`` runs the three factor kernels as
         per-slice LAPACK calls (real dtypes), ``"numpy"`` keeps the
         stacked NumPy kernels, ``"auto"`` picks LAPACK when supported.
+    tracer, metrics, bus, on_task_done
+        Observability passthroughs to
+        :func:`~repro.runtime.executor.execute_graph`: a span
+        :class:`~repro.obs.tracer.Tracer`, a
+        :class:`~repro.obs.metrics.MetricsRegistry`, a streaming
+        :class:`~repro.obs.stream.EventBus` (live progress /
+        ``repro top``), and a per-task completion callback.  All
+        default to ``None`` (zero observation cost).
     **scheme_params
         Extra parameters for the scheme (e.g. ``bs`` for plasma-tree).
 
@@ -229,6 +241,8 @@ def tiled_qr(
     # pass the Plan itself: batched mode reuses its cached level groups
     # and the threaded scheduler its memoized bottom-levels
     ctx = execute_graph(pl, tiled, backend=backend, ib=min(ib, nb),
-                        workers=workers, mode=mode, numeric=numeric)
+                        workers=workers, mode=mode, numeric=numeric,
+                        tracer=tracer, metrics=metrics, bus=bus,
+                        on_task_done=on_task_done)
     return TiledQRFactorization(m=m, n=n, nb=nb, scheme=pl.elims,
                                 graph=pl.graph, context=ctx)

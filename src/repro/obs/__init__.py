@@ -1,32 +1,55 @@
-"""Observability for the tiled-QR runtimes (S17, S19).
+"""Observability for the tiled-QR runtimes (S17, S19, S21).
 
-Four pieces, shared by the threaded executor, the discrete-event
-simulator, and the benchmark harness:
+Seven pieces, shared by the executors, the discrete-event simulator,
+and the benchmark harness:
 
 * :mod:`repro.obs.tracer` — a thread-safe span tracer recording one
   :class:`Span` per retired kernel task (submit/start/finish
   wall-times, worker thread), plus a zero-cost :class:`NullTracer`;
 * :mod:`repro.obs.metrics` — a :class:`MetricsRegistry` of counters,
   gauges, and fixed-bucket histograms with deterministic plain-text
-  and JSON summaries;
+  and JSON summaries, mergeable across workers
+  (:meth:`MetricsRegistry.merge`);
+* :mod:`repro.obs.stream` — a bounded, multiprocessing-bridgeable
+  :class:`EventBus` both executors publish typed :class:`Event`
+  records into *while the run progresses* (task/group/level/frontier
+  events), with :class:`LiveState` as the standard reduction;
+* :mod:`repro.obs.sampler` — a background :class:`Sampler` thread
+  recording time-series gauges (queue depth, busy workers, cumulative
+  GFLOP/s, RSS) into a registry at a fixed cadence;
+* :mod:`repro.obs.export` — Prometheus text exposition and JSONL
+  event logs (plus their validating parsers);
+* :mod:`repro.obs.progress` — the live ``--progress`` bars and the
+  ``repro top`` dashboard (ETA by replaying progress against the
+  plan's simulated schedule);
 * :mod:`repro.obs.chrome_trace` — export of a measured capture and/or
   a simulated schedule to Chrome trace-event JSON, loadable in
   Perfetto / ``chrome://tracing`` for lane-by-lane comparison;
 * :mod:`repro.obs.analyze` — schedule analytics: per-processor
   utilization, time-by-kernel pivots, critical-path attribution,
-  per-task slack, lower-bound efficiency, and sim-vs-measured
-  overhead diffs, as a structured :class:`ScheduleReport`.
+  per-task slack, queue waits, lower-bound efficiency, and
+  sim-vs-measured overhead diffs, as a structured
+  :class:`ScheduleReport` (rebuildabe from Chrome traces *and* JSONL
+  event logs via :func:`analyze_trace_file`).
 
 See ``docs/observability.md`` for a walkthrough.
 """
 
 from .analyze import (CriticalPath, ScheduleReport, analyze,
-                      analyze_chrome_trace, analyze_sim, analyze_tracer,
+                      analyze_chrome_trace, analyze_events, analyze_sim,
+                      analyze_trace_file, analyze_tracer,
                       critical_path_tasks, overlay_diff, render_overlay,
                       render_report, task_slack)
 from .chrome_trace import (chrome_trace, sim_to_events, tracer_to_events,
                            write_chrome_trace)
+from .export import (parse_prometheus_text, prometheus_text,
+                     read_events_jsonl, write_events_jsonl,
+                     write_prometheus)
 from .metrics import Counter, Gauge, Histogram, MetricsRegistry
+from .progress import ProgressRenderer, kernel_totals
+from .sampler import Sampler, read_rss_bytes
+from .stream import (EVENT_KINDS, NULL_BUS, BusRelay, Event, EventBus,
+                     LiveState, NullBus, RemotePublisher)
 from .tracer import NULL_TRACER, NullTracer, Span, Tracer
 
 __all__ = [
@@ -38,6 +61,23 @@ __all__ = [
     "Gauge",
     "Histogram",
     "MetricsRegistry",
+    "Event",
+    "EventBus",
+    "NullBus",
+    "NULL_BUS",
+    "EVENT_KINDS",
+    "LiveState",
+    "BusRelay",
+    "RemotePublisher",
+    "Sampler",
+    "read_rss_bytes",
+    "ProgressRenderer",
+    "kernel_totals",
+    "prometheus_text",
+    "parse_prometheus_text",
+    "write_prometheus",
+    "write_events_jsonl",
+    "read_events_jsonl",
     "tracer_to_events",
     "sim_to_events",
     "chrome_trace",
@@ -48,6 +88,8 @@ __all__ = [
     "analyze_sim",
     "analyze_tracer",
     "analyze_chrome_trace",
+    "analyze_events",
+    "analyze_trace_file",
     "critical_path_tasks",
     "task_slack",
     "overlay_diff",

@@ -40,6 +40,7 @@ Identities (tested on the paper's Table 3-5 grids):
 
 from __future__ import annotations
 
+import gzip
 import json
 from dataclasses import dataclass, field
 from typing import Optional, Union
@@ -61,6 +62,8 @@ __all__ = [
     "analyze_sim",
     "analyze_tracer",
     "analyze_chrome_trace",
+    "analyze_events",
+    "analyze_trace_file",
     "critical_path_tasks",
     "task_slack",
     "overlay_diff",
@@ -199,6 +202,9 @@ class ScheduleReport:
     critical_path: Optional[CriticalPath] = None
     slack: Optional[SlackStats] = None
     bounds: Optional[dict] = None
+    #: ready-to-start queue-wait summary of a measured capture
+    #: (min/mean/p95/max/total seconds) — ``None`` for sim sources
+    queue_wait: Optional[dict] = None
 
     # ------------------------------------------------------------------
     def kernel_shares(self) -> dict[str, float]:
@@ -225,6 +231,7 @@ class ScheduleReport:
                              else self.critical_path.to_dict(),
             "slack": None if self.slack is None else self.slack.to_dict(),
             "bounds": self.bounds,
+            "queue_wait": self.queue_wait,
         }
 
     def summary(self) -> dict:
@@ -453,14 +460,28 @@ def analyze_sim(result: SimResult, label: str = "",
                           bounds=bounds_dict)
 
 
+def _wait_summary(waits: np.ndarray) -> Optional[dict]:
+    """min/mean/p95/max/total summary of ready-to-start delays.
+
+    ``None`` when there were no waits at all (empty, or an executor —
+    sequential, batched — that never queues a ready task)."""
+    if waits.size == 0 or float(waits.max()) <= 0.0:
+        return None
+    return {"min": float(waits.min()), "mean": float(waits.mean()),
+            "p95": float(np.percentile(waits, 95.0)),
+            "max": float(waits.max()), "total": float(waits.sum())}
+
+
 def analyze_tracer(tracer: Tracer, label: str = "measured") -> ScheduleReport:
     """Analytics of a measured span capture (times in seconds).
 
     Per-worker busy time is the sum of kernel durations; idle is
-    everything else inside the capture's makespan window.  The DAG is
-    not reconstructed, so critical path / slack / bounds are ``None``
-    — diff against a simulated report via :func:`overlay_diff` for
-    the model-vs-reality attribution.
+    everything else inside the capture's makespan window.  Span
+    submit→start delays summarize into :attr:`ScheduleReport.queue_wait`
+    — the measured counterpart of slack (how long ready work actually
+    sat in the queue).  The DAG is not reconstructed, so critical path
+    / slack / bounds are ``None`` — diff against a simulated report
+    via :func:`overlay_diff` for the model-vs-reality attribution.
     """
     spans = list(tracer.spans)
     makespan = float(tracer.makespan())
@@ -473,24 +494,34 @@ def analyze_tracer(tracer: Tracer, label: str = "measured") -> ScheduleReport:
     utilization = (total_busy / (n_lanes * makespan)
                    if n_lanes and makespan > 0 else None)
     kernels = _kernel_pivot([s.kernel for s in spans], durations.tolist())
+    waits = np.array([max(0.0, s.queue_delay) for s in spans],
+                     dtype=np.float64)
     return ScheduleReport(source="measured", label=label, makespan=makespan,
                           processors=n_lanes or None, tasks=len(spans),
                           total_busy=total_busy, utilization=utilization,
-                          lanes=lanes, kernels=kernels)
+                          lanes=lanes, kernels=kernels,
+                          queue_wait=_wait_summary(waits))
+
+
+def _open_trace(path):
+    """Open a trace file for text reading, transparently gunzipping."""
+    if str(path).endswith(".gz"):
+        return gzip.open(path, "rt", encoding="utf-8")
+    return open(path, encoding="utf-8")
 
 
 def analyze_chrome_trace(source: Union[str, dict]) -> list[ScheduleReport]:
     """Analytics of an exported Chrome trace, one report per process.
 
     ``source`` is a trace document (the ``{"traceEvents": [...]}``
-    dict) or a path to one.  Each ``pid`` group — e.g. ``measured``
-    and ``simulated`` lanes exported together by ``repro profile`` —
-    yields one report; timestamps are converted from microseconds back
-    to seconds.  Placeholder events emitted for empty sources are
-    ignored.
+    dict) or a path to one (``.gz`` read transparently).  Each ``pid``
+    group — e.g. ``measured`` and ``simulated`` lanes exported
+    together by ``repro profile`` — yields one report; timestamps are
+    converted from microseconds back to seconds.  Placeholder events
+    emitted for empty sources are ignored.
     """
     if not isinstance(source, dict):
-        with open(source) as fh:
+        with _open_trace(source) as fh:
             source = json.load(fh)
     events = source.get("traceEvents", [])
     names: dict[int, str] = {}
@@ -532,6 +563,82 @@ def analyze_chrome_trace(source: Union[str, dict]) -> list[ScheduleReport]:
             processors=len(tids), tasks=len(xs), total_busy=total_busy,
             utilization=utilization, lanes=lanes, kernels=kernels))
     return reports
+
+
+def analyze_events(events, label: str = "events") -> ScheduleReport:
+    """Analytics of an event-bus capture (JSONL log or live snapshot).
+
+    Rebuilds a measured-style report from ``task_done`` /
+    ``group_done`` events alone: each carries its kernel, duration
+    (``value``, seconds), retired-task ``count`` (>1 for batched
+    groups), and worker index.  Start times are recovered as
+    ``t - value`` — the publish stamp is taken at finish — so the
+    makespan window and per-lane busy/idle books agree with the
+    tracer's view of the same run to within publish latency.
+    """
+    done = [e for e in events if e.kind in ("task_done", "group_done")]
+    if not done:
+        return ScheduleReport(source="trace", label=label, makespan=0.0,
+                              processors=None, tasks=0, total_busy=0.0,
+                              utilization=None)
+    ts = np.array([e.t for e in done], dtype=np.float64)
+    dur = np.array([max(0.0, e.value) for e in done], dtype=np.float64)
+    counts = np.array([max(1, e.count) for e in done], dtype=np.int64)
+    makespan = float(ts.max() - (ts - dur).min())
+    total_busy = float(dur.sum())
+    ntasks = int(counts.sum())
+
+    total_by: dict[str, float] = {}
+    count_by: dict[str, int] = {}
+    for e, d, c in zip(done, dur.tolist(), counts.tolist()):
+        k = e.kernel or "?"
+        total_by[k] = total_by.get(k, 0.0) + d
+        count_by[k] = count_by.get(k, 0) + c
+    order = [k for k in KERNEL_ORDER if k in total_by] + sorted(
+        k for k in total_by if k not in KERNEL_ORDER)
+    kernels = [KernelStats(kernel=k, count=count_by[k], total=total_by[k],
+                           mean=total_by[k] / count_by[k],
+                           share=total_by[k] / total_busy if total_busy
+                                 else 0.0)
+               for k in order]
+
+    lanes: list[LaneStats] = []
+    utilization = None
+    wids = sorted({e.worker for e in done if e.worker >= 0})
+    if wids:
+        lane_of = {w: i for i, w in enumerate(wids)}
+        mask = np.array([e.worker >= 0 for e in done])
+        workers = np.array([lane_of[e.worker] for e in done
+                            if e.worker >= 0], dtype=np.int64)
+        lanes = _lane_stats(workers, dur[mask], makespan, len(wids))
+        if makespan > 0:
+            utilization = total_busy / (len(wids) * makespan)
+    return ScheduleReport(source="trace", label=label, makespan=makespan,
+                          processors=len(wids) or None, tasks=ntasks,
+                          total_busy=total_busy, utilization=utilization,
+                          lanes=lanes, kernels=kernels)
+
+
+def analyze_trace_file(path) -> list[ScheduleReport]:
+    """Analyze a trace file of either format, sniffing which it is.
+
+    Accepts the Chrome trace-event JSON documents written by ``repro
+    profile --trace`` *and* the JSONL event logs written by ``repro
+    profile --events`` (either gzipped when the name ends in ``.gz``).
+    A file whose first line parses as an object with a ``kind`` key is
+    JSONL; anything else goes through :func:`analyze_chrome_trace`.
+    """
+    with _open_trace(path) as fh:
+        head = fh.readline()
+    try:
+        first = json.loads(head)
+        is_jsonl = isinstance(first, dict) and "kind" in first
+    except ValueError:
+        is_jsonl = False  # multi-line JSON document
+    if is_jsonl:
+        from .export import read_events_jsonl
+        return [analyze_events(read_events_jsonl(path), label=str(path))]
+    return analyze_chrome_trace(path)
 
 
 def analyze(source, processors: Optional[int] = None,
@@ -685,6 +792,14 @@ def _render(report: ScheduleReport, markdown: bool) -> str:
         lines.append(f"slack: min {_fmt(s.min)}, mean {_fmt(s.mean)}, "
                      f"max {_fmt(s.max)}; {s.critical_tasks} zero-slack "
                      "(critical) tasks")
+    if report.queue_wait is not None:
+        q = report.queue_wait
+        if report.slack is None:
+            lines.append("")
+        lines.append(f"queue wait: min {_fmt(q['min'])}, mean "
+                     f"{_fmt(q['mean'])}, p95 {_fmt(q['p95'])}, max "
+                     f"{_fmt(q['max'])} (total {_fmt(q['total'])} s "
+                     "ready-to-start)")
     if report.bounds:
         b = report.bounds
         lines.append("")

@@ -1,0 +1,148 @@
+"""Background time-series sampler (S21).
+
+A :class:`Sampler` owns a daemon thread that wakes at a fixed cadence
+and records the *current* state of a run into a
+:class:`~repro.obs.metrics.MetricsRegistry` — the gauges keep their
+``(t, value)`` sample series, so after the run the registry holds a
+time series of:
+
+* ``sampler.queue_depth`` — ready-frontier size (from
+  :class:`~repro.obs.stream.LiveState`);
+* ``sampler.busy_workers`` — workers currently inside a kernel;
+* ``sampler.done_tasks`` — retired task count;
+* ``sampler.cum_gflops`` / ``sampler.gflop_rate`` — cumulative nominal
+  GFLOP retired and the implied GFLOP/s since the sampler started;
+* ``sampler.rss_bytes`` — resident set size of the process (Linux
+  ``/proc/self/statm``; peak-RSS fallback elsewhere).
+
+The sampler never touches the executor: it reads a
+:class:`LiveState` reduction of the event bus (and the OS), so its
+cost is one thread waking ``1/interval`` times per second regardless
+of task throughput.  Use it as a context manager::
+
+    with Sampler(metrics, state=state):
+        execute_graph(plan, tiled, bus=bus, ...)
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+import time
+
+from .metrics import MetricsRegistry
+from .stream import LiveState
+
+__all__ = ["Sampler", "read_rss_bytes"]
+
+_PAGE_SIZE = os.sysconf("SC_PAGE_SIZE") if hasattr(os, "sysconf") else 4096
+
+
+def read_rss_bytes() -> int:
+    """Current resident set size in bytes (best effort, never raises).
+
+    Linux: field 2 of ``/proc/self/statm`` (pages).  Elsewhere: the
+    peak RSS from ``resource.getrusage`` (kilobytes on Linux, bytes on
+    macOS — close enough for a trend line).  Returns 0 when neither
+    source is available.
+    """
+    try:
+        with open("/proc/self/statm", "rb") as fh:
+            return int(fh.read().split()[1]) * _PAGE_SIZE
+    except (OSError, IndexError, ValueError):
+        pass
+    try:
+        import resource
+
+        ru = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+        return int(ru) * (1 if ru > 1 << 32 else 1024)
+    except Exception:
+        return 0
+
+
+class Sampler:
+    """Fixed-cadence recorder of live run state into a registry.
+
+    Parameters
+    ----------
+    metrics : MetricsRegistry
+        Destination registry; gauges keep their sample series.
+    state : LiveState or None
+        Bus reduction to sample.  ``None`` samples only process-level
+        series (RSS, tick count).
+    interval : float
+        Seconds between samples (default 50 ms — cheap enough to be
+        invisible next to BLAS work, fine-grained enough to resolve
+        every level of a paper-size run).
+    rss : bool
+        Record ``sampler.rss_bytes`` each tick.
+    clock : callable
+        Timestamp source for the sample series (default: seconds since
+        the sampler was constructed).
+    """
+
+    def __init__(self, metrics: MetricsRegistry,
+                 state: LiveState | None = None,
+                 interval: float = 0.05, rss: bool = True,
+                 clock=None) -> None:
+        if interval <= 0:
+            raise ValueError(f"interval must be > 0, got {interval}")
+        self.metrics = metrics
+        self.state = state
+        self.interval = float(interval)
+        self.rss = rss
+        self._epoch = time.perf_counter()
+        self._clock = clock if clock is not None else (
+            lambda: time.perf_counter() - self._epoch)
+        self._stop = threading.Event()
+        self._thread: threading.Thread | None = None
+        self.ticks = 0
+
+    # ------------------------------------------------------------------
+    def sample_once(self, t: float | None = None) -> None:
+        """Record one sample row (also the unit the thread repeats)."""
+        t = self._clock() if t is None else t
+        g = self.metrics.gauge
+        if self.state is not None:
+            v = self.state.view()
+            g("sampler.queue_depth").set(v["frontier"], t=t)
+            g("sampler.busy_workers").set(v["busy_workers"], t=t)
+            g("sampler.done_tasks").set(v["done"], t=t)
+            gflops = v["flops"] / 1e9
+            g("sampler.cum_gflops").set(gflops, t=t)
+            g("sampler.gflop_rate").set(gflops / t if t > 0 else 0.0, t=t)
+        if self.rss:
+            g("sampler.rss_bytes").set(read_rss_bytes(), t=t)
+        self.metrics.counter("sampler.ticks").inc()
+        self.ticks += 1
+
+    def _loop(self) -> None:
+        while not self._stop.wait(self.interval):
+            self.sample_once()
+
+    # ------------------------------------------------------------------
+    def start(self) -> "Sampler":
+        if self._thread is not None:
+            return self
+        self._stop.clear()
+        self._thread = threading.Thread(
+            target=self._loop, name="repro-sampler", daemon=True)
+        self._thread.start()
+        return self
+
+    def stop(self, final_sample: bool = True) -> None:
+        """Stop the thread; by default records one last sample so the
+        series always covers the end of the run."""
+        if self._thread is None:
+            return
+        self._stop.set()
+        self._thread.join()
+        self._thread = None
+        if final_sample:
+            self.sample_once()
+
+    def __enter__(self) -> "Sampler":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.stop()

@@ -10,6 +10,7 @@ optional on-disk cache (``REPRO_PLAN_CACHE``).  See
 from .cache import (DEFAULT_CACHE_DIR, PLAN_METRICS, clear_plan_cache,
                     plan_cache_dir, plan_cache_stats)
 from .plan import Plan, load_plan, plan, plan_signature, save_plan
+from .replay import EtaEstimate, ScheduleReplay
 
 __all__ = [
     "Plan",
@@ -17,6 +18,8 @@ __all__ = [
     "plan_signature",
     "save_plan",
     "load_plan",
+    "ScheduleReplay",
+    "EtaEstimate",
     "PLAN_METRICS",
     "plan_cache_stats",
     "clear_plan_cache",

@@ -189,6 +189,17 @@ class Plan:
         """Sum of task weights."""
         return self.graph.total_weight()
 
+    def replay(self, processors: Optional[int] = None,
+               priority: str = "critical-path"):
+        """A :class:`~repro.planner.replay.ScheduleReplay` over the
+        plan's memoized schedule — the live-ETA primitive of
+        ``--progress`` and ``repro top``: realized (done, elapsed)
+        progress maps onto the simulated schedule to predict the wall
+        makespan while the run is still going.
+        """
+        from .replay import ScheduleReplay
+        return ScheduleReplay(self.schedule(processors, priority))
+
     def rescaled(self, costs: dict) -> "Plan":
         """A derived plan with per-kernel weights replaced.
 

@@ -1,0 +1,129 @@
+"""Progress-vs-simulation replay: live ETA from a memoized schedule (S21).
+
+A :class:`Plan` memoizes simulated schedules of its DAG (unbounded
+ASAP or bounded list scheduling, in abstract Table-1 time units).
+While a *real* factorization of the same plan runs, the only live
+signals are "how many tasks have retired" and "how much wall time has
+passed".  :class:`ScheduleReplay` maps those two numbers back onto the
+simulated schedule:
+
+* the simulated time by which the same number of tasks had finished
+  (``sim_time_at``) gives the *model progress point*;
+* ``elapsed / sim_time`` is the current model-unit → wall-second
+  exchange rate, assumed locally constant;
+* scaling the simulated makespan by that rate predicts the total wall
+  makespan, hence the ETA.
+
+As ``done → total`` the predicted makespan converges to the realized
+one exactly (the exchange rate is then measured over the whole run).
+The **drift** — predicted makespan now vs the first prediction —
+surfaces how far reality diverges from the model *while the run is
+still going*: positive drift means the machine is slower (or the
+schedule less parallel) than the simulator assumed.
+
+This is deliberately simulation-shape-aware: a run that retires many
+cheap TT kernels first moves through simulated time differently than
+one chewing on TSMQR batches, and replaying against the actual
+schedule captures that, unlike a naive ``elapsed / fraction_done``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+__all__ = ["EtaEstimate", "ScheduleReplay"]
+
+
+@dataclass(frozen=True)
+class EtaEstimate:
+    """One live prediction from :meth:`ScheduleReplay.estimate`.
+
+    ``predicted_makespan``/``remaining``/``drift`` are ``None`` until
+    at least one task has retired (no exchange rate yet).
+    """
+
+    done: int
+    total: int
+    elapsed: float
+    sim_time: float             #: simulated time at this progress point
+    sim_fraction: float         #: sim_time / simulated makespan
+    predicted_makespan: Optional[float]
+    remaining: Optional[float]
+    drift: Optional[float]      #: predicted vs first prediction, -1..inf
+
+    @property
+    def fraction(self) -> float:
+        """Task-count completion fraction (0..1)."""
+        return self.done / self.total if self.total else 1.0
+
+    def to_dict(self) -> dict:
+        return {
+            "done": self.done, "total": self.total,
+            "elapsed": self.elapsed, "sim_time": self.sim_time,
+            "sim_fraction": self.sim_fraction,
+            "predicted_makespan": self.predicted_makespan,
+            "remaining": self.remaining, "drift": self.drift,
+        }
+
+
+class ScheduleReplay:
+    """Replay realized progress against a simulated schedule.
+
+    Built from any :class:`~repro.sim.simulate.SimResult` of the same
+    DAG — usually via :meth:`repro.planner.Plan.replay`, which uses
+    the plan's memoized schedules.  Thread-safe for concurrent
+    :meth:`estimate` calls (state is one scalar, written atomically).
+    """
+
+    def __init__(self, sim) -> None:
+        self.sim_makespan = float(sim.makespan)
+        self.total = int(len(sim.finish))
+        #: simulated finish times, ascending — ``_finish[d-1]`` is the
+        #: simulated time by which ``d`` tasks had retired
+        self._finish = np.sort(np.asarray(sim.finish, dtype=np.float64))
+        self._first_predicted: Optional[float] = None
+
+    # ------------------------------------------------------------------
+    def sim_time_at(self, done: int) -> float:
+        """Simulated time by which ``done`` tasks had finished."""
+        if done <= 0 or self.total == 0:
+            return 0.0
+        return float(self._finish[min(done, self.total) - 1])
+
+    def estimate(self, done: int, elapsed: float) -> EtaEstimate:
+        """Predict the run's wall makespan from live progress.
+
+        Parameters
+        ----------
+        done : int
+            Tasks retired so far.
+        elapsed : float
+            Wall seconds since the run started.
+        """
+        sim_t = self.sim_time_at(done)
+        sim_frac = sim_t / self.sim_makespan if self.sim_makespan else 1.0
+        if sim_t <= 0.0 or elapsed <= 0.0:
+            predicted = remaining = drift = None
+        else:
+            scale = elapsed / sim_t
+            predicted = self.sim_makespan * scale
+            remaining = max(0.0, predicted - elapsed)
+            if self._first_predicted is None:
+                self._first_predicted = predicted
+            drift = predicted / self._first_predicted - 1.0
+        return EtaEstimate(
+            done=int(done), total=self.total, elapsed=float(elapsed),
+            sim_time=sim_t, sim_fraction=sim_frac,
+            predicted_makespan=predicted, remaining=remaining, drift=drift)
+
+    @property
+    def first_predicted(self) -> Optional[float]:
+        """The earliest makespan prediction made (the drift baseline)."""
+        return self._first_predicted
+
+    def reset(self) -> None:
+        """Forget the first prediction (fresh drift baseline)."""
+        self._first_predicted = None

@@ -273,6 +273,7 @@ def execute_batched(
     tracer=None,
     metrics: MetricsRegistry | None = None,
     collect_metrics: bool = False,
+    bus=None,
 ) -> ExecutionContext:
     """Run a factorization DAG with the batched backend.
 
@@ -291,6 +292,12 @@ def execute_batched(
       otherwise), stacked NumPy applies;
     - ``"auto"`` (default) — ``"lapack"`` when supported for the
       matrix dtype, else ``"numpy"``.
+
+    ``bus`` (an :class:`~repro.obs.stream.EventBus` or ``None``)
+    receives streaming telemetry: ``run_start``/``run_done``,
+    ``level_start`` at each Kahn-level barrier, and
+    ``group_start``/``group_done`` per dispatched (level, kernel)
+    batch — ``count`` is the batch size, ``value`` the group seconds.
     """
     plan_obj = None
     if isinstance(graph, TaskGraph):
@@ -312,6 +319,8 @@ def execute_batched(
                       and lapack_batched_supported(tiled.array.dtype)))
     if tracer is not None and not tracer.enabled:
         tracer = None
+    if bus is not None and not getattr(bus, "enabled", True):
+        bus = None
     if metrics is None and collect_metrics:
         metrics = MetricsRegistry()
     ib = _clamp_ib(ib, tiled.nb, metrics)
@@ -319,6 +328,7 @@ def execute_batched(
                            backend=get_backend("reference"), ib=ib,
                            tracer=tracer, metrics=metrics)
     observed = tracer is not None or metrics is not None
+    timed = observed or bus is not None
     ntasks = len(g.tasks)
     if metrics is not None:
         metrics.counter("scheduler.tasks_total").inc(ntasks)
@@ -337,12 +347,26 @@ def execute_batched(
     tf = ctx.tfactors
     pad_t: dict[tuple[int, int, str], list[np.ndarray]] = {}
     done_count = 0
+    if bus is not None:
+        bus.publish("run_start", total=ntasks, count=1)
+    cur_level = -1
     for grp in groups:
-        if observed:
+        if bus is not None:
+            if grp.level != cur_level:
+                cur_level = grp.level
+                bus.publish("level_start", level=cur_level)
+            bus.publish("group_start", kernel=grp.kernel.value,
+                        level=grp.level, count=len(grp), worker=0)
+        if timed:
             t0 = time.perf_counter()
         _run_group(grp, pool, tiled, tf, pad_t, ib, use_lapack)
-        if observed:
+        if timed:
             t1 = time.perf_counter()
+        if bus is not None:
+            bus.publish("group_done", kernel=grp.kernel.value,
+                        level=grp.level, count=len(grp), worker=0,
+                        value=t1 - t0)
+        if observed:
             if tracer is not None:
                 rel = t0 - tracer.epoch
                 tracer.record(_GroupTask(grp), rel, rel, t1 - tracer.epoch)
@@ -362,4 +386,6 @@ def execute_batched(
     if metrics is not None and groups:
         metrics.counter("batched.levels").inc(groups[-1].level + 1)
     pool.scatter()
+    if bus is not None:
+        bus.publish("run_done", count=done_count, value=bus.now())
     return ctx

@@ -199,6 +199,7 @@ def execute_graph(
     tracer: Tracer | None = None,
     metrics: MetricsRegistry | None = None,
     collect_metrics: bool = False,
+    bus=None,
 ) -> ExecutionContext:
     """Run every kernel of ``graph`` against ``tiled``.
 
@@ -259,6 +260,14 @@ def execute_graph(
         Convenience: create a fresh registry when ``metrics`` is not
         given.  The registry used is returned on the context's
         ``metrics`` attribute either way.
+    bus : EventBus or None
+        Live event bus (:class:`repro.obs.stream.EventBus`) receiving
+        streaming telemetry while the run progresses: ``run_start`` /
+        ``run_done``, per-task ``task_start`` / ``task_done`` (with
+        worker index and kernel seconds), and ``frontier`` depth after
+        each retirement.  ``None`` or a disabled bus
+        (:data:`~repro.obs.stream.NULL_BUS`) skips all publishing on
+        the hot path.
 
     Returns
     -------
@@ -271,7 +280,7 @@ def execute_graph(
         return execute_batched(graph, tiled, ib=ib, numeric=numeric,
                                on_task_done=on_task_done, tracer=tracer,
                                metrics=metrics,
-                               collect_metrics=collect_metrics)
+                               collect_metrics=collect_metrics, bus=bus)
     plan_obj = None
     if not isinstance(graph, TaskGraph):
         wrapped = getattr(graph, "graph", None)  # Plan-shaped object
@@ -282,6 +291,8 @@ def execute_graph(
         graph = wrapped
     if tracer is not None and not tracer.enabled:
         tracer = None
+    if bus is not None and not getattr(bus, "enabled", True):
+        bus = None
     if metrics is None and collect_metrics:
         metrics = MetricsRegistry()
     ib = _clamp_ib(ib, tiled.nb, metrics)
@@ -289,6 +300,7 @@ def execute_graph(
                            backend=get_backend(backend), ib=ib,
                            tracer=tracer, metrics=metrics)
     observed = tracer is not None or metrics is not None
+    timed = observed or bus is not None
     if metrics is not None:
         metrics.counter("scheduler.tasks_total").inc(len(graph.tasks))
         metrics.gauge("scheduler.workers", keep_samples=False).set(
@@ -296,16 +308,27 @@ def execute_graph(
 
     if workers is None or workers <= 1:
         total = len(graph.tasks)
+        if bus is not None:
+            bus.publish("run_start", total=total, count=1)
         for i, t in enumerate(graph.tasks, start=1):
-            if observed:
+            if bus is not None:
+                bus.publish("task_start", tid=t.tid,
+                            kernel=t.kernel.value, worker=0)
+            if timed:
                 t0 = time.perf_counter()
             ctx.run_task(t)
-            if observed:
+            if timed:
                 t1 = time.perf_counter()
-                _observe_task(t, t0, t1, tracer, metrics,
-                              submit=t0, worker=0)
+                if observed:
+                    _observe_task(t, t0, t1, tracer, metrics,
+                                  submit=t0, worker=0)
+            if bus is not None:
+                bus.publish("task_done", tid=t.tid, kernel=t.kernel.value,
+                            worker=0, value=t1 - t0)
             if on_task_done is not None:
                 on_task_done(t, i, total)
+        if bus is not None:
+            bus.publish("run_done", count=total, value=bus.now())
         return ctx
 
     # Threaded dataflow scheduler with a priority ready-queue.  Ready
@@ -328,12 +351,17 @@ def execute_graph(
     seq = itertools.count()
     ready: list[tuple[float, int, int]] = []  # (-bottom_level, seq, tid)
     errors: list[BaseException] = []
-    submit_ts = [0.0] * n if tracer is not None else None
+    # Submit stamps are epoch-relative; the queue wait (start - submit)
+    # is epoch-invariant, so a metrics-only run uses a local epoch while
+    # a traced run shares the tracer's (keeping span submit times
+    # consistent with spans recorded elsewhere).
+    submit_ts = [0.0] * n if observed else None
+    epoch = tracer.epoch if tracer is not None else time.perf_counter()
     W = max(1, workers)
 
     def push(tid: int) -> None:  # lock held
-        if tracer is not None:
-            submit_ts[tid] = time.perf_counter() - tracer.epoch
+        if submit_ts is not None:
+            submit_ts[tid] = time.perf_counter() - epoch
         key = -prio[tid] if prio is not None else 0.0
         heapq.heappush(ready, (key, next(seq), tid))
 
@@ -363,17 +391,22 @@ def execute_graph(
                         return
                     tid = pop()
                 task = graph.tasks[tid]
-                if observed:
+                if bus is not None:
+                    bus.publish("task_start", tid=tid,
+                                kernel=task.kernel.value,
+                                worker=bus.worker_index())
+                if timed:
                     t0 = time.perf_counter()
                 try:
                     ctx.run_task(task)
                 except BaseException as exc:  # propagate to the caller
                     abort(exc)
                     return
-                if observed:
+                if timed:
                     t1 = time.perf_counter()
-                    _observe_task(task, t0, t1, tracer, metrics,
-                                  submit_ts=submit_ts)
+                    if observed:
+                        _observe_task(task, t0, t1, tracer, metrics,
+                                      submit_ts=submit_ts, epoch=epoch)
                 # retire: release successors, top the worker pool back up
                 newly_ready = []
                 if metrics is not None:
@@ -405,6 +438,13 @@ def execute_graph(
                     spawn = min(W - active[0], len(ready))
                     active[0] += spawn
                     depth = active[0] + len(ready)
+                    frontier = len(ready)
+                if bus is not None:
+                    bus.publish("task_done", tid=tid,
+                                kernel=task.kernel.value,
+                                worker=bus.worker_index(), value=t1 - t0)
+                    bus.publish("frontier", value=float(frontier),
+                                count=depth)
                 if metrics is not None:
                     t_out = time.perf_counter()
                     metrics.counter("scheduler.lock_wait_seconds").inc(
@@ -421,18 +461,31 @@ def execute_graph(
                     pool.submit(worker_loop)
                 # loop back for the next ready task
 
+        if bus is not None:
+            bus.publish("run_start", total=n, count=W)
         with lock:
             for t in graph.tasks:
                 if indeg[t.tid] == 0:
                     push(t.tid)
             spawn = min(W, len(ready))
             active[0] = spawn
+            frontier0 = len(ready)
+        if bus is not None:
+            bus.publish("frontier", value=float(frontier0), count=spawn)
         for _ in range(spawn):
             pool.submit(worker_loop)
         done.wait()
+    if bus is not None:
+        bus.publish("run_done", count=n - remaining[0], value=bus.now())
     if errors:
         raise errors[0]
     return ctx
+
+
+#: queue-wait histogram bucket edges (seconds) — ready-to-start delays
+#: range from microseconds (idle worker grabs immediately) to whole
+#: milliseconds (deep frontier, few workers)
+_WAIT_BUCKETS = (1e-6, 1e-5, 1e-4, 1e-3, 1e-2, 1e-1, 1.0)
 
 
 def _observe_task(
@@ -444,11 +497,14 @@ def _observe_task(
     submit: float | None = None,
     worker: int | None = None,
     submit_ts: list[float] | None = None,
+    epoch: float | None = None,
 ) -> None:
     """Record one finished task into the tracer and/or registry.
 
     ``t0``/``t1`` are raw :func:`time.perf_counter` readings; the
-    tracer re-bases them onto its epoch.
+    tracer re-bases them onto its epoch.  When ``submit_ts``/``epoch``
+    are given (threaded scheduler) the ready-to-start queue wait is
+    also observed into ``scheduler.queue_wait_seconds``.
     """
     if tracer is not None:
         sub = (submit_ts[task.tid] if submit_ts is not None
@@ -459,3 +515,7 @@ def _observe_task(
         name = task.kernel.value
         metrics.counter(f"tasks.retired.{name}").inc()
         metrics.histogram(f"kernel.seconds.{name}").observe(t1 - t0)
+        if submit_ts is not None and epoch is not None:
+            wait = max(0.0, (t0 - epoch) - submit_ts[task.tid])
+            metrics.histogram("scheduler.queue_wait_seconds",
+                              buckets=_WAIT_BUCKETS).observe(wait)

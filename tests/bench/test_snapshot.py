@@ -23,6 +23,7 @@ def quick_snap():
         "schema": snapshot.SCHEMA,
         "version": snapshot.SCHEMA_VERSION,
         "quick": True,
+        "host": snapshot.host_metadata(),
         "cases": {snapshot.case_key(scheme, p, q, P):
                   snapshot.run_case(scheme, p, q, P)},
     }
@@ -138,3 +139,21 @@ class TestSnapshotFiles:
         issues, compared = snapshot.compare_snapshots(base, quick_snap)
         assert compared == 1
         assert [i for i in issues if i["kind"] == "structural"] == []
+
+
+class TestHostMetadata:
+    def test_fields_present_and_typed(self):
+        meta = snapshot.host_metadata()
+        assert meta["cpu_count"] >= 1
+        assert isinstance(meta["platform"], str) and meta["platform"]
+        assert isinstance(meta["machine"], str)
+        assert meta["python"].count(".") == 2
+        assert meta["numpy"]
+        # scipy/blas are best-effort probes: present keys, maybe None
+        assert "scipy" in meta and "blas" in meta
+
+    def test_metadata_is_json_serializable(self):
+        json.dumps(snapshot.host_metadata())
+
+    def test_snapshot_embeds_host(self, quick_snap):
+        assert quick_snap["host"] == snapshot.host_metadata()

@@ -274,3 +274,102 @@ class TestEdgeCases:
         cp = critical_path_tasks(res)
         assert cp.length == pytest.approx(res.makespan) == 0.0
         assert len(cp) <= len(g.tasks)
+
+
+class TestAnalyzeEvents:
+    """Reports rebuilt from event-bus captures (S21)."""
+
+    def _events(self):
+        from repro.obs import EventBus
+        bus = EventBus()
+        bus.publish("run_start", total=4, count=2)
+        bus.publish("task_done", t=0.10, tid=0, kernel="GEQRT",
+                    worker=0, value=0.10)
+        bus.publish("task_done", t=0.15, tid=1, kernel="TSQRT",
+                    worker=1, value=0.05)
+        bus.publish("group_done", t=0.40, kernel="TSMQR", worker=0,
+                    count=2, value=0.20)
+        bus.publish("run_done", count=4, value=0.40)
+        return bus.snapshot()
+
+    def test_report_from_live_snapshot(self):
+        from repro.obs.analyze import analyze_events
+        rep = analyze_events(self._events(), label="live")
+        # window: earliest start (0.10-0.10=0) to last finish (0.40)
+        assert rep.makespan == pytest.approx(0.40)
+        assert rep.tasks == 4           # group_done counts 2 tasks
+        assert rep.total_busy == pytest.approx(0.35)
+        assert rep.processors == 2
+        assert rep.utilization == pytest.approx(0.35 / (2 * 0.40))
+        ks = {k.kernel: k for k in rep.kernels}
+        assert ks["TSMQR"].count == 2
+        assert ks["TSMQR"].mean == pytest.approx(0.10)
+
+    def test_empty_capture(self):
+        from repro.obs.analyze import analyze_events
+        rep = analyze_events([])
+        assert rep.tasks == 0 and rep.makespan == 0.0
+
+    def test_kernels_in_canonical_order(self):
+        from repro.obs.analyze import analyze_events
+        rep = analyze_events(self._events())
+        names = [k.kernel for k in rep.kernels]
+        assert names == ["GEQRT", "TSQRT", "TSMQR"]
+
+
+class TestAnalyzeTraceFile:
+    """Format sniffing: Chrome JSON vs JSONL event logs (S21)."""
+
+    def _run_with_bus(self):
+        from repro.obs import EventBus, LiveState
+        from repro.runtime.executor import execute_graph
+        from repro.tiles.layout import TiledMatrix
+        pl = plan(4, 4, "greedy")
+        a = np.random.default_rng(0).standard_normal((4 * 16, 4 * 16))
+        bus = EventBus()
+        LiveState(total=len(pl.graph.tasks), nb=16).connect(bus)
+        execute_graph(pl, TiledMatrix(a, 16), ib=16, mode="batched",
+                      bus=bus)
+        return pl, bus.snapshot()
+
+    def test_jsonl_round_trip(self, tmp_path):
+        from repro.obs import write_events_jsonl
+        from repro.obs.analyze import analyze_trace_file
+        pl, events = self._run_with_bus()
+        path = write_events_jsonl(tmp_path / "run.jsonl", events)
+        (rep,) = analyze_trace_file(path)
+        assert rep.tasks == len(pl.graph.tasks)
+        assert rep.makespan > 0
+        assert sum(k.count for k in rep.kernels) == rep.tasks
+
+    def test_gzipped_jsonl(self, tmp_path):
+        from repro.obs import write_events_jsonl
+        from repro.obs.analyze import analyze_trace_file
+        _, events = self._run_with_bus()
+        path = write_events_jsonl(tmp_path / "run.jsonl.gz", events)
+        (rep,) = analyze_trace_file(path)
+        assert rep.tasks > 0
+
+    def test_chrome_trace_still_sniffed(self, tmp_path):
+        from repro.obs.chrome_trace import write_chrome_trace
+        tr = Tracer()
+        tr.enabled = True
+        pl = plan(3, 3, "greedy")
+        a = np.random.default_rng(1).standard_normal((3 * 16, 3 * 16))
+        from repro.runtime.executor import execute_graph
+        from repro.tiles.layout import TiledMatrix
+        execute_graph(pl, TiledMatrix(a, 16), ib=16, tracer=tr)
+        path = tmp_path / "run.trace.json"
+        write_chrome_trace(path, tr)
+        from repro.obs.analyze import analyze_trace_file
+        reports = analyze_trace_file(path)
+        assert reports and reports[0].tasks == len(pl.graph.tasks)
+
+    def test_report_renders(self, tmp_path):
+        from repro.obs import write_events_jsonl
+        from repro.obs.analyze import analyze_trace_file
+        _, events = self._run_with_bus()
+        path = write_events_jsonl(tmp_path / "run.jsonl", events)
+        (rep,) = analyze_trace_file(path)
+        text = render_report(rep)
+        assert "makespan" in text.lower() or "TSMQR" in text

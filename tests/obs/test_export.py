@@ -1,0 +1,158 @@
+"""Tests for the Prometheus and JSONL exporters (S21)."""
+
+import gzip
+
+import pytest
+
+from repro.obs import (Event, EventBus, MetricsRegistry,
+                       parse_prometheus_text, prometheus_text,
+                       read_events_jsonl, write_events_jsonl)
+from repro.obs.export import sanitize_metric_name, write_prometheus
+
+
+def _registry():
+    m = MetricsRegistry()
+    m.counter("tasks.retired.GEQRT").inc(12)
+    m.gauge("scheduler.workers").set(4)
+    h = m.histogram("kernel.seconds.GEQRT", buckets=(0.001, 0.01, 0.1))
+    for v in (0.0005, 0.002, 0.003, 0.5):
+        h.observe(v)
+    return m
+
+
+class TestSanitize:
+    def test_dots_become_underscores(self):
+        assert (sanitize_metric_name("kernel.seconds.GEQRT")
+                == "repro_kernel_seconds_GEQRT")
+
+    def test_no_namespace(self):
+        assert sanitize_metric_name("a.b", namespace="") == "a_b"
+
+    def test_leading_digit_guarded(self):
+        name = sanitize_metric_name("2fast", namespace="")
+        assert name[0] not in "0123456789"
+
+
+class TestPrometheusRender:
+    def test_counter_gauge_histogram_families(self):
+        text = prometheus_text(_registry())
+        fams = parse_prometheus_text(text)
+        c = fams["repro_tasks_retired_GEQRT"]
+        assert c["type"] == "counter"
+        assert c["samples"] == [
+            ("repro_tasks_retired_GEQRT_total", {}, 12.0)]
+        g = fams["repro_scheduler_workers"]
+        assert g["type"] == "gauge"
+        assert g["samples"][0][2] == 4.0
+
+    def test_histogram_buckets_cumulative_and_closed(self):
+        fams = parse_prometheus_text(prometheus_text(_registry()))
+        h = fams["repro_kernel_seconds_GEQRT"]
+        buckets = [(lab["le"], v) for n, lab, v in h["samples"]
+                   if n.endswith("_bucket")]
+        assert buckets == [("0.001", 1.0), ("0.01", 3.0), ("0.1", 3.0),
+                           ("+Inf", 4.0)]
+        count = [v for n, _, v in h["samples"] if n.endswith("_count")]
+        assert count == [4.0]
+        total = [v for n, _, v in h["samples"] if n.endswith("_sum")]
+        assert total[0] == pytest.approx(0.5055)
+
+    def test_write_prometheus(self, tmp_path):
+        path = write_prometheus(tmp_path / "m.prom", _registry())
+        fams = parse_prometheus_text(open(path).read())
+        assert "repro_scheduler_workers" in fams
+
+
+class TestPrometheusParser:
+    def test_malformed_sample_line_raises(self):
+        with pytest.raises(ValueError, match="malformed sample"):
+            parse_prometheus_text("# TYPE x counter\nx_total one\n")
+
+    def test_sample_without_type_raises(self):
+        with pytest.raises(ValueError, match="no TYPE"):
+            parse_prometheus_text("orphan 1\n")
+
+    def test_unknown_type_raises(self):
+        with pytest.raises(ValueError, match="unknown metric type"):
+            parse_prometheus_text("# TYPE x flowchart\n")
+
+    def test_non_cumulative_buckets_raise(self):
+        bad = ("# TYPE h histogram\n"
+               'h_bucket{le="1"} 5\n'
+               'h_bucket{le="2"} 3\n'
+               'h_bucket{le="+Inf"} 3\n'
+               "h_sum 1\nh_count 3\n")
+        with pytest.raises(ValueError, match="not cumulative"):
+            parse_prometheus_text(bad)
+
+    def test_missing_inf_bucket_raises(self):
+        bad = ("# TYPE h histogram\n"
+               'h_bucket{le="1"} 5\n'
+               "h_sum 1\nh_count 5\n")
+        with pytest.raises(ValueError, match="\\+Inf"):
+            parse_prometheus_text(bad)
+
+    def test_inf_bucket_count_mismatch_raises(self):
+        bad = ("# TYPE h histogram\n"
+               'h_bucket{le="+Inf"} 4\n'
+               "h_sum 1\nh_count 5\n")
+        with pytest.raises(ValueError, match="_count"):
+            parse_prometheus_text(bad)
+
+
+class TestJsonl:
+    def _events(self):
+        bus = EventBus()
+        bus.publish("run_start", total=3, count=1)
+        bus.publish("task_done", tid=0, kernel="GEQRT", worker=0,
+                    value=0.01)
+        bus.publish("run_done", count=3, value=0.05)
+        return bus.snapshot()
+
+    def test_round_trip_plain(self, tmp_path):
+        events = self._events()
+        path = write_events_jsonl(tmp_path / "ev.jsonl", events)
+        assert read_events_jsonl(path) == events
+
+    def test_round_trip_gzip(self, tmp_path):
+        events = self._events()
+        path = write_events_jsonl(tmp_path / "ev.jsonl.gz", events)
+        with gzip.open(path, "rt") as fh:
+            assert fh.readline().startswith("{")
+        assert read_events_jsonl(path) == events
+
+    def test_append_mode(self, tmp_path):
+        events = self._events()
+        path = tmp_path / "ev.jsonl"
+        write_events_jsonl(path, events[:1])
+        write_events_jsonl(path, events[1:], append=True)
+        assert read_events_jsonl(path) == events
+
+    def test_accepts_plain_dicts(self, tmp_path):
+        path = write_events_jsonl(
+            tmp_path / "ev.jsonl", [{"kind": "frontier", "t": 1.0,
+                                     "seq": 0, "value": 2.0}])
+        (ev,) = read_events_jsonl(path)
+        assert ev == Event("frontier", t=1.0, seq=0, value=2.0)
+
+    def test_blank_lines_skipped(self, tmp_path):
+        path = tmp_path / "ev.jsonl"
+        write_events_jsonl(path, self._events())
+        with open(path, "a") as fh:
+            fh.write("\n\n")
+        assert len(read_events_jsonl(path)) == 3
+
+    def test_malformed_line_raises_with_lineno(self, tmp_path):
+        path = tmp_path / "ev.jsonl"
+        with open(path, "w") as fh:
+            fh.write('{"kind": "run_start", "t": 0, "seq": 0}\n')
+            fh.write("not json\n")
+        with pytest.raises(ValueError, match="line 2"):
+            read_events_jsonl(path)
+
+    def test_non_event_object_raises(self, tmp_path):
+        path = tmp_path / "ev.jsonl"
+        with open(path, "w") as fh:
+            fh.write('[1, 2, 3]\n')
+        with pytest.raises(ValueError, match="malformed event"):
+            read_events_jsonl(path)

@@ -1,0 +1,84 @@
+"""Tests for the background time-series sampler (S21)."""
+
+import time
+
+import pytest
+
+from repro.obs import (EventBus, LiveState, MetricsRegistry, Sampler,
+                       read_rss_bytes)
+
+
+class TestReadRss:
+    def test_positive_and_plausible(self):
+        rss = read_rss_bytes()
+        # a running CPython with NumPy imported is tens of MB at least
+        assert rss > 10 * 1024 * 1024
+        assert rss < 1 << 42
+
+
+class TestSampleOnce:
+    def test_records_all_series(self):
+        bus = EventBus()
+        state = LiveState(total=10, nb=32).connect(bus)
+        bus.publish("run_start", total=10, count=2)
+        bus.publish("group_done", kernel="GEQRT", count=4, value=0.01)
+        bus.publish("frontier", value=5.0)
+        m = MetricsRegistry()
+        s = Sampler(m, state)
+        s.sample_once(t=1.0)
+        d = m.to_dict()
+        assert d["sampler.queue_depth"]["value"] == 5.0
+        assert d["sampler.done_tasks"]["value"] == 4.0
+        assert d["sampler.cum_gflops"]["value"] > 0.0
+        assert d["sampler.gflop_rate"]["value"] == pytest.approx(
+            d["sampler.cum_gflops"]["value"] / 1.0)
+        assert d["sampler.rss_bytes"]["value"] > 0
+        assert d["sampler.ticks"]["value"] == 1
+
+    def test_stateless_sampler_records_process_series_only(self):
+        m = MetricsRegistry()
+        Sampler(m, state=None).sample_once(t=0.5)
+        d = m.to_dict()
+        assert "sampler.rss_bytes" in d
+        assert "sampler.queue_depth" not in d
+
+    def test_sample_series_carry_timestamps(self):
+        m = MetricsRegistry()
+        s = Sampler(m, state=None)
+        s.sample_once(t=0.25)
+        s.sample_once(t=0.75)
+        samples = m.gauge("sampler.rss_bytes").samples
+        assert [t for t, _ in samples] == [0.25, 0.75]
+
+
+class TestSamplerThread:
+    def test_ticks_at_cadence_and_final_sample(self):
+        m = MetricsRegistry()
+        with Sampler(m, state=None, interval=0.01) as s:
+            time.sleep(0.08)
+        # the context exit records a closing sample on top of the ticks
+        assert s.ticks >= 3
+        assert m.to_dict()["sampler.ticks"]["value"] == s.ticks
+
+    def test_stop_is_idempotent(self):
+        s = Sampler(MetricsRegistry(), state=None, interval=0.01)
+        s.start()
+        s.stop()
+        ticks = s.ticks
+        s.stop()
+        assert s.ticks == ticks
+
+    def test_interval_validation(self):
+        with pytest.raises(ValueError, match="interval"):
+            Sampler(MetricsRegistry(), interval=0.0)
+
+    def test_pull_mode_state_sampled_live(self):
+        bus = EventBus()
+        state = LiveState(total=100, nb=32).connect(bus)
+        m = MetricsRegistry()
+        with Sampler(m, state, interval=0.01):
+            for i in range(50):
+                bus.publish("task_done", tid=i, kernel="UNMQR",
+                            value=0.001)
+            time.sleep(0.05)
+        assert m.gauge("sampler.done_tasks").value == 50.0

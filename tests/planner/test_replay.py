@@ -1,0 +1,83 @@
+"""Tests for progress-vs-simulation replay (live ETA, S21)."""
+
+import pytest
+
+from repro.planner import ScheduleReplay, plan
+
+
+class _FakeSim:
+    def __init__(self, finish, makespan=None):
+        self.finish = finish
+        self.makespan = makespan if makespan is not None else max(finish)
+
+
+class TestSimTimeAt:
+    def test_maps_done_count_to_sorted_finish(self):
+        r = ScheduleReplay(_FakeSim([3.0, 1.0, 2.0]))
+        assert r.sim_time_at(0) == 0.0
+        assert r.sim_time_at(1) == 1.0
+        assert r.sim_time_at(2) == 2.0
+        assert r.sim_time_at(3) == 3.0
+        assert r.sim_time_at(99) == 3.0  # clamped
+
+    def test_empty_schedule(self):
+        r = ScheduleReplay(_FakeSim([], makespan=0.0))
+        assert r.sim_time_at(1) == 0.0
+
+
+class TestEstimate:
+    def test_no_prediction_before_first_retirement(self):
+        r = ScheduleReplay(_FakeSim([1.0, 2.0]))
+        est = r.estimate(0, 0.5)
+        assert est.predicted_makespan is None
+        assert est.remaining is None and est.drift is None
+        assert est.fraction == 0.0
+
+    def test_linear_machine_predicts_exactly(self):
+        # wall time = 2x simulated time, uniformly: after any progress
+        # point the predicted makespan is 2 x sim makespan
+        r = ScheduleReplay(_FakeSim([1.0, 2.0, 4.0]))
+        est = r.estimate(1, 2.0)
+        assert est.predicted_makespan == pytest.approx(8.0)
+        assert est.remaining == pytest.approx(6.0)
+        assert est.drift == 0.0  # first prediction is its own baseline
+
+    def test_drift_tracks_slowdown(self):
+        r = ScheduleReplay(_FakeSim([1.0, 2.0, 4.0]))
+        r.estimate(1, 2.0)            # baseline: predicted 8.0
+        est = r.estimate(2, 6.0)      # rate worsened: 3 s/model-unit
+        assert est.predicted_makespan == pytest.approx(12.0)
+        assert est.drift == pytest.approx(0.5)
+
+    def test_converges_at_completion(self):
+        r = ScheduleReplay(_FakeSim([1.0, 2.0, 4.0]))
+        r.estimate(1, 1.7)
+        est = r.estimate(3, 9.0)      # all done at wall time 9
+        # exchange rate is now measured over the whole schedule
+        assert est.predicted_makespan == pytest.approx(9.0)
+        assert est.remaining == 0.0
+        assert est.sim_fraction == 1.0
+
+    def test_first_predicted_property_and_reset(self):
+        r = ScheduleReplay(_FakeSim([1.0, 2.0]))
+        assert r.first_predicted is None
+        r.estimate(1, 3.0)
+        assert r.first_predicted == pytest.approx(6.0)
+        r.reset()
+        assert r.first_predicted is None
+
+    def test_to_dict(self):
+        est = ScheduleReplay(_FakeSim([1.0])).estimate(1, 2.0)
+        d = est.to_dict()
+        assert d["done"] == 1 and d["predicted_makespan"] == 2.0
+
+
+class TestPlanReplay:
+    def test_plan_builds_replay_from_memoized_schedules(self):
+        pl = plan(4, 4, "greedy")
+        unbounded = pl.replay(None)
+        bounded = pl.replay(2)
+        assert unbounded.total == len(pl.graph.tasks)
+        assert bounded.total == len(pl.graph.tasks)
+        # a 2-lane machine can only be slower than unbounded ASAP
+        assert bounded.sim_makespan >= unbounded.sim_makespan

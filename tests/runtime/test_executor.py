@@ -201,3 +201,51 @@ class TestApplyQ:
         ctx.apply_q(c, adjoint=True)
         assert np.allclose(c[:8], np.triu(tiled.array[:8]), atol=1e-12)
         assert np.allclose(c[8:], 0, atol=1e-12)
+
+
+class TestQueueWaitHistogram:
+    """Per-task ready-to-start latency (S21 satellite)."""
+
+    def test_threaded_run_populates_queue_wait(self, rng):
+        a = random_matrix(rng, 96, 96, np.float64)
+        m = MetricsRegistry()
+        factor(a, 16, workers=3, metrics=m)
+        h = m.histogram("scheduler.queue_wait_seconds")
+        # every retired task was queued once
+        assert h.count == m.counter("scheduler.tasks_total").value
+        assert h.sum >= 0.0
+        # waits are epoch-relative deltas, never absolute clock values
+        assert h.max < 60.0
+
+    def test_sequential_run_records_no_queue_wait(self, rng):
+        a = random_matrix(rng, 64, 64, np.float64)
+        m = MetricsRegistry()
+        factor(a, 16, workers=None, metrics=m)
+        assert "scheduler.queue_wait_seconds" not in m.to_dict()
+
+    def test_tracer_and_metrics_agree_on_waits(self, rng):
+        from repro.obs import Tracer
+
+        a = random_matrix(rng, 96, 96, np.float64)
+        m = MetricsRegistry()
+        tr = Tracer()
+        factor(a, 16, workers=3, metrics=m, tracer=tr)
+        h = m.histogram("scheduler.queue_wait_seconds")
+        spans = tr.spans
+        waits = sorted(max(0.0, s.queue_delay) for s in spans)
+        assert h.count == len(spans)
+        assert h.sum == pytest.approx(sum(waits), rel=1e-6, abs=1e-9)
+
+
+class TestExecutorBusIntegration:
+    def test_bus_and_metrics_together(self, rng):
+        from repro.obs import EventBus
+
+        a = random_matrix(rng, 96, 96, np.float64)
+        bus = EventBus()
+        m = MetricsRegistry()
+        ctx = factor(a, 16, workers=2, metrics=m, bus=bus)
+        n = int(m.counter("scheduler.tasks_total").value)
+        done = [e for e in bus.snapshot() if e.kind == "task_done"]
+        assert len(done) == n
+        assert ctx is not None

@@ -285,3 +285,93 @@ class TestParser:
     def test_unknown_command(self):
         with pytest.raises(SystemExit):
             main(["fly"])
+
+
+class TestProgress:
+    """--progress dashboards degrade to plain stderr lines off-TTY,
+    keeping stdout machine-parseable."""
+
+    def test_factor_progress_headless(self, capsys):
+        assert main(["factor", "--random", "96x48", "--nb", "16",
+                     "--progress"]) == 0
+        res = capsys.readouterr()
+        assert "\x1b[" not in res.err        # no ANSI escapes in logs
+        assert "tasks (100.0%)" in res.err   # final forced paint
+        assert "backward error" in res.out   # results stay on stdout
+
+    def test_factor_progress_batched(self, capsys):
+        assert main(["factor", "--random", "96x48", "--nb", "16",
+                     "--mode", "batched", "--progress"]) == 0
+        res = capsys.readouterr()
+        assert "tasks (100.0%)" in res.err
+        assert "drift" in res.out            # predicted-vs-realized line
+
+    def test_profile_progress(self, capsys):
+        assert main(["profile", "greedy", "4", "4", "--nb", "16",
+                     "--ib", "16", "--progress", "--no-sim",
+                     "--no-analyze"]) == 0
+        assert "tasks (100.0%)" in capsys.readouterr().err
+
+
+class TestProfileExports:
+    def test_events_jsonl_feeds_analyze(self, tmp_path, capsys):
+        ev = tmp_path / "run.jsonl.gz"
+        assert main(["profile", "greedy", "4", "4", "--nb", "16",
+                     "--ib", "16", "--events", str(ev), "--no-sim",
+                     "--no-analyze"]) == 0
+        assert ev.exists()
+        capsys.readouterr()
+        assert main(["analyze", "--from-trace", str(ev)]) == 0
+        out = capsys.readouterr().out
+        assert "GEQRT" in out
+
+    def test_prometheus_export_parses(self, tmp_path, capsys):
+        from repro.obs import parse_prometheus_text
+        prom = tmp_path / "metrics.prom"
+        assert main(["profile", "greedy", "4", "4", "--nb", "16",
+                     "--ib", "16", "--prometheus", str(prom),
+                     "--no-sim", "--no-analyze"]) == 0
+        fams = parse_prometheus_text(prom.read_text())
+        assert any(n.startswith("repro_") for n in fams)
+        # the sampler's process series ride along
+        assert "repro_sampler_rss_bytes" in fams
+
+    def test_batched_events(self, tmp_path, capsys):
+        ev = tmp_path / "run.jsonl"
+        assert main(["profile", "greedy", "4", "4", "--nb", "16",
+                     "--ib", "16", "--mode", "batched", "--events",
+                     str(ev), "--no-analyze"]) == 0
+        from repro.obs import read_events_jsonl
+        kinds = [e.kind for e in read_events_jsonl(ev)]
+        assert kinds[0] == "run_start" and kinds[-1] == "run_done"
+        assert "group_done" in kinds and "level_start" in kinds
+
+
+class TestTop:
+    def test_headless_run_summarizes(self, capsys):
+        assert main(["top", "greedy", "4", "4", "--nb", "16",
+                     "--ib", "16", "--mode", "batched"]) == 0
+        res = capsys.readouterr()
+        assert "retired 50/50 tasks" in res.out
+        assert "published" in res.out and "dropped" in res.out
+        assert "tasks (100.0%)" in res.err   # dashboard final paint
+
+    def test_threaded_mode(self, capsys):
+        assert main(["top", "greedy", "3", "3", "--nb", "16",
+                     "--ib", "16", "--workers", "2"]) == 0
+        assert "drift" in capsys.readouterr().out
+
+
+class TestAnalyzeFromTrace:
+    def test_chrome_trace_file(self, tmp_path, capsys):
+        trace = tmp_path / "run.trace.json"
+        assert main(["profile", "greedy", "4", "4", "--nb", "16",
+                     "--ib", "16", "--out", str(trace), "--no-sim",
+                     "--no-analyze"]) == 0
+        capsys.readouterr()
+        assert main(["analyze", "--from-trace", str(trace)]) == 0
+        assert "GEQRT" in capsys.readouterr().out
+
+    def test_missing_file_fails_cleanly(self, capsys):
+        assert main(["analyze", "--from-trace", "/nonexistent.jsonl"]) == 2
+        assert "cannot read" in capsys.readouterr().err
