@@ -86,8 +86,9 @@ FACTOR_FULL_CASES = FACTOR_QUICK_CASES + [
 ]
 
 #: factor timing metrics, lower / higher is better
-FACTOR_TIMING_LOWER = ("reference_s", "batched_s")
-FACTOR_TIMING_HIGHER = ("speedup", "reference_gflops", "batched_gflops")
+FACTOR_TIMING_LOWER = ("reference_s", "batched_s", "process_s")
+FACTOR_TIMING_HIGHER = ("speedup", "reference_gflops", "batched_gflops",
+                        "process_speedup", "process_gflops")
 
 
 def case_key(scheme: str, p: int, q: int, processors: int) -> str:
@@ -161,35 +162,52 @@ def run_factor_case(scheme: str, family: str, m: int, n: int,
     """Time the reference task executor against the batched backend.
 
     Wall clock on shared machines drifts minute to minute, so each
-    round times the two backends back to back and the recorded speedup
-    is the *median of per-round ratios* — drift hits both sides of a
+    round times the backends back to back and the recorded speedups
+    are *medians of per-round ratios* — drift hits both sides of a
     ratio equally.  Absolute seconds are still recorded (advisory, like
     every other timing metric here).
+
+    The process backend is timed through one persistent
+    :class:`~repro.runtime.ProcessPool` sized to the host
+    (``os.cpu_count()`` workers) — the intended reuse pattern; worker
+    start-up is paid once, outside the timed rounds.
+    ``process_speedup`` is the per-round ``task_s / process_s`` ratio,
+    directly comparable to ``speedup`` (``task_s / batched_s``).
     """
+    import os
+
     from repro.api import factor
+    from repro.runtime import ProcessPool
 
     rng = np.random.default_rng(20110814)  # the paper's SC 2011 vintage
     a = rng.standard_normal((m, n))
     pl = plan(m // nb, n // nb, scheme, family)
     groups = pl.level_groups()
     sizes = [len(g) for g in groups]
+    workers = os.cpu_count() or 1
 
-    def time_mode(mode: str) -> float:
-        t0 = time.perf_counter()
-        factor(a, nb=nb, ib=ib, scheme=pl, mode=mode)
-        return time.perf_counter() - t0
+    with ProcessPool(workers=workers) as pool:
+        def time_mode(mode: str, **kw) -> float:
+            t0 = time.perf_counter()
+            factor(a, nb=nb, ib=ib, scheme=pl, mode=mode, **kw)
+            return time.perf_counter() - t0
 
-    time_mode("batched")  # warm both paths (plan, pools, LAPACK wrappers)
-    time_mode("task")
-    ref_s, bat_s, ratios = [], [], []
-    for _ in range(rounds):
-        tb = time_mode("batched")
-        tr = time_mode("task")
-        bat_s.append(tb)
-        ref_s.append(tr)
-        ratios.append(tr / tb)
+        time_mode("batched")  # warm all paths (plan, pools, LAPACK
+        time_mode("task")     # wrappers, pool workers)
+        time_mode("process", pool=pool)
+        ref_s, bat_s, pro_s, ratios, pro_ratios = [], [], [], [], []
+        for _ in range(rounds):
+            tb = time_mode("batched")
+            tr = time_mode("task")
+            tp = time_mode("process", pool=pool)
+            bat_s.append(tb)
+            ref_s.append(tr)
+            pro_s.append(tp)
+            ratios.append(tr / tb)
+            pro_ratios.append(tr / tp)
     ref = float(np.median(ref_s))
     bat = float(np.median(bat_s))
+    pro = float(np.median(pro_s))
     flops = qr_flops(m, n)
     return {
         "structural": {
@@ -202,9 +220,13 @@ def run_factor_case(scheme: str, family: str, m: int, n: int,
         "timing": {
             "reference_s": ref,
             "batched_s": bat,
+            "process_s": pro,
             "speedup": float(np.median(ratios)),
+            "process_speedup": float(np.median(pro_ratios)),
             "reference_gflops": flops / 1e9 / ref if ref else 0.0,
             "batched_gflops": flops / 1e9 / bat if bat else 0.0,
+            "process_gflops": flops / 1e9 / pro if pro else 0.0,
+            "process_workers": workers,  # context only, never compared
         },
     }
 

@@ -68,6 +68,8 @@ def factor(
     workers: Optional[int] = None,
     mode: str = "task",
     numeric: str = "auto",
+    start_method: Optional[str] = None,
+    pool=None,
     tracer=None,
     metrics=None,
     bus=None,
@@ -85,7 +87,11 @@ def factor(
     (stacked 3-D kernels over a contiguous tile pool) instead of the
     per-task executors — usually the fastest way to factor a real
     matrix; ``numeric`` picks its factor-kernel implementation
-    (``"auto"``/``"numpy"``/``"lapack"``); see docs/performance.md.
+    (``"auto"``/``"numpy"``/``"lapack"``); ``mode="process"`` runs the
+    kernels on ``workers`` worker processes over a shared-memory tile
+    pool (``start_method`` picks fork/spawn, ``pool`` reuses a
+    persistent :class:`repro.runtime.ProcessPool`); see
+    docs/performance.md.
     ``tracer``/``metrics``/``bus``/``on_task_done`` are the
     observability passthroughs (span capture, metrics registry,
     streaming event bus, completion callback) — see
@@ -93,7 +99,8 @@ def factor(
     """
     return tiled_qr(a, nb=nb, ib=ib, scheme=scheme, family=family,
                     backend=backend, workers=workers, mode=mode,
-                    numeric=numeric, tracer=tracer, metrics=metrics,
+                    numeric=numeric, start_method=start_method, pool=pool,
+                    tracer=tracer, metrics=metrics,
                     bus=bus, on_task_done=on_task_done, **scheme_params)
 
 

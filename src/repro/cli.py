@@ -56,6 +56,7 @@ Examples
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 
 import numpy as np
@@ -181,6 +182,8 @@ def _progress_setup(pl, nb: int, workers, mode: str, label: str,
 
     if mode == "batched":
         procs = None
+    elif mode == "process":
+        procs = workers if workers and workers > 1 else (os.cpu_count() or 1)
     else:
         procs = workers if workers and workers > 1 else 1
     if bus is None:
@@ -238,7 +241,8 @@ def _cmd_factor(args) -> int:
         f = tiled_qr(a, nb=args.nb, ib=args.ib, scheme=args.scheme,
                      family=args.family, backend=args.backend,
                      workers=args.workers, mode=args.mode,
-                     numeric=args.numeric, bus=bus, **params)
+                     numeric=args.numeric,
+                     start_method=args.start_method, bus=bus, **params)
     finally:
         if renderer is not None:
             renderer.stop()
@@ -247,7 +251,7 @@ def _cmd_factor(args) -> int:
         if line:
             print(f"  {line}")
     rep = assess(f, a)
-    how = args.mode if args.mode == "batched" else args.backend
+    how = args.mode if args.mode in ("batched", "process") else args.backend
     print(f"factored {src} with {args.scheme} ({args.family}, "
           f"{how}, nb={args.nb})")
     print(f"  backward error   {rep.backward_error:.3e}")
@@ -446,6 +450,7 @@ def _cmd_profile(args) -> int:
         ctx = execute_graph(pl, tiled, backend=args.backend,
                             ib=min(args.ib, nb), workers=args.workers,
                             mode=args.mode, numeric=args.numeric,
+                            start_method=args.start_method,
                             tracer=tracer, metrics=metrics_reg,
                             collect_metrics=True, bus=bus)
     finally:
@@ -471,10 +476,15 @@ def _cmd_profile(args) -> int:
         for t in pl.graph.tasks:
             h = metrics.get(f"kernel.seconds.{t.kernel.value}")
             weights[t.kernel] = h.mean if h is not None and h.count else 0.0
-        procs = args.workers if args.workers and args.workers > 1 else 1
+        if args.mode == "process":
+            procs = (args.workers if args.workers and args.workers > 1
+                     else (os.cpu_count() or 1))
+        else:
+            procs = args.workers if args.workers and args.workers > 1 else 1
         sim = pl.rescaled(weights).schedule(procs)
 
-    how = "batched" if args.mode == "batched" else args.backend
+    how = (args.mode if args.mode in ("batched", "process")
+           else args.backend)
     print(f"profiled {args.scheme} ({args.family}, {how}) on a "
           f"{m} x {n} matrix, nb={nb}, workers={args.workers}")
     print(f"  tasks            {len(tracer)}")
@@ -550,7 +560,8 @@ def _cmd_top(args) -> int:
         try:
             execute_graph(pl, tiled, backend=args.backend,
                           ib=min(args.ib, nb), workers=args.workers,
-                          mode=args.mode, numeric=args.numeric, bus=bus)
+                          mode=args.mode, numeric=args.numeric,
+                          start_method=args.start_method, bus=bus)
         except BaseException as exc:  # surfaced after the join
             errors.append(exc)
 
@@ -611,12 +622,19 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--backend", default="lapack",
                    choices=["reference", "lapack"])
     p.add_argument("--workers", type=int, default=None)
-    p.add_argument("--mode", default="task", choices=["task", "batched"],
+    p.add_argument("--mode", default="task",
+                   choices=["task", "batched", "process"],
                    help="batched = level-synchronous stacked kernels "
-                        "(fastest; ignores --backend/--workers)")
+                        "(ignores --backend/--workers); process = "
+                        "worker processes over shared-memory tiles "
+                        "with a rolling ready-frontier")
     p.add_argument("--numeric", default="auto",
                    choices=["auto", "numpy", "lapack"],
-                   help="factor-kernel implementation for --mode batched")
+                   help="factor-kernel implementation for --mode "
+                        "batched/process")
+    p.add_argument("--start-method", default=None,
+                   choices=["fork", "spawn", "forkserver"],
+                   help="multiprocessing start method for --mode process")
     p.add_argument("--bs", type=int, default=None)
     p.add_argument("--save", help="save the factorization to this .npz")
     p.add_argument("--progress", action="store_true",
@@ -701,13 +719,19 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--backend", default="lapack",
                    choices=["reference", "lapack"])
     p.add_argument("--workers", type=int, default=4)
-    p.add_argument("--mode", default="task", choices=["task", "batched"],
-                   help="batched = level-synchronous stacked kernels; "
-                        "spans cover (level, kernel) groups and the "
-                        "simulated overlay is skipped")
+    p.add_argument("--mode", default="task",
+                   choices=["task", "batched", "process"],
+                   help="batched = level-synchronous stacked kernels "
+                        "(spans cover (level, kernel) groups and the "
+                        "simulated overlay is skipped); process = "
+                        "worker processes over shared-memory tiles")
     p.add_argument("--numeric", default="auto",
                    choices=["auto", "numpy", "lapack"],
-                   help="factor-kernel implementation for --mode batched")
+                   help="factor-kernel implementation for --mode "
+                        "batched/process")
+    p.add_argument("--start-method", default=None,
+                   choices=["fork", "spawn", "forkserver"],
+                   help="multiprocessing start method for --mode process")
     p.add_argument("--seed", type=int, default=0)
     p.add_argument("--out", help="write Chrome trace-event JSON here")
     p.add_argument("--metrics-json", help="write the metrics snapshot here")
@@ -738,9 +762,12 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--backend", default="lapack",
                    choices=["reference", "lapack"])
     p.add_argument("--workers", type=int, default=4)
-    p.add_argument("--mode", default="task", choices=["task", "batched"])
+    p.add_argument("--mode", default="task",
+                   choices=["task", "batched", "process"])
     p.add_argument("--numeric", default="auto",
                    choices=["auto", "numpy", "lapack"])
+    p.add_argument("--start-method", default=None,
+                   choices=["fork", "spawn", "forkserver"])
     p.add_argument("--seed", type=int, default=0)
     p.add_argument("--interval", type=float, default=0.1,
                    help="dashboard repaint cadence in seconds")

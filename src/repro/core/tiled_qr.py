@@ -156,6 +156,8 @@ def tiled_qr(
     workers: int | None = None,
     mode: str = "task",
     numeric: str = "auto",
+    start_method: str | None = None,
+    pool=None,
     tracer=None,
     metrics=None,
     bus=None,
@@ -190,18 +192,31 @@ def tiled_qr(
     backend : {"reference", "lapack"}
         Numeric kernel implementation.
     workers : int or None
-        ``None``/1 = sequential; ``>= 2`` = threaded dataflow runtime.
-        Ignored when ``mode="batched"``.
-    mode : {"task", "batched"}
+        ``None``/1 = sequential; ``>= 2`` = threaded dataflow runtime
+        (``mode="task"``) or the worker-process count
+        (``mode="process"``, default ``os.cpu_count()``).  Ignored
+        when ``mode="batched"``.
+    mode : {"task", "batched", "process"}
         ``"task"`` retires one tile task at a time; ``"batched"``
         executes each (DAG level, kernel) group of independent tasks
         as stacked 3-D NumPy operations — typically much faster (see
-        docs/performance.md).  ``backend`` is ignored in batched mode.
+        docs/performance.md); ``"process"`` runs the kernels on worker
+        processes over a shared-memory tile pool with a rolling
+        ready-frontier (no level barrier).  ``backend`` is ignored in
+        batched and process modes.
     numeric : {"auto", "numpy", "lapack"}
-        Factor-kernel implementation for ``mode="batched"`` (ignored
-        otherwise): ``"lapack"`` runs the three factor kernels as
-        per-slice LAPACK calls (real dtypes), ``"numpy"`` keeps the
-        stacked NumPy kernels, ``"auto"`` picks LAPACK when supported.
+        Factor-kernel implementation for ``mode="batched"`` and
+        ``mode="process"`` (ignored otherwise): ``"lapack"`` runs the
+        three factor kernels as per-slice LAPACK calls (real dtypes),
+        ``"numpy"`` keeps the stacked NumPy kernels, ``"auto"`` picks
+        LAPACK when supported.
+    start_method : str or None
+        ``mode="process"`` only: multiprocessing start method
+        (``"fork"``/``"spawn"``/``"forkserver"``; ``None`` = ``fork``
+        where available).
+    pool : repro.runtime.ProcessPool or None
+        ``mode="process"`` only: run on a persistent worker pool
+        instead of an ephemeral one.
     tracer, metrics, bus, on_task_done
         Observability passthroughs to
         :func:`~repro.runtime.executor.execute_graph`: a span
@@ -242,6 +257,7 @@ def tiled_qr(
     # and the threaded scheduler its memoized bottom-levels
     ctx = execute_graph(pl, tiled, backend=backend, ib=min(ib, nb),
                         workers=workers, mode=mode, numeric=numeric,
+                        start_method=start_method, pool=pool,
                         tracer=tracer, metrics=metrics, bus=bus,
                         on_task_done=on_task_done)
     return TiledQRFactorization(m=m, n=n, nb=nb, scheme=pl.elims,

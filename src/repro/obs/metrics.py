@@ -22,11 +22,34 @@ from __future__ import annotations
 
 import json
 import math
+import os
 import threading
+import weakref
 from dataclasses import dataclass, field
 
 __all__ = ["Counter", "Gauge", "Histogram", "MetricsRegistry",
            "DEFAULT_SECONDS_BUCKETS"]
+
+# Fork safety: a registry (or metric) lock held by another thread at
+# fork time is copied *locked* into the child, where no thread exists
+# to release it — the first child-side inc()/observe() deadlocks
+# forever.  Process-wide registries (``PLAN_METRICS``) make this easy
+# to hit once worker processes fork under concurrent publishers, so
+# every live registry re-creates its locks in the child.  Child-side
+# metric *values* keep whatever snapshot the fork took; only the locks
+# are replaced.
+_LIVE_REGISTRIES: "weakref.WeakSet[MetricsRegistry]" = weakref.WeakSet()
+
+
+def _reinit_locks_after_fork() -> None:  # pragma: no cover - exercised
+    for reg in list(_LIVE_REGISTRIES):   # in a forked child (tests fork)
+        reg._lock = threading.Lock()
+        for m in reg._metrics.values():
+            m._lock = threading.Lock()
+
+
+if hasattr(os, "register_at_fork"):
+    os.register_at_fork(after_in_child=_reinit_locks_after_fork)
 
 #: default histogram buckets for durations in seconds (~30 us .. 30 s)
 DEFAULT_SECONDS_BUCKETS = tuple(
@@ -147,6 +170,7 @@ class MetricsRegistry:
     def __init__(self) -> None:
         self._lock = threading.Lock()
         self._metrics: dict[str, Counter | Gauge | Histogram] = {}
+        _LIVE_REGISTRIES.add(self)
 
     # ------------------------------------------------------------------
     def _get_or_create(self, name: str, cls, **kwargs):

@@ -27,6 +27,7 @@ of task throughput.  Use it as a context manager::
 from __future__ import annotations
 
 import os
+import sys
 import threading
 import time
 
@@ -38,16 +39,32 @@ __all__ = ["Sampler", "read_rss_bytes"]
 _PAGE_SIZE = os.sysconf("SC_PAGE_SIZE") if hasattr(os, "sysconf") else 4096
 
 
+#: overridable in tests to force the getrusage fallback
+_STATM_PATH = "/proc/self/statm"
+
+
+def _rusage_rss_bytes(ru_maxrss: int, platform: str) -> int:
+    """Normalize a ``ru_maxrss`` reading to bytes.
+
+    POSIX leaves the unit unspecified: macOS reports **bytes**, Linux
+    and the BSDs report **kilobytes**.  The old value-based heuristic
+    (``> 1 << 32`` means bytes) misclassified every macOS process under
+    4 GiB peak RSS, reporting it 1024x too large.
+    """
+    scale = 1 if platform == "darwin" else 1024
+    return int(ru_maxrss) * scale
+
+
 def read_rss_bytes() -> int:
     """Current resident set size in bytes (best effort, never raises).
 
     Linux: field 2 of ``/proc/self/statm`` (pages).  Elsewhere: the
-    peak RSS from ``resource.getrusage`` (kilobytes on Linux, bytes on
-    macOS — close enough for a trend line).  Returns 0 when neither
-    source is available.
+    peak RSS from ``resource.getrusage``, normalized per platform
+    (bytes on macOS, kilobytes on Linux/BSD — close enough for a trend
+    line).  Returns 0 when neither source is available.
     """
     try:
-        with open("/proc/self/statm", "rb") as fh:
+        with open(_STATM_PATH, "rb") as fh:
             return int(fh.read().split()[1]) * _PAGE_SIZE
     except (OSError, IndexError, ValueError):
         pass
@@ -55,7 +72,7 @@ def read_rss_bytes() -> int:
         import resource
 
         ru = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
-        return int(ru) * (1 if ru > 1 << 32 else 1024)
+        return _rusage_rss_bytes(ru, sys.platform)
     except Exception:
         return 0
 
@@ -97,6 +114,8 @@ class Sampler:
         self._stop = threading.Event()
         self._thread: threading.Thread | None = None
         self.ticks = 0
+        #: set when a bounded :meth:`stop` abandoned a stuck tick
+        self.join_timed_out = False
 
     # ------------------------------------------------------------------
     def sample_once(self, t: float | None = None) -> None:
@@ -130,16 +149,33 @@ class Sampler:
         self._thread.start()
         return self
 
-    def stop(self, final_sample: bool = True) -> None:
+    def stop(self, final_sample: bool = True,
+             timeout: float | None = None) -> bool:
         """Stop the thread; by default records one last sample so the
-        series always covers the end of the run."""
-        if self._thread is None:
-            return
+        series always covers the end of the run.
+
+        The join is **bounded** (default ``max(1.0, 10 * interval)``
+        seconds): a tick stalled in ``/proc`` I/O or a blocking clock
+        must never hang interpreter shutdown.  On timeout the daemon
+        thread is abandoned (it dies with the process),
+        :attr:`join_timed_out` is set, the final sample is skipped (the
+        stuck tick may still write), and ``False`` is returned.
+        Idempotent: repeated calls are no-ops returning the outcome of
+        the first.
+        """
+        thread, self._thread = self._thread, None
+        if thread is None:
+            return not self.join_timed_out
         self._stop.set()
-        self._thread.join()
-        self._thread = None
+        if timeout is None:
+            timeout = max(1.0, 10.0 * self.interval)
+        thread.join(timeout)
+        if thread.is_alive():
+            self.join_timed_out = True
+            return False
         if final_sample:
             self.sample_once()
+        return True
 
     def __enter__(self) -> "Sampler":
         return self.start()

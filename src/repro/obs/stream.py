@@ -44,8 +44,10 @@ readers drain the ring on their own cadence).
 
 from __future__ import annotations
 
+import os
 import threading
 import time
+import weakref
 from dataclasses import dataclass, fields
 
 __all__ = [
@@ -70,6 +72,24 @@ EVENT_KINDS = (
     "group_done",   #: kernel, level, count, value= group seconds
     "frontier",     #: value= ready-queue depth after a retirement
 )
+
+# Fork safety: a bus or LiveState lock held mid-publish at fork time
+# is copied *locked* into the child, deadlocking the child's first
+# publish/view forever.  Every live instance re-creates its locks in
+# forked children (ring contents survive as the fork's snapshot).
+_LIVE_LOCKED: "weakref.WeakSet" = weakref.WeakSet()
+
+
+def _reinit_locks_after_fork() -> None:  # pragma: no cover - exercised
+    for obj in list(_LIVE_LOCKED):       # in a forked child (tests fork)
+        obj._lock = threading.Lock()
+        if hasattr(obj, "_pump_lock"):
+            obj._pump_lock = threading.Lock()
+
+
+if hasattr(os, "register_at_fork"):
+    os.register_at_fork(after_in_child=_reinit_locks_after_fork)
+
 
 #: default ring capacity.  4096 records hold every event of the
 #: standard bench case several times over while keeping the slot array
@@ -146,6 +166,7 @@ class EventBus:
         self._lock = threading.Lock()
         self._subs: tuple = ()
         self._threads: dict[int, int] = {}
+        _LIVE_LOCKED.add(self)
 
     # ------------------------------------------------------------------
     def now(self) -> float:
@@ -290,6 +311,7 @@ class LiveState:
         self._cursor = 0
         self._pump_lock = threading.Lock()  # serializes ring drains
         self._lock = threading.Lock()
+        _LIVE_LOCKED.add(self)
         self.started = 0
         self.done = 0
         self.flops = 0.0
@@ -453,16 +475,26 @@ class BusRelay:
     The queue is bounded (``capacity``), so a stalled parent never
     blocks its workers: overflow events are dropped at the producer and
     counted (:attr:`dropped`).
+
+    ``ctx`` selects the :mod:`multiprocessing` context the queue is
+    created from (a persistent worker pool passes its own so fork- and
+    spawn-started workers share one primitive family); :attr:`bus` may
+    be re-assigned between runs — a long-lived relay whose publishers
+    were shipped to workers at process start can fan into a different
+    bus per run.
     """
 
     _SENTINEL = ("__stop__", None)
 
-    def __init__(self, bus: EventBus, capacity: int = 8192) -> None:
+    def __init__(self, bus: EventBus, capacity: int = 8192,
+                 ctx=None) -> None:
         import multiprocessing as mp
 
+        if ctx is None:
+            ctx = mp
         self.bus = bus
-        self._queue = mp.Queue(capacity)
-        self._dropped = mp.Value("l", 0)
+        self._queue = ctx.Queue(capacity)
+        self._dropped = ctx.Value("l", 0)
         self._thread: threading.Thread | None = None
 
     def publisher(self) -> RemotePublisher:

@@ -48,6 +48,26 @@ _lock = threading.Lock()
 _memory: "OrderedDict[str, Plan]" = OrderedDict()
 
 
+def _reinit_after_fork() -> None:  # pragma: no cover - exercised in a
+    """Re-create the LRU lock (and drop the LRU) in forked children.
+
+    A fork taken while another thread holds ``_lock`` copies the lock
+    *locked* into the child, where ``memory_get`` would deadlock on
+    first use; the OrderedDict itself may be mid-mutation at that
+    instant, so the child starts from an empty (consistent) cache
+    rather than a possibly corrupt snapshot.  ``PLAN_METRICS``' own
+    locks are re-created by the registry-level hook in
+    :mod:`repro.obs.metrics`.
+    """
+    global _lock, _memory                # forked child (tests fork)
+    _lock = threading.Lock()
+    _memory = OrderedDict()
+
+
+if hasattr(os, "register_at_fork"):
+    os.register_at_fork(after_in_child=_reinit_after_fork)
+
+
 def memory_cache_size() -> int:
     """Capacity of the in-memory LRU (``REPRO_PLAN_CACHE_SIZE``)."""
     raw = os.environ.get("REPRO_PLAN_CACHE_SIZE", "").strip()

@@ -1,7 +1,8 @@
-"""Execution runtimes for kernel task graphs (S12, S20)."""
+"""Execution runtimes for kernel task graphs (S12, S20, S22)."""
 
 from .batched import execute_batched, level_kernel_groups
 from .executor import ExecutionContext, execute_graph
+from .procpool import ProcessPool, execute_process
 
 __all__ = ["ExecutionContext", "execute_graph", "execute_batched",
-           "level_kernel_groups"]
+           "execute_process", "ProcessPool", "level_kernel_groups"]

@@ -195,6 +195,8 @@ def execute_graph(
     workers: int | None = None,
     mode: str = "task",
     numeric: str = "auto",
+    start_method: str | None = None,
+    pool=None,
     on_task_done=None,
     tracer: Tracer | None = None,
     metrics: MetricsRegistry | None = None,
@@ -232,12 +234,24 @@ def execute_graph(
         threaded per ``workers``); ``"batched"`` delegates to
         :func:`repro.runtime.batched.execute_batched`, which executes
         each (level, kernel) group of independent tasks as stacked 3-D
-        operations — typically much faster for real factorizations.
+        operations — typically much faster for real factorizations;
+        ``"process"`` delegates to
+        :func:`repro.runtime.procpool.execute_process`, which runs the
+        kernels on ``workers`` worker *processes* over a shared-memory
+        tile pool with a rolling ready-frontier (no level barrier).
     numeric : str
-        Factor-kernel implementation for ``mode="batched"`` (ignored
-        otherwise): ``"numpy"``, ``"lapack"``, or ``"auto"`` (LAPACK
-        when the dtype supports it).  See
-        :func:`repro.runtime.batched.execute_batched`.
+        Factor-kernel implementation for ``mode="batched"`` and
+        ``mode="process"`` (ignored otherwise): ``"numpy"``,
+        ``"lapack"``, or ``"auto"`` (LAPACK when the dtype supports
+        it).  See :func:`repro.runtime.batched.execute_batched`.
+    start_method : str or None
+        ``mode="process"`` only: the :mod:`multiprocessing` start
+        method (``"fork"``, ``"spawn"``, ``"forkserver"``; ``None``
+        picks ``fork`` where available).
+    pool : repro.runtime.procpool.ProcessPool or None
+        ``mode="process"`` only: reuse a persistent worker pool
+        instead of starting (and stopping) an ephemeral one — this is
+        how repeated factorizations amortize worker start-up.
     on_task_done : callable or None
         Optional observer ``(task, done_count, total) -> None`` invoked
         after each kernel retires (progress bars, logging).  In
@@ -273,8 +287,16 @@ def execute_graph(
     -------
     ExecutionContext
     """
-    if mode not in ("task", "batched"):
-        raise ValueError(f"mode must be 'task' or 'batched', got {mode!r}")
+    if mode not in ("task", "batched", "process"):
+        raise ValueError(
+            f"mode must be 'task', 'batched' or 'process', got {mode!r}")
+    if mode == "process":
+        from .procpool import execute_process
+        return execute_process(graph, tiled, ib=ib, numeric=numeric,
+                               workers=workers, start_method=start_method,
+                               pool=pool, on_task_done=on_task_done,
+                               tracer=tracer, metrics=metrics,
+                               collect_metrics=collect_metrics, bus=bus)
     if mode == "batched":
         from .batched import execute_batched
         return execute_batched(graph, tiled, ib=ib, numeric=numeric,

@@ -1,0 +1,691 @@
+"""Process-parallel execution over a shared-memory tile pool (S22).
+
+The batched backend (:mod:`repro.runtime.batched`) drives every
+stacked kernel from one GIL-bound Python thread and synchronizes at
+every Kahn level of the DAG.  This backend removes both limits:
+
+* **Worker processes, zero-copy tiles.**  A persistent
+  :class:`ProcessPool` of worker processes operates *in place* on a
+  :class:`~repro.tiles.shared_pool.SharedTilePool` — the same
+  ``(p * q, nb, nb)`` slot-addressed stack as the batched backend, in
+  :mod:`multiprocessing.shared_memory`.  Only ``(tid, kernel,
+  slot-coords)`` descriptors cross the queues; tile data never does.
+  The compact-WY ``T`` blocks flow through a second shared segment
+  (uniform ``(factor_tasks, npanels, ib, ib)`` because padded slots
+  factor with a full panel count), so apply kernels read their source
+  ``T`` without pickling either.
+* **Rolling ready-frontier.**  The parent runs a Kahn scheduler over
+  the Plan's CSR :class:`~repro.dag.index.GraphIndex`: a task is
+  dispatched the moment its last predecessor retires, ordered by
+  descending bottom-level (critical path first) — factor kernels of
+  level ``L + 1`` overlap update tasks of level ``L`` instead of
+  waiting at a level barrier.  Each worker holds at most a small
+  number of in-flight tasks so priority stays meaningful while queue
+  latency hides behind execution.
+* **Telemetry across the process boundary.**  Workers publish
+  ``task_start`` / ``task_done`` through the pool's
+  :class:`~repro.obs.stream.BusRelay`; the parent adds ``run_start`` /
+  ``frontier`` / ``run_done``, so ``--progress`` and ``repro top``
+  work unchanged.
+
+Correctness rests on two established facts: every pair of conflicting
+tile accesses is DAG-ordered (the guarantee the threaded executor
+already relies on — the completion round-trip through the parent gives
+cross-process happens-before), and zero-padded slots are exact for
+every kernel (see :mod:`repro.tiles.pool`).  Results match the
+reference backend to rounding, like the batched backend.
+
+Reached via ``execute_graph(mode="process", workers=N)`` /
+``repro.api.factor(..., mode="process")`` / ``repro factor --mode
+process``; reuse a :class:`ProcessPool` across runs to amortize
+worker start-up (significant under the ``spawn`` start method).
+"""
+
+from __future__ import annotations
+
+import heapq
+import os
+import queue as queue_mod
+import time
+import traceback
+from typing import Optional
+
+import numpy as np
+
+from ..dag.tasks import KERNEL_CODES, TaskGraph
+from ..kernels.backend import get_backend
+from ..kernels.batched import lapack_batched_supported
+from ..kernels.costs import Kernel
+from ..kernels.geqrt import TFactor, panel_starts
+from ..kernels.lapack import LapackT
+from ..obs.metrics import MetricsRegistry
+from ..obs.stream import NULL_BUS, BusRelay
+from ..tiles.layout import TiledMatrix
+from ..tiles.shared_pool import SharedArray, SharedTilePool
+from .executor import ExecutionContext, _KIND, _clamp_ib
+
+__all__ = ["ProcessPool", "execute_process"]
+
+_KERNEL_TO_CODE = {k: c for c, k in enumerate(KERNEL_CODES)}
+_CODE_TO_NAME = tuple(k.value for k in KERNEL_CODES)
+_GEQRT, _UNMQR, _TSQRT, _TSMQR, _TTQRT, _TTMQR = (
+    _KERNEL_TO_CODE[k] for k in (
+        Kernel.GEQRT, Kernel.UNMQR, Kernel.TSQRT, Kernel.TSMQR,
+        Kernel.TTQRT, Kernel.TTMQR))
+_FACTOR_KERNELS = (Kernel.GEQRT, Kernel.TSQRT, Kernel.TTQRT)
+
+#: tasks a worker may hold queued beyond the one it is executing —
+#: enough to hide queue latency, small enough that the parent's
+#: priority order is what actually runs
+_PREFETCH = 2
+
+#: seconds between liveness checks while waiting for completions
+_POLL_S = 1.0
+
+#: environment knobs that pin per-worker BLAS threading.  Set around
+#: worker start-up so children initialize single-threaded BLAS pools
+#: (the parent's already-initialized BLAS is unaffected; fork children
+#: inherit the parent's thread count regardless — see
+#: docs/performance.md).
+_BLAS_ENV = ("OPENBLAS_NUM_THREADS", "OMP_NUM_THREADS",
+             "MKL_NUM_THREADS", "VECLIB_MAXIMUM_THREADS")
+
+
+# ----------------------------------------------------------------------
+# worker side
+# ----------------------------------------------------------------------
+
+class _RunState:
+    """Per-run worker state: mapped segments + resolved kernels."""
+
+    __slots__ = ("stack_sa", "tstore_sa", "stack", "tstore", "bk", "ib",
+                 "nb", "q", "panels", "publish", "lapack")
+
+    def __init__(self, stack_handle, tstore_handle, cfg: dict):
+        self.stack_sa = SharedArray.attach(stack_handle)
+        self.tstore_sa = SharedArray.attach(tstore_handle)
+        self.stack = self.stack_sa.array
+        self.tstore = self.tstore_sa.array
+        self.bk = get_backend(cfg["backend"])
+        self.ib = cfg["ib"]
+        self.nb = cfg["nb"]
+        self.q = cfg["q"]
+        self.publish = cfg["publish"]
+        self.lapack = cfg["lapack"]
+        # padded slots always factor a full nb-column panel sequence
+        self.panels = panel_starts(self.nb, self.ib)
+
+    def tfactor(self, fslot: int, l: int = 0):
+        """The padded T factor of factor-task slot ``fslot`` (views).
+
+        LAPACK representation: the slot *is* the ``(ib, nb)`` compact-WY
+        ``T`` (``l`` is the TT trapezoid height, ``nb`` on padded
+        slots).  Reference representation: panel blocks, ``l`` unused.
+        """
+        if self.lapack:
+            return LapackT(self.tstore[fslot], self.ib, l)
+        t = TFactor(ib=self.ib)
+        for pi, (_, jb) in enumerate(self.panels):
+            t.blocks.append(self.tstore[fslot, pi, :jb, :jb])
+        return t
+
+    def store_t(self, fslot: int, t) -> None:
+        if self.lapack:
+            tt = t.t  # (ib, nb) on padded slots
+            self.tstore[fslot, : tt.shape[0], : tt.shape[1]] = tt
+            return
+        for pi, blk in enumerate(t.blocks):
+            jb = blk.shape[0]
+            self.tstore[fslot, pi, :jb, :jb] = blk
+
+    def close(self) -> None:
+        self.stack = self.tstore = None
+        self.stack_sa.close()
+        self.tstore_sa.close()
+
+
+def _exec_task(st: _RunState, code: int, row: int, piv: int, col: int,
+               j: int, fslot: int, src: int) -> None:
+    """Run one kernel against the shared slots, padded ``nb x nb``."""
+    stack, q, ib = st.stack, st.q, st.ib
+    bk = st.bk
+    if code == _GEQRT:
+        st.store_t(fslot, bk.geqrt(stack[row * q + col], ib))
+    elif code == _UNMQR:
+        bk.unmqr(stack[row * q + col], st.tfactor(src),
+                 stack[row * q + j])
+    elif code == _TSQRT:
+        st.store_t(fslot, bk.tsqrt(stack[piv * q + col],
+                                   stack[row * q + col], ib))
+    elif code == _TSMQR:
+        bk.tsmqr(stack[row * q + col], st.tfactor(src),
+                 stack[piv * q + j], stack[row * q + j])
+    elif code == _TTQRT:
+        st.store_t(fslot, bk.ttqrt(stack[piv * q + col],
+                                   stack[row * q + col], ib))
+    else:
+        bk.ttmqr(stack[row * q + col], st.tfactor(src, l=st.nb),
+                 stack[piv * q + j], stack[row * q + j])
+
+
+def _worker_main(widx: int, inq, done_q, publisher) -> None:
+    """Worker process loop: attach per run, execute tasks, report.
+
+    Must stay importable at module level for the ``spawn`` start
+    method.  Every exception is shipped to the parent as a formatted
+    traceback — a worker never dies on a task failure.
+    """
+    state: _RunState | None = None
+    while True:
+        msg = inq.get()
+        kind = msg[0]
+        if kind == "task":
+            _, tid, code, row, piv, col, j, fslot, src = msg
+            if state.publish:
+                publisher.publish("task_start", tid=tid,
+                                  kernel=_CODE_TO_NAME[code], worker=widx)
+            t0 = time.perf_counter()
+            try:
+                _exec_task(state, code, row, piv, col, j, fslot, src)
+            except BaseException:
+                done_q.put(("error", widx, tid, traceback.format_exc()))
+                continue
+            dt = time.perf_counter() - t0
+            if state.publish:
+                publisher.publish("task_done", tid=tid,
+                                  kernel=_CODE_TO_NAME[code], worker=widx,
+                                  value=dt)
+            done_q.put(("done", widx, tid, dt))
+        elif kind == "run":
+            _, stack_handle, tstore_handle, cfg = msg
+            try:
+                state = _RunState(stack_handle, tstore_handle, cfg)
+            except BaseException:
+                done_q.put(("error", widx, -1, traceback.format_exc()))
+                continue
+            done_q.put(("ready", widx))
+        elif kind == "endrun":
+            if state is not None:
+                state.close()
+                state = None
+            done_q.put(("closed", widx))
+        else:  # "stop"
+            if state is not None:
+                state.close()
+            return
+
+
+# ----------------------------------------------------------------------
+# parent side
+# ----------------------------------------------------------------------
+
+def _resolve_start_method(start_method: Optional[str]) -> str:
+    import multiprocessing as mp
+
+    if start_method is None:
+        return "fork" if "fork" in mp.get_all_start_methods() else "spawn"
+    if start_method not in mp.get_all_start_methods():
+        raise ValueError(
+            f"start method {start_method!r} not available; choose from "
+            f"{mp.get_all_start_methods()}")
+    return start_method
+
+
+class ProcessPool:
+    """Persistent pool of kernel worker processes.
+
+    Workers start lazily on the first :meth:`run` and persist across
+    runs (per-run cost is two shared-memory attaches per worker),
+    which matters under ``spawn`` where each worker pays a full
+    interpreter + NumPy import at start-up.  Close with
+    :meth:`close` or use as a context manager::
+
+        with ProcessPool(workers=4) as pool:
+            ctx1 = pool.run(plan1, tiled1)
+            ctx2 = pool.run(plan2, tiled2)   # same workers
+
+    Parameters
+    ----------
+    workers : int or None
+        Worker process count (default ``os.cpu_count()``).
+    start_method : {"fork", "spawn", "forkserver"} or None
+        ``multiprocessing`` start method; ``None`` picks ``fork``
+        where available (fast start-up; see docs/performance.md for
+        the fork-vs-spawn trade-offs).
+    relay_capacity : int
+        Bound of the cross-process telemetry queue (overflow events
+        are dropped at the producer, never blocking a worker).
+    """
+
+    def __init__(self, workers: Optional[int] = None,
+                 start_method: Optional[str] = None,
+                 relay_capacity: int = 8192) -> None:
+        import multiprocessing as mp
+
+        self.start_method = _resolve_start_method(start_method)
+        self.workers = (int(workers) if workers is not None
+                        else (os.cpu_count() or 1))
+        if self.workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        self._ctx = mp.get_context(self.start_method)
+        self._relay = BusRelay(NULL_BUS, capacity=relay_capacity,
+                               ctx=self._ctx)
+        self._inqs: list = []
+        self._done_q = None
+        self._procs: list = []
+        self._closed = False
+        self._broken = False
+
+    # ------------------------------------------------------------------
+    @property
+    def started(self) -> bool:
+        return bool(self._procs)
+
+    def _ensure_started(self) -> None:
+        if self._procs:
+            return
+        if self._closed or self._broken:
+            raise RuntimeError("process pool is closed")
+        # Start the resource tracker *before* forking: children inherit
+        # the running tracker's pipe, so their attach-side shared-memory
+        # registrations collapse into the parent's (set-idempotent) and
+        # the owner's unlink leaves it clean.  A tracker first started
+        # inside a fork child would be private to it and warn about
+        # "leaked" segments the parent already unlinked.
+        from multiprocessing import resource_tracker
+        resource_tracker.ensure_running()
+        self._done_q = self._ctx.Queue()
+        saved = {k: os.environ.get(k) for k in _BLAS_ENV}
+        try:
+            for k in _BLAS_ENV:
+                os.environ[k] = "1"
+            for widx in range(self.workers):
+                inq = self._ctx.Queue()
+                p = self._ctx.Process(
+                    target=_worker_main,
+                    args=(widx, inq, self._done_q,
+                          self._relay.publisher()),
+                    name=f"repro-worker-{widx}", daemon=True)
+                p.start()
+                self._inqs.append(inq)
+                self._procs.append(p)
+        finally:
+            for k, v in saved.items():
+                if v is None:
+                    os.environ.pop(k, None)
+                else:
+                    os.environ[k] = v
+
+    def close(self, timeout: float = 5.0) -> None:
+        """Stop the workers (idempotent)."""
+        if self._closed:
+            return
+        self._closed = True
+        self._relay.stop()
+        for inq in self._inqs:
+            try:
+                inq.put(("stop",))
+            except Exception:
+                pass
+        for p in self._procs:
+            p.join(timeout)
+            if p.is_alive():
+                p.terminate()
+                p.join(1.0)
+        for q in self._inqs + ([self._done_q] if self._done_q else []):
+            q.close()
+        self._inqs, self._procs, self._done_q = [], [], None
+
+    def __enter__(self) -> "ProcessPool":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    def _check_alive(self) -> None:
+        dead = [(p.name, p.exitcode) for p in self._procs
+                if not p.is_alive()]
+        if dead:
+            self._broken = True
+            self.close(timeout=0.1)
+            raise RuntimeError(
+                f"worker process(es) died: {dead}; the pool is closed")
+
+    def run(
+        self,
+        graph,
+        tiled: TiledMatrix,
+        ib: int = 32,
+        numeric: str = "auto",
+        on_task_done=None,
+        tracer=None,
+        metrics: MetricsRegistry | None = None,
+        collect_metrics: bool = False,
+        bus=None,
+    ) -> ExecutionContext:
+        """Execute a factorization DAG on the worker pool.
+
+        Parameters mirror
+        :func:`~repro.runtime.batched.execute_batched`; ``numeric``
+        picks the per-tile kernel backend the workers run
+        (``"numpy"`` → reference kernels, ``"lapack"`` → LAPACK tile
+        kernels, ``"auto"`` → LAPACK when the dtype supports it).
+        Returns an :class:`~repro.runtime.executor.ExecutionContext`
+        whose T factors were copied out of shared memory, so
+        ``apply_q`` replay works exactly as for the other backends.
+        """
+        plan_obj = None
+        if isinstance(graph, TaskGraph):
+            g = graph
+        else:
+            g = getattr(graph, "graph", None)
+            if not isinstance(g, TaskGraph):
+                raise TypeError(
+                    f"expected a TaskGraph or a Plan, got "
+                    f"{type(graph).__name__}")
+            plan_obj = graph
+        if numeric not in ("auto", "numpy", "lapack"):
+            raise ValueError(
+                f"numeric must be 'auto', 'numpy' or 'lapack', "
+                f"got {numeric!r}")
+        dtype = tiled.array.dtype
+        if numeric == "lapack" and not lapack_batched_supported(dtype):
+            raise ValueError(
+                f"numeric='lapack' does not support dtype {dtype}")
+        use_lapack = (numeric == "lapack"
+                      or (numeric == "auto"
+                          and lapack_batched_supported(dtype)))
+        backend_name = "lapack" if use_lapack else "reference"
+        if tracer is not None and not tracer.enabled:
+            tracer = None
+        if bus is not None and not getattr(bus, "enabled", True):
+            bus = None
+        if metrics is None and collect_metrics:
+            metrics = MetricsRegistry()
+        ib = _clamp_ib(ib, tiled.nb, metrics)
+        panel_starts(tiled.nb, ib)  # validate ib >= 1 before dispatch
+        ctx = ExecutionContext(tiled=tiled, graph=g,
+                               backend=get_backend(backend_name), ib=ib,
+                               tracer=tracer, metrics=metrics)
+        n = len(g.tasks)
+        if metrics is not None:
+            metrics.counter("scheduler.tasks_total").inc(n)
+            metrics.gauge("scheduler.workers", keep_samples=False).set(
+                self.workers)
+            metrics.counter(f"procpool.start_method.{self.start_method}"
+                            ).inc()
+            metrics.counter("procpool.numeric." + (
+                "lapack" if use_lapack else "numpy")).inc()
+        if n == 0:
+            return ctx
+        self._ensure_started()
+
+        # ---- flatten the graph into dispatch arrays -------------------
+        tasks = g.tasks
+        codes = np.fromiter((_KERNEL_TO_CODE[t.kernel] for t in tasks),
+                            dtype=np.int8, count=n)
+        rows = np.fromiter((t.row for t in tasks), dtype=np.int64, count=n)
+        pivs = np.fromiter((-1 if t.piv is None else t.piv for t in tasks),
+                           dtype=np.int64, count=n)
+        cols = np.fromiter((t.col for t in tasks), dtype=np.int64, count=n)
+        js = np.fromiter((-1 if t.j is None else t.j for t in tasks),
+                         dtype=np.int64, count=n)
+        # factor tasks get a slot in the shared T store; apply tasks
+        # reference their source factor's slot
+        fmap: dict[tuple[int, int, str], int] = {}
+        fslot = np.full(n, -1, dtype=np.int64)
+        for t in tasks:
+            if t.kernel in _FACTOR_KERNELS:
+                s = len(fmap)
+                fmap[(t.row, t.col, _KIND[t.kernel])] = s
+                fslot[t.tid] = s
+        src = np.full(n, -1, dtype=np.int64)
+        for t in tasks:
+            if t.kernel not in _FACTOR_KERNELS:
+                src[t.tid] = fmap[(t.row, t.col, _KIND[t.kernel])]
+
+        npanels = len(panel_starts(tiled.nb, ib))
+        idx = plan_obj.index if plan_obj is not None else g.index()
+        prio = (np.asarray(plan_obj.bottom_levels(), dtype=np.float64)
+                if plan_obj is not None
+                and hasattr(plan_obj, "bottom_levels") else None)
+
+        pool = SharedTilePool(tiled)
+        # LAPACK kernels emit one (ib, nb) compact-WY T per padded
+        # factor task; the reference kernels a (npanels, ib, ib) panel
+        # stack.  Size the shared T store for whichever runs.
+        tshape = ((max(1, len(fmap)), ib, tiled.nb) if use_lapack
+                  else (max(1, len(fmap)), npanels, ib, ib))
+        tstore = SharedArray(tshape, dtype)
+        try:
+            # The relay keeps pointing at this bus after the run
+            # returns: mp.Queue feeder threads give no cross-queue
+            # ordering, so a worker's last task_done may trail its
+            # completion message — late events drain into the same bus
+            # instead of being dropped (see docs/observability.md).
+            self._relay.bus = bus if bus is not None else NULL_BUS
+            if bus is not None:
+                self._relay.start()
+            cfg = {"nb": tiled.nb, "ib": ib, "q": tiled.q,
+                   "backend": backend_name, "publish": bus is not None,
+                   "lapack": use_lapack}
+            for inq in self._inqs:
+                inq.put(("run", pool.handle(), tstore.handle(), cfg))
+            self._await("ready", self.workers)
+            if bus is not None:
+                bus.publish("run_start", total=n, count=self.workers)
+            err: BaseException | None = None
+            try:
+                self._schedule(g, idx, prio, codes, rows, pivs, cols,
+                               js, fslot, src, on_task_done, tracer,
+                               metrics, bus)
+            except BaseException as exc:
+                err = exc
+            # detach the workers even after a failed run, so the pool
+            # stays reusable (skip when a dead worker closed the pool)
+            if self._procs:
+                try:
+                    self._await("closed", self.workers,
+                                _send_endrun=True)
+                except Exception:
+                    if err is None:
+                        raise
+            if err is not None:
+                raise err
+            if bus is not None:
+                bus.publish("run_done", count=n, value=bus.now())
+            # copy T factors out of shared memory before the unlink,
+            # sliced to each tile's valid reflector count (the same
+            # convention as the batched backend's task_tfactor), so
+            # apply_q replays against the ragged tile views
+            tf = ctx.tfactors
+            ts = tstore.array
+            for (row, col, kind), fs in fmap.items():
+                if kind == "ge":
+                    k = min(tiled.row_height(row), tiled.col_width(col))
+                else:  # stacked kernels: one reflector per valid column
+                    k = tiled.col_width(col)
+                if use_lapack:
+                    # reflectors past k have tau = 0, so their T rows
+                    # and columns are zero — the [:min(ib,k), :k]
+                    # corner is the T of the valid reflectors
+                    ibk = max(1, min(ib, k))
+                    l = (min(tiled.row_height(row), tiled.col_width(col))
+                         if kind == "tt" else 0)
+                    tf[(row, col, kind)] = LapackT(
+                        np.array(ts[fs, :ibk, :k]), ibk, l)
+                    continue
+                t = TFactor(ib=ib)
+                for pi, (_, jb) in enumerate(panel_starts(k, ib)):
+                    t.blocks.append(np.array(ts[fs, pi, :jb, :jb]))
+                tf[(row, col, kind)] = t
+            pool.scatter()
+        finally:
+            pool.close()
+            tstore.close()
+        return ctx
+
+    # ------------------------------------------------------------------
+    def _await(self, expect: str, count: int, deadline_s: float = 60.0,
+               _send_endrun: bool = False) -> None:
+        if _send_endrun:
+            for inq in self._inqs:
+                inq.put(("endrun",))
+        deadline = time.monotonic() + deadline_s
+        got = 0
+        while got < count:
+            try:
+                msg = self._done_q.get(timeout=_POLL_S)
+            except queue_mod.Empty:
+                self._check_alive()
+                if time.monotonic() > deadline:
+                    self._broken = True
+                    self.close(timeout=0.1)
+                    raise RuntimeError(
+                        f"timed out waiting for worker {expect!r} acks")
+                continue
+            if msg[0] == expect:
+                got += 1
+            elif msg[0] == "error":
+                self._broken = True
+                self.close(timeout=0.1)
+                raise RuntimeError(
+                    f"worker failed during {expect!r}:\n{msg[3]}")
+            # anything else is a stale completion from an aborted run
+
+    def _schedule(self, g, idx, prio, codes, rows, pivs, cols, js,
+                  fslot, src, on_task_done, tracer, metrics, bus) -> None:
+        """Rolling ready-frontier over the CSR index.
+
+        Tasks are dispatched the moment their last predecessor
+        retires, highest bottom-level first, to the least-loaded
+        worker, with at most ``1 + _PREFETCH`` in flight per worker so
+        the priority order is what actually executes.
+        """
+        n = len(codes)
+        W = self.workers
+        indeg = idx.indegree
+        succ_ptr, succ_adj = idx.succ_ptr, idx.succ_adj
+        ready: list[tuple[float, int, int]] = []
+        seq = 0
+        for tid in np.flatnonzero(indeg == 0).tolist():
+            key = -prio[tid] if prio is not None else 0.0
+            heapq.heappush(ready, (key, seq, tid))
+            seq += 1
+        load = [0] * W
+        outstanding = 0
+        completed = 0
+        epoch = tracer.epoch if tracer is not None else time.perf_counter()
+        submit_ts = [0.0] * n if tracer is not None else None
+        abort_exc: BaseException | None = None
+        cap = 1 + _PREFETCH
+
+        def dispatch() -> None:
+            nonlocal outstanding
+            while ready and abort_exc is None:
+                w = min(range(W), key=load.__getitem__)
+                if load[w] >= cap:
+                    return
+                _, _, tid = heapq.heappop(ready)
+                if submit_ts is not None:
+                    submit_ts[tid] = time.perf_counter() - epoch
+                self._inqs[w].put((
+                    "task", tid, int(codes[tid]), int(rows[tid]),
+                    int(pivs[tid]), int(cols[tid]), int(js[tid]),
+                    int(fslot[tid]), int(src[tid])))
+                load[w] += 1
+                outstanding += 1
+                if metrics is not None:
+                    metrics.counter("procpool.dispatched").inc()
+
+        dispatch()
+        if bus is not None:
+            bus.publish("frontier", value=float(len(ready)),
+                        count=outstanding + len(ready))
+        while completed < n:
+            if abort_exc is not None and outstanding == 0:
+                break
+            try:
+                msg = self._done_q.get(timeout=_POLL_S)
+            except queue_mod.Empty:
+                self._check_alive()
+                continue
+            kind = msg[0]
+            if kind == "done":
+                _, w, tid, dt = msg
+                load[w] -= 1
+                outstanding -= 1
+                completed += 1
+                if abort_exc is None:
+                    for s in succ_adj[succ_ptr[tid]:
+                                      succ_ptr[tid + 1]].tolist():
+                        indeg[s] -= 1
+                        if indeg[s] == 0:
+                            key = -prio[s] if prio is not None else 0.0
+                            heapq.heappush(ready, (key, seq, s))
+                            seq += 1
+                    dispatch()
+                task = g.tasks[tid]
+                now = time.perf_counter() - epoch
+                if tracer is not None:
+                    tracer.record(task, submit_ts[tid],
+                                  max(submit_ts[tid], now - dt), now,
+                                  worker=w)
+                if metrics is not None:
+                    name = task.kernel.value
+                    metrics.counter(f"tasks.retired.{name}").inc()
+                    metrics.histogram(f"kernel.seconds.{name}").observe(dt)
+                if bus is not None:
+                    bus.publish("frontier", value=float(len(ready)),
+                                count=outstanding + len(ready))
+                if on_task_done is not None and abort_exc is None:
+                    try:
+                        on_task_done(task, completed, n)
+                    except BaseException as exc:
+                        abort_exc = exc
+            elif kind == "error":
+                _, w, tid, tb = msg
+                load[w] -= 1
+                outstanding -= 1
+                completed += 1
+                if abort_exc is None:
+                    abort_exc = RuntimeError(
+                        f"task {tid} ({_CODE_TO_NAME[int(codes[tid])]}) "
+                        f"failed in worker {w}:\n{tb}")
+            # "ready"/"closed" acks never interleave with completions
+        if abort_exc is not None:
+            raise abort_exc
+
+
+def execute_process(
+    graph,
+    tiled: TiledMatrix,
+    ib: int = 32,
+    numeric: str = "auto",
+    workers: Optional[int] = None,
+    start_method: Optional[str] = None,
+    pool: Optional[ProcessPool] = None,
+    on_task_done=None,
+    tracer=None,
+    metrics: MetricsRegistry | None = None,
+    collect_metrics: bool = False,
+    bus=None,
+) -> ExecutionContext:
+    """Run a factorization DAG on worker processes (one-shot helper).
+
+    Usually reached via ``execute_graph(..., mode="process")``.
+    Creates an ephemeral :class:`ProcessPool` (``workers``,
+    ``start_method``) unless an existing ``pool`` is passed — reuse a
+    pool when factoring repeatedly, especially under ``spawn``.
+    """
+    if pool is not None:
+        return pool.run(graph, tiled, ib=ib, numeric=numeric,
+                        on_task_done=on_task_done, tracer=tracer,
+                        metrics=metrics, collect_metrics=collect_metrics,
+                        bus=bus)
+    with ProcessPool(workers=workers, start_method=start_method) as p:
+        return p.run(graph, tiled, ib=ib, numeric=numeric,
+                     on_task_done=on_task_done, tracer=tracer,
+                     metrics=metrics, collect_metrics=collect_metrics,
+                     bus=bus)

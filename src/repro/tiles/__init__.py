@@ -1,6 +1,7 @@
-"""Tiled matrix layout and contiguous tile pool (S5, S20)."""
+"""Tiled matrix layout and tile pools, private and shared (S5, S20, S22)."""
 
 from .layout import TiledMatrix
 from .pool import TilePool
+from .shared_pool import SharedArray, SharedTilePool
 
-__all__ = ["TiledMatrix", "TilePool"]
+__all__ = ["TiledMatrix", "TilePool", "SharedArray", "SharedTilePool"]

@@ -1,0 +1,175 @@
+"""Shared-memory tile pool for the process-parallel backend (S22).
+
+:class:`~repro.tiles.pool.TilePool` already stores every tile of a
+matrix in one C-contiguous ``(p * q, nb, nb)`` stack — the natural
+sharding unit for worker *processes*: each kernel task reads and
+writes whole slots, DAG edges order every conflicting pair, and the
+zero-padding of ragged border tiles is exact (see the pool docs).
+:class:`SharedTilePool` keeps that stack in
+:mod:`multiprocessing.shared_memory` instead of private pages, so
+worker processes operate on the tiles *in place* — only task
+descriptors ever cross a queue, never tile data.
+
+:class:`SharedArray` is the underlying primitive (also used for the
+process backend's T-factor store): an ndarray over a shared-memory
+segment with a picklable ``handle()`` that any process can
+:meth:`~SharedArray.attach` to.  Lifecycle: the creating process owns
+the segment and unlinks it on :meth:`~SharedArray.close`; attached
+views only unmap.  Children started through :mod:`multiprocessing`
+(fork or spawn) share the parent's resource tracker, so
+attach-side registration is idempotent and the owner's unlink leaves
+the tracker clean — no leaked-segment warnings.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from multiprocessing import shared_memory
+
+from .layout import TiledMatrix
+from .pool import TilePool
+
+__all__ = ["SharedArray", "SharedTilePool"]
+
+
+class SharedArray:
+    """An ndarray in a shared-memory segment, attachable cross-process.
+
+    Parameters
+    ----------
+    shape : tuple of int
+        Array shape.
+    dtype : dtype-like
+        Element type.
+
+    Attributes
+    ----------
+    array : ndarray
+        The live view; invalid after :meth:`close`.
+
+    Examples
+    --------
+    >>> sa = SharedArray((2, 3), np.float64)
+    >>> sa.array[:] = 7.0
+    >>> other = SharedArray.attach(sa.handle())
+    >>> float(other.array[1, 2])
+    7.0
+    >>> other.close(); sa.close()
+    """
+
+    def __init__(self, shape, dtype) -> None:
+        self.shape = tuple(int(s) for s in shape)
+        self.dtype = np.dtype(dtype)
+        nbytes = max(1, int(np.prod(self.shape)) * self.dtype.itemsize)
+        self._shm = shared_memory.SharedMemory(create=True, size=nbytes)
+        self._owner = True
+        self.array: np.ndarray | None = np.ndarray(
+            self.shape, dtype=self.dtype, buffer=self._shm.buf)
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def attach(cls, handle: tuple) -> "SharedArray":
+        """Map an existing segment from a :meth:`handle` tuple.
+
+        The attached view never unlinks the segment — closing it only
+        unmaps this process's view.
+        """
+        name, shape, dtype = handle
+        self = cls.__new__(cls)
+        self.shape = tuple(shape)
+        self.dtype = np.dtype(dtype)
+        self._shm = shared_memory.SharedMemory(name=name, create=False)
+        self._owner = False
+        self.array = np.ndarray(self.shape, dtype=self.dtype,
+                                buffer=self._shm.buf)
+        return self
+
+    def handle(self) -> tuple:
+        """Picklable ``(name, shape, dtype-str)`` for :meth:`attach`."""
+        return (self._shm.name, self.shape, self.dtype.str)
+
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Unmap the view; the owning side also unlinks the segment.
+
+        Idempotent.  Every ndarray view derived from :attr:`array` must
+        be dropped first — a live export keeps the mapping referenced
+        and the close raises :class:`BufferError`.
+        """
+        if self._shm is None:
+            return
+        self.array = None
+        shm, self._shm = self._shm, None
+        shm.close()
+        if self._owner:
+            try:
+                shm.unlink()
+            except FileNotFoundError:  # already unlinked by the owner
+                pass
+
+    def __enter__(self) -> "SharedArray":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        name = self._shm.name if self._shm is not None else "<closed>"
+        role = "owner" if self._owner else "attached"
+        return (f"SharedArray({name}, shape={self.shape}, "
+                f"dtype={self.dtype}, {role})")
+
+
+class SharedTilePool(TilePool):
+    """A :class:`~repro.tiles.pool.TilePool` whose stack other processes
+    can map.
+
+    Same gather/scatter/slot semantics as the private pool; the stack
+    lives in shared memory, and :meth:`handle` / :meth:`attach_stack`
+    move it across process boundaries by name.  The creating process
+    owns the segment: close it (or use the pool as a context manager)
+    after :meth:`~repro.tiles.pool.TilePool.scatter`.
+    """
+
+    def __init__(self, tiled: TiledMatrix):
+        # mirror TilePool.__init__ but allocate the stack in shm
+        self.tiled = tiled
+        self.nb = tiled.nb
+        self.p, self.q = tiled.p, tiled.q
+        self.ntiles = self.p * self.q
+        self._sa = SharedArray((self.ntiles, self.nb, self.nb),
+                               tiled.array.dtype)
+        self.stack = self._sa.array
+        self.stack[...] = 0.0  # shm pages are zero-filled, but be explicit
+        self.gather()
+
+    # ------------------------------------------------------------------
+    def handle(self) -> tuple:
+        """Picklable handle of the stack for :meth:`attach_stack`."""
+        return self._sa.handle()
+
+    @staticmethod
+    def attach_stack(handle: tuple) -> SharedArray:
+        """Worker-side: map the pool's stack from its handle.
+
+        Returns the :class:`SharedArray`; its ``.array`` is the
+        ``(ntiles, nb, nb)`` stack, written in place.  Close it when
+        the run ends.
+        """
+        return SharedArray.attach(handle)
+
+    def close(self) -> None:
+        """Release the segment (idempotent).  Call after ``scatter()``."""
+        self.stack = None
+        self._sa.close()
+
+    def __enter__(self) -> "SharedTilePool":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        return (f"SharedTilePool(ntiles={self.ntiles}, nb={self.nb}, "
+                f"grid={self.p} x {self.q}, "
+                f"dtype={self.tiled.array.dtype})")

@@ -1,0 +1,148 @@
+"""Fork-safety regressions: locks held at fork time must not deadlock
+the child.
+
+A ``threading.Lock`` held by another thread when ``os.fork()`` runs is
+copied *locked* into the child, where no thread exists to release it —
+the child's first acquire hangs forever.  Before the
+``os.register_at_fork`` hooks in :mod:`repro.obs.metrics`,
+:mod:`repro.obs.stream` and :mod:`repro.planner.cache`, every one of
+the probes below deadlocked (the in-child watchdog exits 2); with the
+hooks the child gets fresh locks and completes.
+
+Each test forks the *real* pytest process while a helper thread
+pathologically holds the relevant lock, then asserts the child can use
+the object.  The children call ``os._exit`` so no pytest machinery
+runs twice.
+"""
+
+import os
+import threading
+
+import numpy as np
+import pytest
+
+from repro.obs import EventBus, MetricsRegistry
+
+pytestmark = pytest.mark.skipif(
+    not hasattr(os, "fork"), reason="requires os.fork")
+
+_CHILD_TIMEOUT = 15.0
+
+
+def _fork_and_probe(locks, child_op):
+    """Fork while a helper thread holds ``locks``; run ``child_op`` in
+    the child under a watchdog.  Returns the child's exit code:
+    0 = op completed, 1 = op raised, 2 = op deadlocked (watchdog).
+    """
+    held = threading.Event()
+    release = threading.Event()
+
+    def holder():
+        for lk in locks:
+            lk.acquire()
+        held.set()
+        release.wait(30)
+        for lk in locks:
+            lk.release()
+
+    th = threading.Thread(target=holder, daemon=True)
+    th.start()
+    assert held.wait(10), "lock holder never started"
+    try:
+        pid = os.fork()
+        if pid == 0:  # child — only this thread survives the fork
+            try:
+                watchdog = threading.Timer(
+                    _CHILD_TIMEOUT, lambda: os._exit(2))
+                watchdog.daemon = True
+                watchdog.start()
+                child_op()
+                os._exit(0)
+            except BaseException:
+                os._exit(1)
+        _, status = os.waitpid(pid, 0)
+    finally:
+        release.set()
+        th.join(10)
+    return os.waitstatus_to_exitcode(status)
+
+
+class TestForkWithHeldLocks:
+    def test_metrics_registry_usable_in_child(self):
+        reg = MetricsRegistry()
+        c = reg.counter("forked.total")
+        c.inc()
+
+        def child_op():
+            c.inc(5)                       # metric-level lock
+            reg.gauge("forked.gauge").set(1.0)   # registry-level lock
+            assert reg.counter("forked.total").value >= 6
+
+        assert _fork_and_probe([reg._lock, c._lock], child_op) == 0
+
+    def test_event_bus_usable_in_child(self):
+        bus = EventBus(capacity=256)
+        bus.publish("frontier", value=1.0)
+
+        def child_op():
+            bus.publish("task_done", tid=0, kernel="GEQRT", value=0.01)
+            assert len(bus.snapshot()) >= 2  # fork snapshot + child's
+
+        assert _fork_and_probe([bus._lock], child_op) == 0
+
+    def test_plan_cache_and_plan_metrics_usable_in_child(self):
+        from repro.api import plan
+        from repro.planner import cache as plan_cache
+
+        plan(2, 2, "greedy", "TT")         # prime LRU + PLAN_METRICS
+
+        def child_op():
+            p = plan(3, 2, "fibonacci", "TS")   # LRU miss -> build+put
+            assert len(p.graph.tasks) > 0
+            assert plan_cache.plan_cache_stats()  # walks PLAN_METRICS
+
+        held = [plan_cache._lock, plan_cache.PLAN_METRICS._lock]
+        assert _fork_and_probe(held, child_op) == 0
+
+
+class TestForkUnderConcurrentPublishers:
+    def test_children_never_deadlock_under_publisher_storm(self):
+        """Fork repeatedly while threads hammer a registry and a bus —
+        the race the procpool backend hits on every fork-start run."""
+        reg = MetricsRegistry()
+        bus = EventBus(capacity=4096)
+        stop = threading.Event()
+
+        def publisher(i):
+            rng = np.random.default_rng(i)
+            while not stop.is_set():
+                reg.counter(f"storm.{i}").inc()
+                reg.histogram("storm.lat").observe(float(rng.random()))
+                bus.publish("task_done", tid=i, kernel="TSMQR",
+                            value=0.001)
+
+        threads = [threading.Thread(target=publisher, args=(i,),
+                                    daemon=True) for i in range(4)]
+        for th in threads:
+            th.start()
+        try:
+            for _ in range(5):
+                pid = os.fork()
+                if pid == 0:
+                    try:
+                        watchdog = threading.Timer(
+                            _CHILD_TIMEOUT, lambda: os._exit(2))
+                        watchdog.daemon = True
+                        watchdog.start()
+                        reg.counter("storm.child").inc()
+                        bus.publish("frontier", value=0.0)
+                        bus.snapshot()
+                        os._exit(0)
+                    except BaseException:
+                        os._exit(1)
+                _, status = os.waitpid(pid, 0)
+                assert os.waitstatus_to_exitcode(status) == 0
+        finally:
+            stop.set()
+            for th in threads:
+                th.join(10)

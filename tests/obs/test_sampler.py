@@ -1,11 +1,14 @@
 """Tests for the background time-series sampler (S21)."""
 
+import threading
 import time
 
 import pytest
 
 from repro.obs import (EventBus, LiveState, MetricsRegistry, Sampler,
                        read_rss_bytes)
+from repro.obs import sampler as sampler_mod
+from repro.obs.sampler import _rusage_rss_bytes
 
 
 class TestReadRss:
@@ -14,6 +17,30 @@ class TestReadRss:
         # a running CPython with NumPy imported is tens of MB at least
         assert rss > 10 * 1024 * 1024
         assert rss < 1 << 42
+
+    def test_statm_branch_scales_pages(self, tmp_path, monkeypatch):
+        statm = tmp_path / "statm"
+        statm.write_text("9999 1234 55 6 0 77 0\n")
+        monkeypatch.setattr(sampler_mod, "_STATM_PATH", str(statm))
+        assert read_rss_bytes() == 1234 * sampler_mod._PAGE_SIZE
+
+    def test_rusage_fallback_when_no_statm(self, monkeypatch):
+        monkeypatch.setattr(sampler_mod, "_STATM_PATH",
+                            "/nonexistent/statm")
+        rss = read_rss_bytes()
+        # peak RSS of a live CPython+NumPy process, normalized to bytes
+        assert rss > 10 * 1024 * 1024
+        assert rss < 1 << 42
+
+    @pytest.mark.parametrize("platform,scale", [
+        ("linux", 1024), ("freebsd13", 1024), ("darwin", 1),
+    ])
+    def test_rusage_units_per_platform(self, platform, scale):
+        """ru_maxrss is KB on Linux/BSD but *bytes* on macOS.  The old
+        value-based heuristic (``> 1 << 32`` means bytes) classified a
+        120 MB-peak macOS process as KB and reported ~120 GB."""
+        ru = 123_456  # ~120 MB in KB, ~120 KB in bytes; below 1 << 32
+        assert _rusage_rss_bytes(ru, platform) == ru * scale
 
 
 class TestSampleOnce:
@@ -71,6 +98,53 @@ class TestSamplerThread:
     def test_interval_validation(self):
         with pytest.raises(ValueError, match="interval"):
             Sampler(MetricsRegistry(), interval=0.0)
+
+    def test_stop_bounded_join_on_stalled_tick(self):
+        """A tick stalled inside its clock (stand-in for blocking
+        ``/proc`` I/O) must not hang ``stop()``: the join is bounded,
+        ``join_timed_out`` is set, the thread is abandoned, and the
+        outcome is remembered across repeated calls."""
+        entered = threading.Event()
+        release = threading.Event()
+
+        def blocking_clock():
+            entered.set()
+            release.wait(30)  # the stall
+            return 0.0
+
+        s = Sampler(MetricsRegistry(), state=None, interval=0.005,
+                    clock=blocking_clock)
+        s.start()
+        try:
+            assert entered.wait(5), "sampler thread never ticked"
+            t0 = time.monotonic()
+            assert s.stop(timeout=0.2) is False
+            assert time.monotonic() - t0 < 2.0  # bounded, not hung
+            assert s.join_timed_out
+            # idempotent: repeated stops are no-ops with the same answer
+            assert s.stop(timeout=0.2) is False
+        finally:
+            release.set()
+
+    def test_stop_skips_final_sample_after_timeout(self):
+        """The stuck tick may still write when it unblocks; stop() must
+        not race it with a closing sample of its own."""
+        m = MetricsRegistry()
+        hang = threading.Event()
+
+        def blocking_clock():
+            hang.wait(30)
+            return 0.0
+
+        s = Sampler(m, state=None, interval=0.001, clock=blocking_clock)
+        s.start()
+        try:
+            time.sleep(0.05)  # let the thread enter the stalled tick
+            assert s.stop(timeout=0.1) is False
+            assert s.ticks == 0
+            assert "sampler.ticks" not in m.to_dict()
+        finally:
+            hang.set()
 
     def test_pull_mode_state_sampled_live(self):
         bus = EventBus()

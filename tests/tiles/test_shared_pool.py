@@ -1,0 +1,173 @@
+"""Shared-memory tile pool: cross-process round-trips, no torn writes.
+
+The process backend's correctness rests on two properties tested here
+against real child processes (fork start method — the suite runs on
+Linux CI):
+
+* ragged edge tiles scatter back *exactly* (bit-for-bit) after being
+  mutated in place from a different process;
+* concurrent writers touching disjoint slots never tear each other's
+  tiles — every slot holds exactly one writer's fill pattern.
+"""
+
+import multiprocessing as mp
+import pickle
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.tiles import SharedArray, SharedTilePool, TiledMatrix, TilePool
+from tests.conftest import random_matrix
+
+shapes = st.tuples(st.integers(min_value=1, max_value=40),
+                   st.integers(min_value=1, max_value=40),
+                   st.integers(min_value=1, max_value=9),
+                   st.integers(min_value=0, max_value=10_000))
+
+
+def _fill_child(handle, value):
+    sa = SharedArray.attach(handle)
+    sa.array[...] = value
+    sa.close()
+
+
+def _negate_valid_regions(handle, regions):
+    """Child: negate the valid region of every listed slot in place."""
+    sa = SharedArray.attach(handle)
+    for s, hi, wj in regions:
+        sa.array[s, :hi, :wj] *= -1.0
+    sa.close()
+
+
+def _fill_slots(handle, slots, value):
+    sa = SharedArray.attach(handle)
+    for s in slots:
+        sa.array[s, :, :] = value
+    sa.close()
+
+
+class TestSharedArray:
+    def test_round_trip_same_process(self):
+        sa = SharedArray((3, 4), np.float64)
+        sa.array[...] = np.arange(12.0).reshape(3, 4)
+        other = SharedArray.attach(sa.handle())
+        assert np.array_equal(other.array, np.arange(12.0).reshape(3, 4))
+        other.array[1, 2] = -5.0
+        assert sa.array[1, 2] == -5.0
+        other.close()
+        sa.close()
+
+    def test_handle_is_picklable(self):
+        sa = SharedArray((2, 2), np.complex128)
+        handle = pickle.loads(pickle.dumps(sa.handle()))
+        other = SharedArray.attach(handle)
+        assert other.array.dtype == np.complex128
+        other.close()
+        sa.close()
+
+    def test_close_idempotent_and_invalidates(self):
+        sa = SharedArray((2,), np.float64)
+        sa.close()
+        sa.close()
+        assert sa.array is None
+
+    def test_cross_process_write(self):
+        sa = SharedArray((4, 4), np.float64)
+        sa.array[...] = 0.0
+        p = mp.Process(target=_fill_child, args=(sa.handle(), 7.5))
+        p.start()
+        p.join(30)
+        assert p.exitcode == 0
+        assert np.all(sa.array == 7.5)
+        sa.close()
+
+    def test_zero_size_array(self):
+        sa = SharedArray((0, 3), np.float64)
+        assert sa.array.shape == (0, 3)
+        sa.close()
+
+
+class TestSharedTilePool:
+    def test_matches_private_pool_layout(self, rng):
+        a = np.asarray(random_matrix(rng, 23, 11, np.float64))
+        tm = TiledMatrix(a.copy(), 8)
+        tm2 = TiledMatrix(a.copy(), 8)
+        spool = SharedTilePool(tm)
+        try:
+            assert np.array_equal(spool.stack, TilePool(tm2).stack)
+            assert spool.stack.flags["C_CONTIGUOUS"]
+        finally:
+            spool.close()
+
+    @given(shapes)
+    @settings(max_examples=25, deadline=None)
+    def test_gather_scatter_identity(self, mns):
+        m, n, nb, seed = mns
+        rng = np.random.default_rng(seed)
+        a = rng.standard_normal((m, n))
+        tm = TiledMatrix(a.copy(), nb)
+        pool = SharedTilePool(tm)
+        try:
+            tm.array[...] = 0.0
+            pool.scatter()
+            assert np.array_equal(tm.array, a)
+        finally:
+            pool.close()
+
+    def test_ragged_cross_process_round_trip(self, rng, dtype):
+        """A child negates every ragged tile's valid region in place;
+        scatter must reproduce exactly -a, and padding must stay 0."""
+        a = np.asarray(random_matrix(rng, 23, 11, dtype))  # nb=8: ragged
+        tm = TiledMatrix(a.copy(), 8)
+        pool = SharedTilePool(tm)
+        try:
+            regions = [(pool.slot(i, j), tm.row_height(i), tm.col_width(j))
+                       for i in range(pool.p) for j in range(pool.q)]
+            p = mp.Process(target=_negate_valid_regions,
+                           args=(pool.handle(), regions))
+            p.start()
+            p.join(30)
+            assert p.exitcode == 0
+            pool.scatter()
+            assert np.array_equal(tm.array, -a)  # exact, not approximate
+            # padding of the ragged border slots is untouched
+            corner = pool.stack[pool.slot(pool.p - 1, pool.q - 1)]
+            hi, wj = tm.row_height(pool.p - 1), tm.col_width(pool.q - 1)
+            assert np.all(corner[hi:, :] == 0.0)
+            assert np.all(corner[:, wj:] == 0.0)
+        finally:
+            pool.close()
+
+    def test_concurrent_disjoint_slot_writes_never_tear(self, rng):
+        """Four children each flood their own slot subset; every slot
+        must come back uniformly equal to its writer's value."""
+        tm = TiledMatrix(rng.standard_normal((64, 64)), 8)
+        pool = SharedTilePool(tm)
+        try:
+            nw = 4
+            groups = [list(range(w, pool.ntiles, nw)) for w in range(nw)]
+            procs = [mp.Process(target=_fill_slots,
+                                args=(pool.handle(), g, float(w + 1)))
+                     for w, g in enumerate(groups)]
+            for p in procs:
+                p.start()
+            for p in procs:
+                p.join(30)
+                assert p.exitcode == 0
+            for w, g in enumerate(groups):
+                for s in g:
+                    slot = pool.stack[s]
+                    assert np.all(slot == float(w + 1)), (
+                        f"slot {s} torn: writer {w + 1}, "
+                        f"values {np.unique(slot)}")
+        finally:
+            pool.close()
+
+    def test_context_manager_closes(self, rng):
+        tm = TiledMatrix(rng.standard_normal((16, 16)), 8)
+        with SharedTilePool(tm) as pool:
+            handle = pool.handle()
+        with pytest.raises(FileNotFoundError):
+            SharedArray.attach(handle)
