@@ -23,26 +23,33 @@ The legacy entry points (:func:`tiled_qr`, :func:`critical_path`)
 remain and route through the same plan cache.
 """
 
-from .api import factor, plan, simulate
+from .api import ExecOptions, analyze, factor, plan, plan_problem, simulate
 from .core.auto import SchemeChoice, select_scheme
 from .core.paths import critical_path, zero_out_steps
 from .core.serialize import load_factorization, save_factorization
 from .core.tiled_qr import TiledQRFactorization, tiled_qr
 from .kernels.costs import Kernel, KernelFamily, total_weight
 from .planner import Plan, clear_plan_cache, plan_cache_stats
+from .problems import Problem, available_problems, get_problem
 from .schemes.registry import (
     available_schemes,
     get_scheme,
     parse_scheme_spec,
 )
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "plan",
+    "plan_problem",
     "factor",
     "simulate",
+    "analyze",
     "Plan",
+    "Problem",
+    "ExecOptions",
+    "available_problems",
+    "get_problem",
     "plan_cache_stats",
     "clear_plan_cache",
     "tiled_qr",

@@ -1,18 +1,22 @@
-"""``repro.api`` — the unified plan/factor/simulate facade (S18).
+"""``repro.api`` — the unified plan/factor/simulate/analyze facade (S18).
 
-One import surface for the three things users do with this package:
+One import surface for the things users do with this package:
 
 - :func:`plan` — build (or fetch from the process-wide cache) the
-  planning artifacts of one factorization shape;
-- :func:`factor` — numerically factor a matrix, optionally from a
-  prebuilt plan;
+  planning artifacts of one problem shape: a QR grid, or any
+  registered problem family (``"cholesky(t=8)"``, ``"lu(p=8,q=8)"``);
+- :func:`factor` — numerically factor a matrix (QR only), optionally
+  from a prebuilt plan;
 - :func:`simulate` — schedule a plan's DAG on ``P`` processors (or
-  unbounded) and return the timing result.
+  unbounded) and return the timing result;
+- :func:`analyze` — turn a simulation, plan, or trace into a
+  :class:`~repro.obs.analyze.ScheduleReport` with Theorem-1 and ALAP
+  lower bounds.
 
-The three compose: a :class:`~repro.planner.Plan` built once can be
+These compose: a :class:`~repro.planner.Plan` built once can be
 passed to both :func:`factor` and :func:`simulate`, and everything a
-scheme name can express is also writable as a spec string
-(``"plasma(bs=5)"``).  All legacy entry points
+scheme or problem name can express is also writable as a spec string
+(``"plasma(bs=5)"``, ``"cholesky(t=8)"``).  All legacy entry points
 (:func:`repro.tiled_qr`, :func:`repro.critical_path`, the CLI) route
 through the same plan cache, so mixing styles never rebuilds a DAG.
 
@@ -20,7 +24,9 @@ through the same plan cache, so mixing styles never rebuilds a DAG.
 >>> from repro.api import plan, factor, simulate
 >>> pl = plan(8, 4, "greedy")
 >>> simulate(pl, processors=4).makespan
-102.0
+166.0
+>>> simulate("cholesky(t=8)").makespan
+62.0
 >>> a = np.random.default_rng(0).standard_normal((64, 32))
 >>> f = factor(a, nb=8, scheme=pl)
 >>> bool(np.allclose(f.q() @ f.r(), a))
@@ -35,24 +41,40 @@ import numpy as np
 
 from .core.tiled_qr import TiledQRFactorization, tiled_qr
 from .kernels.costs import KernelFamily
+from .obs.analyze import analyze
 from .planner import (
     Plan,
     clear_plan_cache,
     plan,
     plan_cache_stats,
+    plan_problem,
 )
+from .problems import (
+    Problem,
+    available_problems,
+    get_problem,
+    parse_problem_spec,
+)
+from .runtime.options import ExecOptions
 from .schemes.elimination import EliminationList
 from .schemes.registry import available_schemes, parse_scheme_spec
 from .sim.simulate import SimResult
 
 __all__ = [
     "plan",
+    "plan_problem",
     "factor",
     "simulate",
+    "analyze",
     "Plan",
+    "Problem",
+    "ExecOptions",
     "SimResult",
     "available_schemes",
+    "available_problems",
+    "get_problem",
     "parse_scheme_spec",
+    "parse_problem_spec",
     "plan_cache_stats",
     "clear_plan_cache",
 ]
@@ -74,6 +96,7 @@ def factor(
     metrics=None,
     bus=None,
     on_task_done=None,
+    options: Optional[ExecOptions] = None,
     **scheme_params,
 ) -> TiledQRFactorization:
     """Tiled QR factorization of ``a`` — facade over :func:`repro.tiled_qr`.
@@ -82,7 +105,9 @@ def factor(
     ``scheme`` may be a name/spec string, an
     :class:`~repro.schemes.elimination.EliminationList`, or a
     :class:`~repro.planner.Plan` from :func:`plan` (whose grid must
-    match the tiling of ``a``; its kernel family wins over ``family``).
+    match the tiling of ``a``; its kernel family wins over ``family``;
+    it must be a QR plan — Cholesky/LU plans simulate but do not
+    execute).
     ``mode="batched"`` runs the level-synchronous batched backend
     (stacked 3-D kernels over a contiguous tile pool) instead of the
     per-task executors — usually the fastest way to factor a real
@@ -91,7 +116,10 @@ def factor(
     kernels on ``workers`` worker processes over a shared-memory tile
     pool (``start_method`` picks fork/spawn, ``pool`` reuses a
     persistent :class:`repro.runtime.ProcessPool`); see
-    docs/performance.md.
+    docs/performance.md.  The five execution knobs may also arrive
+    bundled as ``options=ExecOptions(...)`` — the individual keywords
+    stay accepted, and a conflicting non-default keyword raises (see
+    :meth:`ExecOptions.resolve`).
     ``tracer``/``metrics``/``bus``/``on_task_done`` are the
     observability passthroughs (span capture, metrics registry,
     streaming event bus, completion callback) — see
@@ -101,11 +129,21 @@ def factor(
                     backend=backend, workers=workers, mode=mode,
                     numeric=numeric, start_method=start_method, pool=pool,
                     tracer=tracer, metrics=metrics,
-                    bus=bus, on_task_done=on_task_done, **scheme_params)
+                    bus=bus, on_task_done=on_task_done, options=options,
+                    **scheme_params)
+
+
+def _is_problem_spec(spec: str) -> bool:
+    """Whether a bare string names a problem family (vs a scheme)."""
+    try:
+        name, _ = parse_problem_spec(spec)
+    except (TypeError, ValueError):
+        return False
+    return name in available_problems()
 
 
 def simulate(
-    scheme: Union[str, EliminationList, Plan],
+    scheme: Union[str, EliminationList, Plan, Problem],
     p: Optional[int] = None,
     q: Optional[int] = None,
     *,
@@ -115,17 +153,21 @@ def simulate(
     costs=None,
     **params,
 ) -> SimResult:
-    """Schedule one factorization shape and return its timing.
+    """Schedule one problem shape and return its timing.
 
     Parameters
     ----------
-    scheme : str, EliminationList, or Plan
-        What to simulate.  A name/spec string requires ``p`` and ``q``;
-        a Plan carries its own shape (``p``/``q``, if given, must
-        agree).
+    scheme : str, EliminationList, Plan, or Problem
+        What to simulate.  A *scheme* name/spec string (``"greedy"``,
+        ``"plasma(bs=5)"``) requires ``p`` and ``q``; a *problem* spec
+        string (``"cholesky(t=8)"``, ``"lu(p=8,q=8)"``,
+        ``"qr(p=8,q=4)"``) or :class:`~repro.problems.Problem` carries
+        its own parameters (a bare family name takes them as keywords:
+        ``simulate("cholesky", t=8)``); a Plan or EliminationList
+        carries its own shape (``p``/``q``, if given, must agree).
     p, q : int, optional
-        Tile-grid dimensions (mandatory unless ``scheme`` is a Plan or
-        an EliminationList, which carry their own).
+        Tile-grid dimensions (mandatory only when ``scheme`` is a
+        scheme name).
     processors : int or None
         ``None`` = unbounded ASAP schedule (the critical-path view);
         an int = bounded list scheduling.
@@ -133,18 +175,40 @@ def simulate(
         Ready-queue policy for the bounded case (see
         :func:`repro.sim.priorities.priority_vector`).
     family : {"TT", "TS"}
-        Kernel family; ignored when ``scheme`` is a Plan.
+        Kernel family; QR only, ignored when ``scheme`` is a Plan.
     costs : mapping of Kernel -> float, optional
         Per-kernel weight overrides (distinct cache entries).
     **params
-        Scheme parameters (``bs=...``, ``k=...``).
+        Scheme parameters (``bs=...``, ``k=...``), or problem
+        parameters (``t=...``) in the problem-centric form.
 
     Returns
     -------
     SimResult
         Memoized on the plan for named priorities — treat as read-only.
     """
-    if isinstance(scheme, (Plan, EliminationList)):
+    if isinstance(scheme, Problem) or (
+            isinstance(scheme, str) and _is_problem_spec(scheme)):
+        if isinstance(scheme, str):
+            if p is not None:
+                params.setdefault("p", p)
+            if q is not None:
+                params.setdefault("q", q)
+            if parse_problem_spec(scheme)[0] == "qr":
+                params.setdefault("family", family)
+        pl = plan_problem(scheme, costs=costs, **params)
+        return pl.schedule(processors, priority)
+    if isinstance(scheme, Plan):
+        if p is not None and (p, q) != (scheme.p, scheme.q):
+            raise ValueError(
+                f"plan is for a {scheme.p} x {scheme.q} grid, "
+                f"requested {p} x {q}")
+        if costs is not None or params:
+            raise ValueError(
+                "a Plan already carries its costs and parameters; "
+                "pass them to plan() instead")
+        return scheme.schedule(processors, priority)
+    if isinstance(scheme, EliminationList):
         sp, sq = scheme.p, scheme.q
         if p is not None and (p, q) != (sp, sq):
             raise ValueError(
@@ -152,7 +216,5 @@ def simulate(
         p, q = sp, sq
     elif p is None or q is None:
         raise ValueError("p and q are required when scheme is a name")
-    if isinstance(scheme, Plan):
-        family = scheme.family
     pl = plan(p, q, scheme, family, costs=costs, **params)
     return pl.schedule(processors, priority)

@@ -4,7 +4,11 @@ Subcommands
 -----------
 ``cp``       critical path of a scheme on a p x q grid
 ``table``    zero-out time table (the paper's Tables 2-3 views)
-``sweep``    compare all schemes on one grid
+``sweep``    compare all schemes on one grid, or sweep one problem
+             spec (``"cholesky(t=8)"``) over processor counts
+``sim``      simulate a problem spec (``"cholesky(t=8)"``,
+             ``"lu(p=8,q=8)"``, or a scheme with P Q) and print its
+             makespan against the lower bounds (incl. ALAP)
 ``tune``     exhaustive PlasmaTree BS search
 ``factor``   factor a matrix from a .npy file (or a random one) and
              report accuracy; optionally save the factorization
@@ -39,6 +43,9 @@ Examples
     python -m repro cp greedy 40 10
     python -m repro table greedy 15 6
     python -m repro sweep 40 5 --family TS
+    python -m repro sweep 'cholesky(t=8)' --processors 1,2,4,8
+    python -m repro sim 'lu(p=8,q=8)' --workers 4
+    python -m repro analyze 'cholesky(t=8)' --workers 4
     python -m repro tune 40 5
     python -m repro factor --random 400x200 --nb 50 --scheme greedy
     python -m repro trace greedy 15 6 --workers 8 --format gantt
@@ -109,6 +116,38 @@ def _cmd_table(args) -> int:
     return 0
 
 
+def _sweep_problem(spec: str, args) -> int:
+    """Processor sweep of one problem spec: bounded makespans vs bounds."""
+    from .api import plan
+    from .bench.report import format_table
+    from .obs.analyze import analyze_sim
+
+    try:
+        pl = plan(spec)
+    except (TypeError, ValueError) as exc:
+        print(f"sweep: {exc}", file=sys.stderr)
+        return 2
+    try:
+        procs = sorted({int(x) for x in args.processors.split(",")})
+    except ValueError:
+        print(f"sweep: bad --processors list {args.processors!r}",
+              file=sys.stderr)
+        return 2
+    work = float(sum(t.weight for t in pl.graph.tasks))
+    cp = pl.critical_path()
+    rows = []
+    for P in procs:
+        rep = analyze_sim(pl.schedule(P))
+        lower = rep.bounds["lower"]
+        rows.append([P, rep.makespan, round(rep.bounds["alap"], 2),
+                     round(lower / rep.makespan, 3)])
+    print(format_table(
+        ["P", "makespan", "ALAP bound", "efficiency"], rows,
+        title=f"{pl.scheme} ({pl.problem}): {len(pl.graph.tasks)} tasks, "
+              f"work {work:g}, critical path {cp:g}"))
+    return 0
+
+
 def _cmd_sweep(args) -> int:
     import json
 
@@ -118,11 +157,18 @@ def _cmd_sweep(args) -> int:
     from .planner import PLAN_METRICS, plan_cache_stats
     from .schemes.registry import available_schemes
 
+    shape = args.shape
+    if len(shape) == 1 and not shape[0].isdigit():
+        return _sweep_problem(shape[0], args)
+    if len(shape) != 2 or not all(s.isdigit() for s in shape):
+        print("sweep: expected P Q tile-grid integers or one problem "
+              "spec such as 'cholesky(t=8)'", file=sys.stderr)
+        return 2
+    args.p, args.q = int(shape[0]), int(shape[1])
+
     rows = []
     total = total_weight(args.p, args.q)
     for scheme in available_schemes():
-        if scheme == "sameh-kuck":
-            continue  # alias of flat-tree
         params = {"bs": max(1, args.p // 4)} if scheme in (
             "plasma-tree", "hadri-tree") else {}
         cp = plan(args.p, args.q, scheme, args.family,
@@ -211,6 +257,15 @@ def _eta_summary(renderer, state) -> str | None:
             f"({drift * +100:+.1f}% drift)")
 
 
+def _exec_options(args):
+    """The run's execution knobs as one ExecOptions bundle."""
+    from .runtime.options import ExecOptions
+
+    return ExecOptions(mode=args.mode, workers=args.workers,
+                       numeric=args.numeric,
+                       start_method=args.start_method)
+
+
 def _cmd_factor(args) -> int:
     from .analysis.accuracy import assess
     from .core.serialize import save_factorization
@@ -240,9 +295,7 @@ def _cmd_factor(args) -> int:
     try:
         f = tiled_qr(a, nb=args.nb, ib=args.ib, scheme=args.scheme,
                      family=args.family, backend=args.backend,
-                     workers=args.workers, mode=args.mode,
-                     numeric=args.numeric,
-                     start_method=args.start_method, bus=bus, **params)
+                     options=_exec_options(args), bus=bus, **params)
     finally:
         if renderer is not None:
             renderer.stop()
@@ -371,6 +424,37 @@ def _cmd_trace(args) -> int:
     return 0
 
 
+def _cmd_sim(args) -> int:
+    from .api import simulate
+    from .obs.analyze import analyze_sim
+
+    try:
+        res = simulate(args.problem, args.p, args.q,
+                       processors=args.workers, priority=args.priority,
+                       family=args.family)
+    except (TypeError, ValueError) as exc:
+        print(f"sim: {exc}", file=sys.stderr)
+        return 2
+    rep = analyze_sim(res)
+    g = res.graph
+    where = (f"{rep.processors} processors" if rep.processors
+             else "unbounded processors")
+    print(f"{g.name or args.problem} ({rep.problem}): "
+          f"{rep.tasks} tasks, work {rep.total_busy:g} units")
+    print(f"  makespan   {rep.makespan:g} on {where}")
+    for key, title in (("critical_path", "critical path"),
+                       ("work", "work / P"),
+                       ("alap", "ALAP area bound"),
+                       ("lower", "lower bound"),
+                       ("paper_cp_lower_bound", "Thm 1(3) 22q-30")):
+        if rep.bounds and key in rep.bounds:
+            print(f"  {title:<16s} {rep.bounds[key]:g}")
+    if rep.bounds and "efficiency" in rep.bounds:
+        print(f"  efficiency {rep.bounds['efficiency'] * 100:.1f} % "
+              "of the lower bound")
+    return 0
+
+
 def _cmd_analyze(args) -> int:
     from .obs.analyze import analyze_sim, analyze_trace_file, render_report
 
@@ -395,15 +479,39 @@ def _cmd_analyze(args) -> int:
             return 1
         print("\n\n".join(render_report(r, args.format) for r in reports))
         return 0
-    if args.scheme is None or args.p is None or args.q is None:
-        print("analyze: need SCHEME P Q (or --from-trace FILE)",
-              file=sys.stderr)
+    if args.scheme is None:
+        print("analyze: need SCHEME P Q, a problem spec such as "
+              "'cholesky(t=8)', or --from-trace FILE", file=sys.stderr)
         return 2
 
     from .api import plan
+    from .problems import available_problems, parse_problem_spec
 
-    pl = plan(args.p, args.q, args.scheme, args.family,
-              **_scheme_params(args))
+    try:
+        problem_name = parse_problem_spec(args.scheme)[0]
+    except (TypeError, ValueError):
+        problem_name = None
+    if problem_name in available_problems():
+        # problem-centric form: analyze "cholesky(t=8)" [--workers N]
+        kwargs = {}
+        if args.p is not None:
+            kwargs["p"] = args.p
+        if args.q is not None:
+            kwargs["q"] = args.q
+        if problem_name == "qr":
+            kwargs.setdefault("family", args.family)
+        try:
+            pl = plan(args.scheme, **kwargs)
+        except (TypeError, ValueError) as exc:
+            print(f"analyze: {exc}", file=sys.stderr)
+            return 2
+    else:
+        if args.p is None or args.q is None:
+            print("analyze: need SCHEME P Q (or a problem spec, or "
+                  "--from-trace FILE)", file=sys.stderr)
+            return 2
+        pl = plan(args.p, args.q, args.scheme, args.family,
+                  **_scheme_params(args))
     res = pl.schedule(args.workers, args.priority)
     report = analyze_sim(res)
     print(render_report(report, args.format))
@@ -448,9 +556,8 @@ def _cmd_profile(args) -> int:
         metrics_reg = None
     try:
         ctx = execute_graph(pl, tiled, backend=args.backend,
-                            ib=min(args.ib, nb), workers=args.workers,
-                            mode=args.mode, numeric=args.numeric,
-                            start_method=args.start_method,
+                            ib=min(args.ib, nb),
+                            options=_exec_options(args),
                             tracer=tracer, metrics=metrics_reg,
                             collect_metrics=True, bus=bus)
     finally:
@@ -514,7 +621,8 @@ def _cmd_profile(args) -> int:
                                               analyze_sim(sim))))
     if args.out:
         write_chrome_trace(args.out, tracer=tracer, sim=sim,
-                           sim_time_scale=1e6)
+                           sim_time_scale=1e6,
+                           problem=getattr(pl, "problem", "qr"))
         print(f"\nChrome trace written to {args.out} "
               "(open in Perfetto / chrome://tracing)")
     if args.metrics_json:
@@ -559,9 +667,8 @@ def _cmd_top(args) -> int:
     def run() -> None:
         try:
             execute_graph(pl, tiled, backend=args.backend,
-                          ib=min(args.ib, nb), workers=args.workers,
-                          mode=args.mode, numeric=args.numeric,
-                          start_method=args.start_method, bus=bus)
+                          ib=min(args.ib, nb),
+                          options=_exec_options(args), bus=bus)
         except BaseException as exc:  # surfaced after the join
             errors.append(exc)
 
@@ -597,13 +704,38 @@ def build_parser() -> argparse.ArgumentParser:
     _add_grid(p)
     p.set_defaults(fn=_cmd_table)
 
-    p = sub.add_parser("sweep", help="compare all schemes on a grid")
-    p.add_argument("p", type=int)
-    p.add_argument("q", type=int)
+    p = sub.add_parser(
+        "sweep",
+        help="compare all schemes on a grid, or sweep one problem spec "
+             "over processor counts")
+    p.add_argument("shape", nargs="+",
+                   help="P Q tile-grid integers (scheme comparison) or "
+                        "one problem spec such as 'cholesky(t=8)' "
+                        "(processor sweep)")
     p.add_argument("--family", default="TT", choices=["TT", "TS"])
+    p.add_argument("--processors", default="1,2,4,8,16",
+                   help="comma-separated processor counts for the "
+                        "problem-spec form")
     p.add_argument("--metrics-json",
                    help="write plan-cache stats + plan metrics JSON here")
     p.set_defaults(fn=_cmd_sweep)
+
+    p = sub.add_parser(
+        "sim",
+        help="simulate a problem spec: makespan and lower bounds")
+    p.add_argument("problem",
+                   help="problem spec, e.g. 'cholesky(t=8)', "
+                        "'lu(p=8,q=8)', 'qr(p=8,q=4)', or a scheme "
+                        "name with P and Q")
+    p.add_argument("p", type=int, nargs="?", default=None, help="tile rows")
+    p.add_argument("q", type=int, nargs="?", default=None,
+                   help="tile columns")
+    p.add_argument("--family", default="TT", choices=["TT", "TS"])
+    p.add_argument("--workers", type=int, default=None,
+                   help="processor count (omit for the unbounded ASAP "
+                        "schedule)")
+    p.add_argument("--priority", default="critical-path")
+    p.set_defaults(fn=_cmd_sim)
 
     p = sub.add_parser("tune", help="PlasmaTree BS exhaustive search")
     p.add_argument("p", type=int)

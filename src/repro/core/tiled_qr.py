@@ -162,6 +162,7 @@ def tiled_qr(
     metrics=None,
     bus=None,
     on_task_done=None,
+    options=None,
     **scheme_params,
 ) -> TiledQRFactorization:
     """Tiled QR factorization of ``a`` (``m >= n``).
@@ -225,6 +226,11 @@ def tiled_qr(
         :class:`~repro.obs.stream.EventBus` (live progress /
         ``repro top``), and a per-task completion callback.  All
         default to ``None`` (zero observation cost).
+    options : repro.runtime.ExecOptions or None
+        The execution knobs (``mode``, ``workers``, ``numeric``,
+        ``start_method``, ``pool``) as one bundle; the individual
+        keywords remain accepted, and a conflicting non-default
+        keyword raises (see :meth:`~repro.runtime.ExecOptions.resolve`).
     **scheme_params
         Extra parameters for the scheme (e.g. ``bs`` for plasma-tree).
 
@@ -247,6 +253,11 @@ def tiled_qr(
     work[:m] = a
     tiled = TiledMatrix(work, nb)
     if isinstance(scheme, Plan):
+        if getattr(scheme, "problem", "qr") != "qr" or scheme.elims is None:
+            raise ValueError(
+                f"factor/tiled_qr runs QR plans only, got a "
+                f"{scheme.problem!r} plan; use repro.sim/analyze for "
+                f"other problem families")
         family = scheme.family  # the plan's DAG decides
     elif not isinstance(scheme, (str, EliminationList)):
         raise TypeError(
@@ -259,6 +270,6 @@ def tiled_qr(
                         workers=workers, mode=mode, numeric=numeric,
                         start_method=start_method, pool=pool,
                         tracer=tracer, metrics=metrics, bus=bus,
-                        on_task_done=on_task_done)
+                        on_task_done=on_task_done, options=options)
     return TiledQRFactorization(m=m, n=n, nb=nb, scheme=pl.elims,
                                 graph=pl.graph, context=ctx)

@@ -82,10 +82,13 @@ class TaskGraph:
     tables report.
     """
 
-    def __init__(self, p: int, q: int, name: str = ""):
+    def __init__(self, p: int, q: int, name: str = "", problem: str = "qr"):
         self.p = p
         self.q = q
         self.name = name
+        #: problem family that produced this DAG ("qr", "cholesky", "lu");
+        #: analytics and trace metadata label reports with it.
+        self.problem = problem
         self.tasks: list[Task] = []
         self.zero_task: dict[tuple[int, int], int] = {}
         self._index: Optional["GraphIndex"] = None
@@ -226,7 +229,7 @@ class TaskGraph:
         Used to feed *measured* kernel times (seconds) into the
         simulator for the experimental-performance reproduction.
         """
-        out = TaskGraph(self.p, self.q, self.name)
+        out = TaskGraph(self.p, self.q, self.name, problem=self.problem)
         for t in self.tasks:
             out.add(t.kernel, t.row, t.piv, t.col, t.j, list(t.deps),
                     weight=weights[t.kernel])

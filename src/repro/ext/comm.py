@@ -35,7 +35,9 @@ from ..kernels.costs import KERNEL_WEIGHTS, Kernel
 
 __all__ = ["CommunicationModel", "comm_adjusted_weights"]
 
-#: tiles read or written by one invocation of each kernel
+#: tiles read or written by one invocation of each kernel; the
+#: Cholesky/LU rows follow the same pattern as QR — panel kernels
+#: touch 1 tile, one-source updates 2, two-source updates 3
 TILES_TOUCHED: dict[Kernel, int] = {
     Kernel.GEQRT: 1,
     Kernel.UNMQR: 2,
@@ -43,6 +45,14 @@ TILES_TOUCHED: dict[Kernel, int] = {
     Kernel.TSMQR: 3,
     Kernel.TTQRT: 2,
     Kernel.TTMQR: 3,
+    Kernel.POTRF: 1,
+    Kernel.TRSM: 2,
+    Kernel.SYRK: 2,
+    Kernel.GEMM: 3,
+    Kernel.GETRF: 1,
+    Kernel.GESSM: 2,
+    Kernel.TSTRF: 2,
+    Kernel.SSSSM: 3,
 }
 
 

@@ -39,7 +39,7 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass
 
-from ..kernels.costs import Kernel
+from ..kernels.costs import QR_KERNELS, Kernel
 
 __all__ = ["RectTileModel", "rect_weights"]
 
@@ -67,10 +67,13 @@ class RectTileModel:
             return 12.0 * r
         if kernel is Kernel.TTQRT:
             return 2.0
-        return 6.0  # TTMQR
+        if kernel is Kernel.TTMQR:
+            return 6.0
+        raise ValueError(
+            f"rectangular-tile model covers the QR kernels only, got {kernel}")
 
     def weights(self) -> dict[Kernel, float]:
-        return {k: self.weight(k) for k in Kernel}
+        return {k: self.weight(k) for k in QR_KERNELS}
 
     def grid(self, m: int, n: int, nb: int) -> tuple[int, int]:
         """Tile-grid shape for an ``m x n`` matrix with these tiles."""

@@ -1,4 +1,4 @@
-"""Kernel cost model (S4) — Table 1 of the paper.
+"""Kernel cost model (S4) — Table 1 of the paper, plus siblings.
 
 The unit of time is :math:`n_b^3/3` floating-point operations, where
 ``nb`` is the tile size.  These weights drive the discrete-event
@@ -19,6 +19,30 @@ A TS elimination costs ``10 + 18(q-k)`` units and so does a TT one —
 the *total* weight of any tiled QR algorithm on a ``p x q`` tile matrix
 is the invariant ``6pq^2 - 2q^3`` (Section 2.2), i.e. the classical
 ``2mn^2 - 2n^3/3`` flops.
+
+The enum also carries the kernels of the sibling tile factorizations
+from the Bouwmeester thesis (arxiv 1303.3182) so the planner, the
+simulator and the analytics consume Cholesky and LU task DAGs with the
+same machinery (:mod:`repro.problems`).  In the same ``nb^3/3`` unit:
+
+=========  =====================================  ======
+``POTRF``  Cholesky of a diagonal tile                1
+``TRSM``   triangular solve below the diagonal        3
+``SYRK``   symmetric rank-nb update of a diagonal     3
+``GEMM``   general update of an off-diagonal tile     6
+``GETRF``  LU of a diagonal tile (incr. pivoting)     2
+``GESSM``  apply L of GETRF to a row tile             3
+``TSTRF``  LU of a [triangle; square] panel pair      3
+``SSSSM``  ... apply to a column pair                 6
+=========  =====================================  ======
+
+With these weights the total Cholesky weight on a ``t x t`` tile grid
+is exactly ``t^3`` (the classical ``n^3/3`` flops) and the total LU
+weight on a square grid is ``2t^3`` (the classical ``2n^3/3``).
+
+New kernels are *appended* to the enum: the integer coding of
+:data:`repro.dag.tasks.KERNEL_CODES` (and therefore every serialized
+plan) is positional, so the QR codes must never move.
 """
 
 from __future__ import annotations
@@ -29,6 +53,9 @@ __all__ = [
     "Kernel",
     "KernelFamily",
     "KERNEL_WEIGHTS",
+    "QR_KERNELS",
+    "CHOLESKY_KERNELS",
+    "LU_KERNELS",
     "UNIT_FLOPS",
     "total_weight",
     "qr_flops",
@@ -37,7 +64,13 @@ __all__ = [
 
 
 class Kernel(str, Enum):
-    """The six tile kernels of the tiled QR factorization."""
+    """The tile kernels of the tiled factorizations.
+
+    The first six are the QR kernels of the source paper; ``POTRF`` /
+    ``TRSM`` / ``SYRK`` / ``GEMM`` are tiled Cholesky and ``GETRF`` /
+    ``GESSM`` / ``TSTRF`` / ``SSSSM`` tiled LU with incremental
+    pivoting (:mod:`repro.problems`).  Order matters — appended only.
+    """
 
     GEQRT = "GEQRT"
     UNMQR = "UNMQR"
@@ -45,9 +78,29 @@ class Kernel(str, Enum):
     TSMQR = "TSMQR"
     TTQRT = "TTQRT"
     TTMQR = "TTMQR"
+    # tiled Cholesky (repro.problems.cholesky)
+    POTRF = "POTRF"
+    TRSM = "TRSM"
+    SYRK = "SYRK"
+    GEMM = "GEMM"
+    # tiled LU, incremental pivoting (repro.problems.lu)
+    GETRF = "GETRF"
+    GESSM = "GESSM"
+    TSTRF = "TSTRF"
+    SSSSM = "SSSSM"
 
     def __str__(self) -> str:  # keep trace output compact
         return self.value
+
+
+#: kernel enum of each problem family, in canonical pivot order
+QR_KERNELS: tuple[Kernel, ...] = (
+    Kernel.GEQRT, Kernel.UNMQR, Kernel.TSQRT, Kernel.TSMQR,
+    Kernel.TTQRT, Kernel.TTMQR)
+CHOLESKY_KERNELS: tuple[Kernel, ...] = (
+    Kernel.POTRF, Kernel.TRSM, Kernel.SYRK, Kernel.GEMM)
+LU_KERNELS: tuple[Kernel, ...] = (
+    Kernel.GETRF, Kernel.GESSM, Kernel.TSTRF, Kernel.SSSSM)
 
 
 class KernelFamily(str, Enum):
@@ -68,6 +121,16 @@ KERNEL_WEIGHTS: dict[Kernel, int] = {
     Kernel.TSMQR: 12,
     Kernel.TTQRT: 2,
     Kernel.TTMQR: 6,
+    # tiled Cholesky: total over a t x t grid is exactly t^3
+    Kernel.POTRF: 1,
+    Kernel.TRSM: 3,
+    Kernel.SYRK: 3,
+    Kernel.GEMM: 6,
+    # tiled LU (incremental pivoting): total over a square grid is 2 t^3
+    Kernel.GETRF: 2,
+    Kernel.GESSM: 3,
+    Kernel.TSTRF: 3,
+    Kernel.SSSSM: 6,
 }
 
 

@@ -64,6 +64,7 @@ __all__ = [
     "analyze_chrome_trace",
     "analyze_events",
     "analyze_trace_file",
+    "alap_lower_bound",
     "critical_path_tasks",
     "task_slack",
     "overlay_diff",
@@ -197,6 +198,9 @@ class ScheduleReport:
     tasks: int
     total_busy: float
     utilization: Optional[float]
+    #: problem/kernel-family label ("qr", "qr[TT]", "cholesky"); empty
+    #: when the source does not carry one (e.g. foreign Chrome traces)
+    problem: str = ""
     lanes: list[LaneStats] = field(default_factory=list)
     kernels: list[KernelStats] = field(default_factory=list)
     critical_path: Optional[CriticalPath] = None
@@ -219,6 +223,7 @@ class ScheduleReport:
         return {
             "source": self.source,
             "label": self.label,
+            "problem": self.problem,
             "makespan": self.makespan,
             "processors": self.processors,
             "tasks": self.tasks,
@@ -287,6 +292,54 @@ def task_slack(graph, unbounded: Optional[SimResult] = None) -> np.ndarray:
     tol = 1e-9 * max(cp, 1.0)
     slack[(slack < 0.0) & (slack > -tol)] = 0.0
     return slack
+
+
+def alap_lower_bound(graph, processors: int,
+                     unbounded: Optional[SimResult] = None) -> float:
+    """ALAP-schedule makespan lower bound (Quach & Langou, 1510.05107).
+
+    Sharper than ``max(critical path, work / P)``: in any
+    ``P``-processor schedule of makespan ``M``, a task ``t`` must
+    *finish* by ``M - rest[t]`` where ``rest[t] = bl[t] - w[t]`` is
+    the weight that must still run after it (its ALAP finish), so the
+    work of every task with ``rest >= x`` has to fit into the capacity
+    ``P * (M - x)``::
+
+        M  >=  max over x  of  x + W_rest(x) / P
+
+    with candidates ``x`` the distinct ``rest`` values.  The mirrored
+    ASAP form uses earliest start times: tasks with ``est >= tau`` run
+    entirely inside ``[tau, M]``, giving ``M >= tau + W_est(tau) / P``.
+    The returned bound is the max of both families; at ``x = 0`` it
+    degenerates to ``work / P``, so it never loosens the classical
+    area bound — and near the DAG's sequential head/tail (small
+    Cholesky/QR panels, few processors) it is strictly tighter.
+
+    Parameters
+    ----------
+    graph : TaskGraph or Plan
+    processors : int
+        Processor count ``P >= 1``.
+    unbounded : SimResult, optional
+        A precomputed unbounded simulation of ``graph``.
+    """
+    P = int(processors)
+    if P < 1:
+        raise ValueError(f"need processors >= 1, got {processors}")
+    idx = graph.index() if not hasattr(graph, "graph") else graph.index
+    w = idx.weights
+    if idx.n == 0:
+        return 0.0
+    if unbounded is None:
+        unbounded = simulate_unbounded(graph)
+    bl = bottom_levels(graph)
+    best = 0.0
+    for key in (bl - w, unbounded.start):
+        order = np.argsort(key)
+        suffix = np.cumsum(w[order][::-1])[::-1]
+        vals = key[order] + suffix / P
+        best = max(best, float(vals.max()))
+    return best
 
 
 def critical_path_tasks(result: SimResult) -> CriticalPath:
@@ -400,9 +453,12 @@ def analyze_sim(result: SimResult, label: str = "",
 
     Includes the critical-path chain, slack statistics, and (with
     ``bounds=True``) efficiency against the schedule's lower bounds:
-    the DAG critical path, the work bound ``total_weight / P``, and —
-    when ``q >= 2`` — the paper's Theorem 1(3) bound ``22q - 30``
-    (meaningful for Table-1 weights).
+    the DAG critical path, the work bound ``total_weight / P``, the
+    ALAP area bound (:func:`alap_lower_bound` — bounded schedules
+    only, and never looser than ``work / P``), and — for QR DAGs with
+    ``q >= 2`` — the paper's Theorem 1(3) bound ``22q - 30``
+    (meaningful for Table-1 weights).  Works for any problem family;
+    the graph's ``problem`` attribute labels the report.
     """
     g = result.graph
     idx = g.index()
@@ -430,15 +486,19 @@ def analyze_sim(result: SimResult, label: str = "",
 
     cp = critical_path_tasks(result)
 
+    problem = getattr(g, "problem", "qr")
+
     bounds_dict = None
     if bounds:
         cp_bound = float(unbounded.makespan)
         bounds_dict = {"critical_path": cp_bound}
         if P:
             work_bound = total_busy / P
-            lower = max(cp_bound, work_bound)
+            alap = alap_lower_bound(g, P, unbounded=unbounded)
+            lower = max(cp_bound, work_bound, alap)
             bounds_dict.update({
                 "work": work_bound,
+                "alap": alap,
                 "lower": lower,
                 "efficiency": lower / makespan if makespan else 1.0,
                 "speedup": total_busy / makespan if makespan else float(P),
@@ -446,7 +506,7 @@ def analyze_sim(result: SimResult, label: str = "",
         else:
             bounds_dict["efficiency"] = (cp_bound / makespan
                                          if makespan else 1.0)
-        if g.q >= 2:
+        if problem == "qr" and g.q >= 2:
             from ..analysis.formulas import optimal_cp_lower_bound
 
             bounds_dict["paper_cp_lower_bound"] = float(
@@ -455,9 +515,9 @@ def analyze_sim(result: SimResult, label: str = "",
     name = label or (g.name or "simulated")
     return ScheduleReport(source="sim", label=name, makespan=makespan,
                           processors=P, tasks=idx.n, total_busy=total_busy,
-                          utilization=utilization, lanes=lanes,
-                          kernels=kernels, critical_path=cp, slack=slack,
-                          bounds=bounds_dict)
+                          utilization=utilization, problem=problem,
+                          lanes=lanes, kernels=kernels, critical_path=cp,
+                          slack=slack, bounds=bounds_dict)
 
 
 def _wait_summary(waits: np.ndarray) -> Optional[dict]:
@@ -524,6 +584,7 @@ def analyze_chrome_trace(source: Union[str, dict]) -> list[ScheduleReport]:
         with _open_trace(source) as fh:
             source = json.load(fh)
     events = source.get("traceEvents", [])
+    problem = source.get("otherData", {}).get("problem", "")
     names: dict[int, str] = {}
     by_pid: dict[int, list[dict]] = {}
     for e in events:
@@ -541,7 +602,7 @@ def analyze_chrome_trace(source: Union[str, dict]) -> list[ScheduleReport]:
         if not xs:
             reports.append(ScheduleReport(
                 source="trace", label=label, makespan=0.0, processors=None,
-                tasks=0, total_busy=0.0, utilization=None))
+                tasks=0, total_busy=0.0, utilization=None, problem=problem))
             continue
         ts = np.array([float(e["ts"]) for e in xs]) / 1e6
         dur = np.array([float(e.get("dur", 0.0)) for e in xs]) / 1e6
@@ -561,7 +622,8 @@ def analyze_chrome_trace(source: Union[str, dict]) -> list[ScheduleReport]:
         reports.append(ScheduleReport(
             source="trace", label=label, makespan=makespan,
             processors=len(tids), tasks=len(xs), total_busy=total_busy,
-            utilization=utilization, lanes=lanes, kernels=kernels))
+            utilization=utilization, lanes=lanes, kernels=kernels,
+            problem=problem))
     return reports
 
 
@@ -576,11 +638,14 @@ def analyze_events(events, label: str = "events") -> ScheduleReport:
     makespan window and per-lane busy/idle books agree with the
     tracer's view of the same run to within publish latency.
     """
+    events = list(events)
+    problem = next((e.problem for e in events
+                    if e.kind == "run_start" and e.problem), "")
     done = [e for e in events if e.kind in ("task_done", "group_done")]
     if not done:
         return ScheduleReport(source="trace", label=label, makespan=0.0,
                               processors=None, tasks=0, total_busy=0.0,
-                              utilization=None)
+                              utilization=None, problem=problem)
     ts = np.array([e.t for e in done], dtype=np.float64)
     dur = np.array([max(0.0, e.value) for e in done], dtype=np.float64)
     counts = np.array([max(1, e.count) for e in done], dtype=np.int64)
@@ -616,7 +681,7 @@ def analyze_events(events, label: str = "events") -> ScheduleReport:
     return ScheduleReport(source="trace", label=label, makespan=makespan,
                           processors=len(wids) or None, tasks=ntasks,
                           total_busy=total_busy, utilization=utilization,
-                          lanes=lanes, kernels=kernels)
+                          lanes=lanes, kernels=kernels, problem=problem)
 
 
 def analyze_trace_file(path) -> list[ScheduleReport]:
@@ -745,7 +810,9 @@ def _table(headers: list[str], rows: list[list], markdown: bool) -> list[str]:
 def _render(report: ScheduleReport, markdown: bool) -> str:
     h1 = "## " if markdown else "== "
     h1e = "" if markdown else " =="
-    lines = [f"{h1}schedule report: {report.label} ({report.source}){h1e}"]
+    src = (f"{report.source}, {report.problem}" if report.problem
+           else report.source)
+    lines = [f"{h1}schedule report: {report.label} ({src}){h1e}"]
     lines.append("")
     procs = report.processors if report.processors is not None else "unbounded"
     lines.append(f"makespan {_fmt(report.makespan)} | processors {procs} | "
@@ -807,6 +874,7 @@ def _render(report: ScheduleReport, markdown: bool) -> str:
                      + ("" if markdown else " --"))
         for key, lab in (("critical_path", "DAG critical path"),
                          ("work", "work / P"),
+                         ("alap", "ALAP area bound"),
                          ("lower", "best lower bound"),
                          ("paper_cp_lower_bound", "paper 22q - 30")):
             if key in b:

@@ -132,39 +132,50 @@ def sim_to_events(result: "SimResult", pid: int = 2,
 
 def chrome_trace(tracer: Tracer | None = None,
                  sim: "SimResult | None" = None,
-                 sim_time_scale: float = 1.0) -> dict:
+                 sim_time_scale: float = 1.0,
+                 problem: str = "") -> dict:
     """Build the top-level trace object from either or both sources.
 
     With both a measured capture and a simulated schedule the result
     holds two process groups (``pid`` 1 = measured, ``pid`` 2 =
     simulated) that Perfetto renders as separate lane stacks on a
-    shared time axis.
+    shared time axis.  ``problem`` (``"qr"``, ``"cholesky"``, ...)
+    stamps the factorization family into ``otherData`` so analyzers
+    can label their reports; when omitted it is taken from the sim
+    result's graph if one is given.
     """
     if tracer is None and sim is None:
         raise ValueError("chrome_trace needs a tracer, a sim result, or both")
+    if not problem and sim is not None:
+        problem = getattr(sim.graph, "problem", "") or ""
     events: list[dict] = []
     if tracer is not None:
         events.extend(tracer_to_events(tracer))
     if sim is not None:
         events.extend(sim_to_events(sim, time_scale=sim_time_scale))
+    other = {"producer": "repro.obs.chrome_trace"}
+    if problem:
+        other["problem"] = problem
     return {
         "traceEvents": events,
         "displayTimeUnit": "ms",
-        "otherData": {"producer": "repro.obs.chrome_trace"},
+        "otherData": other,
     }
 
 
 def to_chrome_json(tracer: Tracer | None = None,
                    sim: "SimResult | None" = None,
-                   sim_time_scale: float = 1.0) -> str:
+                   sim_time_scale: float = 1.0,
+                   problem: str = "") -> str:
     """The trace object as compact JSON text."""
-    return json.dumps(chrome_trace(tracer, sim, sim_time_scale))
+    return json.dumps(chrome_trace(tracer, sim, sim_time_scale, problem))
 
 
 def write_chrome_trace(path: str, tracer: Tracer | None = None,
                        sim: "SimResult | None" = None,
-                       sim_time_scale: float = 1.0) -> str:
+                       sim_time_scale: float = 1.0,
+                       problem: str = "") -> str:
     """Write the trace JSON to ``path``; returns the path."""
     with open(path, "w") as fh:
-        fh.write(to_chrome_json(tracer, sim, sim_time_scale))
+        fh.write(to_chrome_json(tracer, sim, sim_time_scale, problem))
     return path

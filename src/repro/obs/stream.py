@@ -119,6 +119,9 @@ class Event:
     count: int = 1
     total: int = 0
     value: float = 0.0
+    #: problem family of the run (``"qr"``, ``"cholesky"``, ``"lu"``);
+    #: stamped on ``run_start`` so trace analyzers can label reports
+    problem: str = ""
 
     def to_dict(self) -> dict:
         """Compact dict: ``kind``/``t``/``seq`` always, the rest only
@@ -185,7 +188,8 @@ class EventBus:
 
     def publish(self, kind: str, *, t: float | None = None, tid: int = -1,
                 kernel: str = "", worker: int = -1, level: int = -1,
-                count: int = 1, total: int = 0, value: float = 0.0) -> int:
+                count: int = 1, total: int = 0, value: float = 0.0,
+                problem: str = "") -> int:
         """Append one event; never blocks, never raises for full buffers.
 
         Returns the event's sequence number.  The keyword parameters
@@ -204,12 +208,12 @@ class EventBus:
             seq = self._seq
             self._buf[seq % self.capacity] = (
                 kind, t, seq, tid, kernel, worker, level, count, total,
-                value)
+                value, problem)
             self._seq = seq + 1
             subs = self._subs
         if subs:
             ev = Event(kind, t, seq, tid, kernel, worker, level, count,
-                       total, value)
+                       total, value, problem)
             for fn in subs:
                 try:
                     fn(ev)

@@ -35,15 +35,17 @@ from ..dag.build import build_dag
 from ..dag.index import GraphIndex
 from ..dag.tasks import TaskGraph
 from ..kernels.costs import KERNEL_WEIGHTS, Kernel, KernelFamily
+from ..problems import Problem, QRProblem, get_problem
 from ..schemes.elimination import Elimination, EliminationList
 from ..schemes.registry import canonical_scheme_spec, get_scheme
 from ..sim.simulate import SimResult, simulate_bounded, simulate_unbounded
 from . import cache as _cache
 from ..core._npz import pack_meta, unpack_meta
 
-__all__ = ["Plan", "plan", "plan_signature", "save_plan", "load_plan"]
+__all__ = ["Plan", "plan", "plan_problem", "plan_signature",
+           "save_plan", "load_plan"]
 
-_FORMAT_VERSION = 1
+_FORMAT_VERSION = 2
 
 
 def _normalize_costs(costs) -> Optional[dict[Kernel, float]]:
@@ -54,22 +56,28 @@ def _normalize_costs(costs) -> Optional[dict[Kernel, float]]:
 
 def plan_signature(
     spec: str, p: int, q: int,
-    family: KernelFamily,
+    family: Optional[KernelFamily],
     costs: Optional[dict[Kernel, float]] = None,
+    *,
+    problem: str = "qr",
 ) -> str:
     """Stable cache key of a plan.
 
-    Covers every input the planning artifacts depend on — canonical
-    scheme spec (name + params), grid shape, kernel family, and any
+    Covers every input the planning artifacts depend on — problem
+    family, canonical spec (name + params), grid shape, kernel family
+    (``None`` for families without the TT/TS distinction), and any
     cost overrides — so two plans share a key iff they are
-    interchangeable.
+    interchangeable.  Including ``problem`` keeps same-shaped plans of
+    different families (a ``15 x 6`` QR vs LU grid, say) from ever
+    aliasing in the LRU or the disk tier.
     """
     payload = {
         "v": _FORMAT_VERSION,
+        "problem": str(problem),
         "scheme": spec,
         "p": int(p),
         "q": int(q),
-        "family": str(KernelFamily(family)),
+        "family": None if family is None else str(KernelFamily(family)),
         "costs": None if not costs else
                  {k.value: float(v) for k, v in sorted(
                      costs.items(), key=lambda kv: kv[0].value)},
@@ -87,13 +95,19 @@ class Plan:
     ----------
     p, q : int
         Tile-grid dimensions.
-    family : KernelFamily
-        Kernel family the DAG was built for.
+    family : KernelFamily or None
+        Kernel family the DAG was built for; ``None`` for problem
+        families without the TT/TS distinction (Cholesky, LU).
     scheme : str or None
-        Canonical scheme spec (``"plasma-tree(bs=5)"``); ``None`` for
-        plans built from a custom elimination list.
-    elims : EliminationList
+        Canonical spec that keyed the plan — a scheme spec
+        (``"plasma-tree(bs=5)"``) for QR, a problem spec
+        (``"cholesky(t=8)"``) otherwise; ``None`` for plans built from
+        a custom elimination list.
+    elims : EliminationList or None
+        The elimination list (QR only; ``None`` for other families).
     graph : TaskGraph
+    problem : str
+        Problem family name (``"qr"``, ``"cholesky"``, ``"lu"``).
     costs : dict or None
         Per-kernel weight overrides baked into the graph (``None`` =
         Table 1).
@@ -105,10 +119,11 @@ class Plan:
 
     p: int
     q: int
-    family: KernelFamily
+    family: Optional[KernelFamily]
     scheme: Optional[str]
-    elims: EliminationList
+    elims: Optional[EliminationList]
     graph: TaskGraph
+    problem: str = "qr"
     costs: Optional[dict[Kernel, float]] = None
     key: Optional[str] = None
     built_seconds: float = 0.0
@@ -215,7 +230,7 @@ class Plan:
                         dtype=np.float64, count=len(graph.tasks)))
         return Plan(p=self.p, q=self.q, family=self.family,
                     scheme=self.scheme, elims=self.elims, graph=graph,
-                    costs=merged, key=None)
+                    problem=self.problem, costs=merged, key=None)
 
 
 # ----------------------------------------------------------------------
@@ -243,23 +258,103 @@ def _build(spec_or_elims, p: int, q: int, family: KernelFamily,
                 graph=graph, costs=costs, key=key, built_seconds=built)
 
 
-def plan(
-    p: int,
-    q: int,
-    scheme="greedy",
-    family: KernelFamily | str = KernelFamily.TT,
+def _build_problem(problem: Problem,
+                   costs: Optional[dict[Kernel, float]],
+                   key: Optional[str]) -> Plan:
+    t0 = time.perf_counter()
+    elims, graph = problem.build()
+    if costs:
+        merged = dict(KERNEL_WEIGHTS)
+        merged.update(costs)
+        graph = graph.rescale(merged)
+    graph.index()  # part of the plan: simulations reuse it for free
+    built = time.perf_counter() - t0
+    _cache.PLAN_METRICS.histogram("plan.build.seconds").observe(built)
+    return Plan(p=problem.p, q=problem.q, family=problem.family,
+                scheme=problem.spec(), elims=elims, graph=graph,
+                problem=problem.name, costs=costs, key=key,
+                built_seconds=built)
+
+
+def plan_problem(
+    problem,
     *,
     costs=None,
     cache: bool = True,
     disk_cache=None,
     **params,
 ) -> Plan:
+    """Build (or fetch from cache) the :class:`Plan` of any problem.
+
+    The problem-generic planning entry point: accepts a
+    :class:`~repro.problems.Problem`, a problem spec string
+    (``"cholesky(t=8)"``, ``"lu(p=8, q=8)"``, ``"qr(p=8, q=4,
+    scheme='greedy')"``), or a family name plus keyword parameters.
+    QR problems route through the legacy QR cache key, so
+    ``plan_problem("qr", p=8, q=4)`` and ``plan(8, 4)`` share one
+    cache entry.
+
+    ``costs`` / ``cache`` / ``disk_cache`` behave exactly as in
+    :func:`plan`.
+    """
+    problem = get_problem(problem, **params)
+
+    if isinstance(problem, QRProblem):
+        # one canonical key per QR shape, shared with the legacy path
+        return plan(problem.p, problem.q, problem.scheme,
+                    problem.kernel_family, costs=costs, cache=cache,
+                    disk_cache=disk_cache)
+
+    costs = _normalize_costs(costs)
+    spec = problem.spec()
+    key = plan_signature(spec, problem.p, problem.q, problem.family,
+                         costs, problem=problem.name)
+
+    if not cache:
+        return _build_problem(problem, costs, key=key)
+
+    cached = _cache.memory_get(key)
+    if cached is not None:
+        return cached
+
+    cache_dir = _cache.plan_cache_dir(disk_cache)
+    if cache_dir is not None:
+        loaded = _load_from_dir(cache_dir, key)
+        if loaded is not None:
+            _cache.memory_put(key, loaded)
+            return loaded
+
+    built = _build_problem(problem, costs, key=key)
+    _cache.memory_put(key, built)
+    if cache_dir is not None:
+        _save_to_dir(cache_dir, built)
+    return built
+
+
+def plan(*args, costs=None, cache: bool = True, disk_cache=None,
+         **kwargs) -> Plan:
     """Build (or fetch from cache) the :class:`Plan` for one shape.
+
+    Two calling conventions:
+
+    * **problem-centric** — first argument is a problem spec string or
+      :class:`~repro.problems.Problem`::
+
+          plan("cholesky(t=8)")
+          plan("lu", p=8, q=8)
+          plan("qr(p=8, q=4, scheme='greedy')")
+
+    * **QR-shaped (legacy)** — first two arguments are the grid::
+
+          plan(8, 4, "greedy")
+
+      which is exactly ``plan("qr", p=8, q=4, scheme="greedy")``; the
+      two forms share one cache entry per shape.
 
     Parameters
     ----------
     p, q : int
-        Tile-grid dimensions, ``p >= q >= 1``.
+        Tile-grid dimensions, ``p >= q >= 1`` (QR-shaped form).
     scheme : str, EliminationList, or Plan
         Scheme name or spec (``"greedy"``, ``"plasma(bs=5)"``), a
         prebuilt elimination list (never cached), or an existing Plan
@@ -277,15 +372,48 @@ def plan(
         location), ``False`` (disable).  ``None`` defers to the
         ``REPRO_PLAN_CACHE`` environment variable.
     **params
-        Scheme parameters (``bs=...``, ``k=...``); merged into the
-        spec, overriding identically named inline parameters.
+        Scheme parameters (``bs=...``, ``k=...``) in the QR-shaped
+        form; problem parameters (``t=...``, ``p=...``) in the
+        problem-centric form.  They override identically named inline
+        spec parameters.
 
     Returns
     -------
     Plan
         Shared with other callers when cached — treat as immutable.
     """
-    family = KernelFamily(family)
+    if args and isinstance(args[0], (str, Problem)):
+        if len(args) > 1:
+            raise TypeError(
+                "plan(problem_spec) takes no positional grid; pass "
+                "parameters as keywords, e.g. plan('lu', p=8, q=8)")
+        return plan_problem(args[0], costs=costs, cache=cache,
+                            disk_cache=disk_cache, **kwargs)
+
+    # QR-shaped (legacy) form: bind p, q, scheme, family by hand so the
+    # problem form above may reuse the names p/q as *problem* keywords.
+    names = ("p", "q", "scheme", "family")
+    if len(args) > len(names):
+        raise TypeError(
+            f"plan() takes at most {len(names)} positional arguments "
+            f"({len(args)} given)")
+    bound: dict = {"scheme": "greedy", "family": KernelFamily.TT}
+    for name, value in zip(names, args):
+        bound[name] = value
+    for name in names:
+        if name in kwargs:
+            if name in dict(zip(names, args)):
+                raise TypeError(
+                    f"plan() got multiple values for argument {name!r}")
+            bound[name] = kwargs.pop(name)
+    if "p" not in bound or "q" not in bound:
+        raise TypeError(
+            "plan() needs a problem spec (plan('cholesky(t=8)')) or a "
+            "grid (plan(p, q, scheme))")
+    p, q, scheme = bound["p"], bound["q"], bound["scheme"]
+    params = kwargs
+
+    family = KernelFamily(bound["family"])
     costs = _normalize_costs(costs)
 
     if isinstance(scheme, Plan):
@@ -347,19 +475,20 @@ def save_plan(p: Plan, path) -> None:
     """
     meta = {
         "version": _FORMAT_VERSION,
+        "problem": p.problem,
         "p": p.p,
         "q": p.q,
-        "family": str(p.family),
+        "family": None if p.family is None else str(p.family),
         "scheme": p.scheme,
-        "elims_name": p.elims.name,
+        "elims_name": None if p.elims is None else p.elims.name,
         "graph_name": p.graph.name,
         "key": p.key,
         "costs": None if not p.costs else
                  {k.value: float(v) for k, v in p.costs.items()},
     }
     arrays = {f"g_{name}": arr for name, arr in p.graph.to_arrays().items()}
-    arrays["elims"] = np.array([list(e) for e in p.elims],
-                               dtype=np.int32).reshape(-1, 3)
+    elim_rows = [] if p.elims is None else [list(e) for e in p.elims]
+    arrays["elims"] = np.array(elim_rows, dtype=np.int32).reshape(-1, 3)
     arrays["meta"] = pack_meta(meta)
     np.savez_compressed(path, **arrays)
 
@@ -371,18 +500,24 @@ def load_plan(path) -> Plan:
         if meta.get("version") != _FORMAT_VERSION:
             raise ValueError(
                 f"unsupported plan format {meta.get('version')!r}")
-        elims = EliminationList(
-            meta["p"], meta["q"],
-            [Elimination(*row) for row in data["elims"].tolist()],
-            name=meta["elims_name"])
+        if meta.get("elims_name") is None:
+            elims = None
+        else:
+            elims = EliminationList(
+                meta["p"], meta["q"],
+                [Elimination(*row) for row in data["elims"].tolist()],
+                name=meta["elims_name"])
         graph = TaskGraph.from_arrays(
             meta["p"], meta["q"], meta["graph_name"],
             {name[2:]: data[name] for name in data.files
              if name.startswith("g_")})
+    graph.problem = meta.get("problem", "qr")
     costs = meta.get("costs")
+    family = meta.get("family")
     return Plan(p=meta["p"], q=meta["q"],
-                family=KernelFamily(meta["family"]),
+                family=None if family is None else KernelFamily(family),
                 scheme=meta.get("scheme"), elims=elims, graph=graph,
+                problem=meta.get("problem", "qr"),
                 costs=None if not costs else
                       {Kernel(k): v for k, v in costs.items()},
                 key=meta.get("key"))

@@ -1,0 +1,133 @@
+"""Problem registry: resolve problem specs to DAG builders.
+
+The problem-centric face of the planner (ROADMAP: "generalize to
+arbitrary tile DAGs").  A *problem spec* bundles a family name and its
+parameters in one string, parsed by the same grammar as scheme specs:
+
+>>> from repro.problems import get_problem
+>>> get_problem("cholesky(t=8)").spec()
+'cholesky(t=8)'
+>>> get_problem("qr", p=8, q=4, scheme="greedy").label()
+'qr[TT]'
+>>> get_problem("lu(p=8, q=8)").kernels[0].value
+'GETRF'
+
+Like the scheme registry, parsing lives in exactly one place:
+:func:`parse_problem_spec` reuses the scheme-spec grammar (names are
+case-insensitive, underscores normalize to hyphens, values parse as
+int/float/quoted string, and quoted parameters may contain nested
+specs such as ``scheme='plasma(bs=5)'``).
+"""
+
+from __future__ import annotations
+
+from ..schemes.registry import parse_scheme_spec
+from .base import Problem
+from .cholesky import CholeskyProblem, build_cholesky_dag, cholesky_critical_path
+from .lu import LUProblem, build_lu_dag
+from .qr import QRProblem
+
+__all__ = [
+    "Problem",
+    "QRProblem",
+    "CholeskyProblem",
+    "LUProblem",
+    "PROBLEMS",
+    "PROBLEM_ALIASES",
+    "get_problem",
+    "available_problems",
+    "parse_problem_spec",
+    "canonical_problem_spec",
+    "build_cholesky_dag",
+    "build_lu_dag",
+    "cholesky_critical_path",
+]
+
+
+PROBLEMS: dict[str, type[Problem]] = {
+    "qr": QRProblem,
+    "cholesky": CholeskyProblem,
+    "lu": LUProblem,
+}
+
+#: shorthand names accepted by :func:`parse_problem_spec`
+PROBLEM_ALIASES: dict[str, str] = {
+    "chol": "cholesky",
+    "potrf": "cholesky",
+    "getrf": "lu",
+    "geqrf": "qr",
+}
+
+
+def parse_problem_spec(spec: str) -> tuple[str, dict]:
+    """Parse a problem spec into ``(canonical_name, params)``.
+
+    >>> parse_problem_spec("cholesky(t=8)")
+    ('cholesky', {'t': 8})
+    >>> parse_problem_spec("LU(p=8, q=4)")
+    ('lu', {'p': 8, 'q': 4})
+
+    The grammar is :func:`repro.schemes.registry.parse_scheme_spec`'s;
+    only the alias table differs.  The name is *not* checked against
+    the registry — :func:`get_problem` does that.
+    """
+    name, params = parse_scheme_spec(spec)
+    return PROBLEM_ALIASES.get(name, name), params
+
+
+def canonical_problem_spec(name: str, params: dict | None = None) -> str:
+    """Render ``(name, params)`` back into a normalized spec string.
+
+    Round-trips with :func:`parse_problem_spec` (parameters sorted by
+    key), making it a stable cache-key component — the problem-generic
+    analogue of :func:`~repro.schemes.registry.canonical_scheme_spec`.
+    """
+    base, spec_params = parse_problem_spec(name)
+    merged = {**spec_params, **(params or {})}
+    if not merged:
+        return base
+    body = ",".join(f"{k}={merged[k]!r}" if isinstance(merged[k], str)
+                    else f"{k}={merged[k]}" for k in sorted(merged))
+    return f"{base}({body})"
+
+
+def available_problems() -> list[str]:
+    """Canonical family names accepted by :func:`get_problem`, sorted."""
+    return sorted(PROBLEMS)
+
+
+def get_problem(spec, **params) -> Problem:
+    """Resolve a problem spec (or an existing Problem) to a Problem.
+
+    Parameters
+    ----------
+    spec : str or Problem
+        A family name or full spec (``"cholesky(t=8)"``); an existing
+        :class:`Problem` is returned as-is (``params`` must then be
+        empty).
+    **params
+        Family parameters; they override identically named parameters
+        given inline in the spec.
+    """
+    if isinstance(spec, Problem):
+        if params:
+            raise TypeError(
+                "cannot override parameters of an existing Problem; "
+                f"got {sorted(params)}")
+        return spec
+    if not isinstance(spec, str):
+        raise TypeError(
+            f"problem spec must be a string or Problem, got "
+            f"{type(spec).__name__}")
+    base, spec_params = parse_problem_spec(spec)
+    merged = {**spec_params, **params}
+    try:
+        cls = PROBLEMS[base]
+    except KeyError:
+        raise ValueError(
+            f"unknown problem {base!r}; available: {available_problems()}"
+        ) from None
+    try:
+        return cls(**merged)
+    except TypeError as exc:
+        raise TypeError(f"bad parameters for problem {base!r}: {exc}") from None

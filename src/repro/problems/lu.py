@@ -1,0 +1,138 @@
+"""Tiled LU with incremental pivoting (PLASMA-style), as a Problem.
+
+Four kernels in the ``nb^3/3`` time unit of the QR Table 1:
+
+=========  ==============================================  ======
+Kernel     Operation                                       Weight
+=========  ==============================================  ======
+``GETRF``  partial-pivoting LU of diagonal tile               2
+``GESSM``  apply ``L``/pivots of GETRF to row tile            3
+``TSTRF``  LU of the stacked ``[U[k][k]; A[i][k]]`` pair      3
+``SSSSM``  apply TSTRF transforms to ``[A[k][j]; A[i][j]]``   6
+=========  ==============================================  ======
+
+Total weight over a square ``t x t`` grid is exactly ``2 t^3`` — the
+classical ``2n^3/3`` flops.  The dependency model mirrors the QR
+builder's V=NODEP relaxation (Kurzak et al.): GETRF's ``L`` factor and
+each TSTRF's transform block are *write-once* resources separate from
+the tile content, so the GESSM row updates proceed concurrently with
+the sequential TSTRF chain down the panel — exactly PLASMA's
+``dgetrf_incpiv`` DAG.
+
+Rectangular grids (``p >= q``) are supported; the panel loop runs over
+``min(p, q)`` diagonal tiles like the QR builder's.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..dag.build import DataflowTracker
+from ..dag.tasks import TaskGraph
+from ..kernels.costs import LU_KERNELS, Kernel
+from ..schemes.elimination import EliminationList
+from .base import Problem
+
+__all__ = ["LUProblem", "build_lu_dag"]
+
+
+def build_lu_dag(p: int, q: int) -> TaskGraph:
+    """Build the incremental-pivoting tiled-LU DAG for ``p x q`` tiles.
+
+    Tasks are emitted in right-looking program order: GETRF on the
+    diagonal, the GESSM row broadcast, then for each sub-panel row the
+    TSTRF elimination and its SSSSM trailing updates.
+    """
+    if not (p >= q >= 1):
+        raise ValueError(f"need p >= q >= 1, got p={p}, q={q}")
+    g = TaskGraph(p, q, name=f"lu(p={p},q={q})", problem="lu")
+    flow = DataflowTracker()
+
+    # Resources: R(i, j) is the tile content; L(k) the write-once
+    # L/pivot output of GETRF(k); F(i, k) the write-once transform
+    # block of TSTRF(i, k).  Splitting L and F from R is what lets
+    # GESSM run concurrently with the TSTRF chain that rewrites
+    # R(k, k) — the LU analogue of QR's V=NODEP relaxation.
+    nr = p * q
+
+    def _r(i, j):
+        return i * q + j
+
+    def _l(k):
+        return nr + k
+
+    def _f(i, k):
+        return nr + q + i * q + k
+
+    def emit(kernel, row, piv, col, j, reads, writes):
+        deps: list[int] = []
+        for res in reads:
+            deps.extend(flow.read(res))
+        for res in writes:
+            deps.extend(flow.write(res))
+        task = g.add(kernel, row, piv, col, j, deps)
+        for res in reads:
+            flow.note_read(res, task.tid)
+        for res in writes:
+            flow.note_write(res, task.tid)
+        return task
+
+    for k in range(min(p, q)):
+        emit(Kernel.GETRF, k, None, k, None,
+             reads=(), writes=(_r(k, k), _l(k)))
+        for j in range(k + 1, q):
+            emit(Kernel.GESSM, k, None, k, j,
+                 reads=(_l(k),), writes=(_r(k, j),))
+        for i in range(k + 1, p):
+            emit(Kernel.TSTRF, i, k, k, None,
+                 reads=(), writes=(_r(k, k), _r(i, k), _f(i, k)))
+            for j in range(k + 1, q):
+                emit(Kernel.SSSSM, i, k, k, j,
+                     reads=(_f(i, k),), writes=(_r(k, j), _r(i, j)))
+    return g
+
+
+@dataclass(frozen=True, init=False)
+class LUProblem(Problem):
+    """``lu(p, q, pivot="incremental")`` — tiled LU on ``p x q`` tiles.
+
+    Only incremental (tile-local) pivoting is implemented; the
+    ``pivot`` parameter names the strategy so future variants (e.g.
+    partial-pivoting panels) extend the spec rather than the grammar.
+    """
+
+    name = "lu"
+    kernels = LU_KERNELS
+
+    grid_p: int
+    grid_q: int
+    pivot: str = "incremental"
+
+    def __init__(self, p: int, q: Optional[int] = None,
+                 pivot: str = "incremental"):
+        p = int(p)
+        q = p if q is None else int(q)
+        if not (p >= q >= 1):
+            raise ValueError(f"lu needs p >= q >= 1, got p={p}, q={q}")
+        if pivot != "incremental":
+            raise ValueError(
+                f"unknown pivot strategy {pivot!r}; only 'incremental' "
+                "is implemented")
+        object.__setattr__(self, "grid_p", p)
+        object.__setattr__(self, "grid_q", q)
+        object.__setattr__(self, "pivot", pivot)
+
+    @property
+    def p(self) -> int:
+        return self.grid_p
+
+    @property
+    def q(self) -> int:
+        return self.grid_q
+
+    def params(self) -> dict:
+        return {"p": self.grid_p, "q": self.grid_q, "pivot": self.pivot}
+
+    def build(self) -> tuple[Optional[EliminationList], TaskGraph]:
+        return None, build_lu_dag(self.grid_p, self.grid_q)

@@ -2,7 +2,9 @@
 
 from .batched import execute_batched, level_kernel_groups
 from .executor import ExecutionContext, execute_graph
+from .options import ExecOptions
 from .procpool import ProcessPool, execute_process
 
-__all__ = ["ExecutionContext", "execute_graph", "execute_batched",
-           "execute_process", "ProcessPool", "level_kernel_groups"]
+__all__ = ["ExecutionContext", "ExecOptions", "execute_graph",
+           "execute_batched", "execute_process", "ProcessPool",
+           "level_kernel_groups"]

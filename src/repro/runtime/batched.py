@@ -348,7 +348,8 @@ def execute_batched(
     pad_t: dict[tuple[int, int, str], list[np.ndarray]] = {}
     done_count = 0
     if bus is not None:
-        bus.publish("run_start", total=ntasks, count=1)
+        bus.publish("run_start", total=ntasks, count=1,
+                    problem=getattr(g, "problem", "") or "")
     cur_level = -1
     for grp in groups:
         if bus is not None:

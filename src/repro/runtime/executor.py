@@ -48,8 +48,9 @@ from ..kernels.costs import Kernel
 from ..obs.metrics import MetricsRegistry
 from ..obs.tracer import Tracer
 from ..tiles.layout import TiledMatrix
+from .options import ExecOptions
 
-__all__ = ["ExecutionContext", "execute_graph"]
+__all__ = ["ExecutionContext", "ExecOptions", "execute_graph"]
 
 logger = logging.getLogger(__name__)
 
@@ -202,6 +203,7 @@ def execute_graph(
     metrics: MetricsRegistry | None = None,
     collect_metrics: bool = False,
     bus=None,
+    options: ExecOptions | None = None,
 ) -> ExecutionContext:
     """Run every kernel of ``graph`` against ``tiled``.
 
@@ -282,14 +284,23 @@ def execute_graph(
         each retirement.  ``None`` or a disabled bus
         (:data:`~repro.obs.stream.NULL_BUS`) skips all publishing on
         the hot path.
+    options : ExecOptions or None
+        Bundle of the execution knobs (``mode``, ``workers``,
+        ``numeric``, ``start_method``, ``pool``) as one object — the
+        preferred spelling for new call sites.  The individual
+        keywords remain accepted; a keyword that *conflicts* with a
+        non-default value in the bundle raises rather than silently
+        winning (see :meth:`ExecOptions.resolve`).
 
     Returns
     -------
     ExecutionContext
     """
-    if mode not in ("task", "batched", "process"):
-        raise ValueError(
-            f"mode must be 'task', 'batched' or 'process', got {mode!r}")
+    opts = ExecOptions.resolve(options, mode=mode, workers=workers,
+                               numeric=numeric, start_method=start_method,
+                               pool=pool)
+    mode, workers, numeric = opts.mode, opts.workers, opts.numeric
+    start_method, pool = opts.start_method, opts.pool
     if mode == "process":
         from .procpool import execute_process
         return execute_process(graph, tiled, ib=ib, numeric=numeric,
@@ -328,10 +339,12 @@ def execute_graph(
         metrics.gauge("scheduler.workers", keep_samples=False).set(
             1 if workers is None else max(1, workers))
 
+    problem = getattr(graph, "problem", "") or ""
+
     if workers is None or workers <= 1:
         total = len(graph.tasks)
         if bus is not None:
-            bus.publish("run_start", total=total, count=1)
+            bus.publish("run_start", total=total, count=1, problem=problem)
         for i, t in enumerate(graph.tasks, start=1):
             if bus is not None:
                 bus.publish("task_start", tid=t.tid,
@@ -484,7 +497,7 @@ def execute_graph(
                 # loop back for the next ready task
 
         if bus is not None:
-            bus.publish("run_start", total=n, count=W)
+            bus.publish("run_start", total=n, count=W, problem=problem)
         with lock:
             for t in graph.tasks:
                 if indeg[t.tid] == 0:

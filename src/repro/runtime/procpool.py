@@ -474,7 +474,8 @@ class ProcessPool:
                 inq.put(("run", pool.handle(), tstore.handle(), cfg))
             self._await("ready", self.workers)
             if bus is not None:
-                bus.publish("run_start", total=n, count=self.workers)
+                bus.publish("run_start", total=n, count=self.workers,
+                            problem=getattr(g, "problem", "") or "")
             err: BaseException | None = None
             try:
                 self._schedule(g, idx, prio, codes, rows, pivs, cols,

@@ -50,7 +50,6 @@ def _grasap_list(p: int, q: int, k: int = 1) -> EliminationList:
 
 SCHEMES: dict[str, Callable[..., EliminationList]] = {
     "flat-tree": flat_tree,
-    "sameh-kuck": flat_tree,  # the paper renames Sameh-Kuck to FlatTree
     "binary-tree": binary_tree,
     "fibonacci": fibonacci,
     "greedy": greedy,
@@ -60,15 +59,52 @@ SCHEMES: dict[str, Callable[..., EliminationList]] = {
     "grasap": _grasap_list,
 }
 
-#: shorthand names accepted by :func:`parse_scheme_spec`
+#: shorthand names accepted by :func:`parse_scheme_spec`.  Aliases
+#: normalize *before* the cache key is computed, so an alias and its
+#: target always share one plan signature ("sameh-kuck" used to live
+#: in SCHEMES directly and hashed separately from "flat-tree").
 SCHEME_ALIASES: dict[str, str] = {
     "plasma": "plasma-tree",
     "hadri": "hadri-tree",
     "binary": "binary-tree",
     "flat": "flat-tree",
+    "sameh-kuck": "flat-tree",  # the paper renames Sameh-Kuck to FlatTree
 }
 
 _SPEC_RE = re.compile(r"\s*([A-Za-z0-9_\-]+)\s*(?:\((.*)\)\s*)?")
+
+
+def _split_params(body: str, spec: str) -> list[str]:
+    """Split a spec parameter body on *top-level* commas.
+
+    Commas inside quotes or parentheses do not split, so nested specs
+    parse as single values: ``"p=8,scheme='plasma(bs=5)'"`` → two
+    items.  Unbalanced quoting/nesting is a malformed spec.
+    """
+    items: list[str] = []
+    depth, quote, start = 0, "", 0
+    for pos, ch in enumerate(body):
+        if quote:
+            if ch == quote:
+                quote = ""
+        elif ch in "'\"":
+            quote = ch
+        elif ch == "(":
+            depth += 1
+        elif ch == ")":
+            depth -= 1
+            if depth < 0:
+                raise ValueError(
+                    f"unbalanced parentheses in scheme spec {spec!r}")
+        elif ch == "," and depth == 0:
+            items.append(body[start:pos])
+            start = pos + 1
+    if quote or depth:
+        raise ValueError(
+            f"unterminated {'quote' if quote else 'parenthesis'} in "
+            f"scheme spec {spec!r}")
+    items.append(body[start:])
+    return items
 
 
 def _parse_value(text: str):
@@ -113,7 +149,7 @@ def parse_scheme_spec(spec: str) -> tuple[str, dict]:
     params: dict = {}
     body = m.group(2)
     if body and body.strip():
-        for item in body.split(","):
+        for item in _split_params(body, spec):
             if "=" not in item:
                 raise ValueError(
                     f"malformed parameter {item.strip()!r} in scheme spec "

@@ -9,7 +9,7 @@ from repro.bench.kernel_timing import measure_gamma_seq
 from repro.bench.report import format_step_matrix
 from repro.analysis import PerformanceModel
 from repro.core import critical_path
-from repro.kernels.costs import Kernel
+from repro.kernels.costs import QR_KERNELS
 
 
 class TestAutotune:
@@ -46,7 +46,9 @@ class TestKernelTiming:
     @pytest.mark.parametrize("backend", ["reference", "lapack"])
     def test_rates_positive(self, backend):
         r = time_kernels(24, 8, backend=backend, strategy="warm", min_time=0.01)
-        assert set(r.gflops) == set(Kernel)
+        # the numeric timing harness covers the (QR) kernels that have
+        # numeric implementations — not the weight-only Cholesky/LU ones
+        assert set(r.gflops) == set(QR_KERNELS)
         assert all(v > 0 for v in r.gflops.values())
         assert all(v > 0 for v in r.seconds.values())
 

@@ -4,15 +4,21 @@ import pytest
 
 from repro.dag import build_dag
 from repro.ext.rect_tiles import RectTileModel, rect_weights
-from repro.kernels.costs import KERNEL_WEIGHTS, Kernel
+from repro.kernels.costs import KERNEL_WEIGHTS, QR_KERNELS, Kernel
 from repro.schemes import greedy
 from repro.sim import simulate_unbounded
 
 
 class TestWeights:
     def test_rho_one_is_table1(self):
+        # the model stretches QR tile geometry; the weight-only
+        # Cholesky/LU kernels are outside its scope
         w = rect_weights(1.0)
-        assert w == {k: float(v) for k, v in KERNEL_WEIGHTS.items()}
+        assert w == {k: float(KERNEL_WEIGHTS[k]) for k in QR_KERNELS}
+
+    def test_non_qr_kernel_rejected(self):
+        with pytest.raises(ValueError, match="QR kernels only"):
+            RectTileModel(2.0).weight(Kernel.POTRF)
 
     def test_tt_kernels_unaffected(self):
         for rho in (1.0, 2.0, 4.0):

@@ -1,0 +1,84 @@
+"""Tests for the ALAP/ASAP area lower bound (Quach & Langou, 1510.05107)."""
+
+import pytest
+
+from repro.obs.analyze import alap_lower_bound, analyze_sim, render_report
+from repro.planner import plan
+from repro.problems import build_cholesky_dag, build_lu_dag
+from repro.sim.simulate import simulate_unbounded
+
+GRIDS = [("greedy", 8, 4), ("flat-tree", 8, 4), ("fibonacci", 15, 6),
+         ("greedy", 30, 10)]
+PROCS = [1, 2, 4, 8, 16]
+
+
+class TestValidity:
+    @pytest.mark.parametrize("scheme,p,q", GRIDS)
+    @pytest.mark.parametrize("P", PROCS)
+    def test_never_exceeds_achievable_makespan(self, scheme, p, q, P):
+        pl = plan(p, q, scheme)
+        assert alap_lower_bound(pl.graph, P) <= pl.schedule(P).makespan + 1e-9
+
+    @pytest.mark.parametrize("scheme,p,q", GRIDS)
+    @pytest.mark.parametrize("P", PROCS)
+    def test_never_looser_than_work_bound(self, scheme, p, q, P):
+        # the area-bound family always contains x = 0, i.e. work / P;
+        # (the critical path is a *separate* bound: at large P the
+        # area argument legitimately drops below it)
+        pl = plan(p, q, scheme)
+        work = sum(t.weight for t in pl.graph.tasks)
+        assert alap_lower_bound(pl.graph, P) >= work / P - 1e-9
+
+    @pytest.mark.parametrize("builder,arg", [
+        (build_cholesky_dag, 8), (lambda t: build_lu_dag(t, t), 8)])
+    @pytest.mark.parametrize("P", [2, 4, 8])
+    def test_other_families(self, builder, arg, P):
+        g = builder(arg)
+        work = sum(t.weight for t in g.tasks)
+        bound = alap_lower_bound(g, P)
+        assert work / P - 1e-9 <= bound
+        # a greedy bounded schedule must respect it
+        from repro.sim.simulate import simulate_bounded
+        assert bound <= simulate_bounded(g, P).makespan + 1e-9
+
+    def test_p1_is_total_work(self):
+        g = build_cholesky_dag(6)
+        assert alap_lower_bound(g, 1) == pytest.approx(
+            sum(t.weight for t in g.tasks))
+
+    def test_rejects_bad_processors(self):
+        with pytest.raises(ValueError):
+            alap_lower_bound(build_cholesky_dag(3), 0)
+
+
+class TestTightness:
+    def test_strictly_tighter_somewhere(self):
+        """The whole point: at >= 1 grid point the ALAP bound must beat
+        max(cp, work/P), otherwise it adds nothing."""
+        pl = plan(30, 10, "greedy")
+        work = sum(t.weight for t in pl.graph.tasks)
+        cp = simulate_unbounded(pl.graph).makespan
+        P = 16
+        classical = max(cp, work / P)
+        assert alap_lower_bound(pl.graph, P) > classical + 1.0
+
+    def test_greedy_8x4_p4_certifies_optimality(self):
+        """ALAP equals the achieved makespan: a 100%-efficiency proof."""
+        pl = plan(8, 4, "greedy")
+        assert alap_lower_bound(pl.graph, 4) == pl.schedule(4).makespan == 166.0
+
+    def test_cholesky_t8_p4_golden(self):
+        assert alap_lower_bound(build_cholesky_dag(8), 4) == 133.75
+
+
+class TestReporting:
+    def test_bounds_dict_and_render(self):
+        rep = analyze_sim(plan(8, 4, "greedy").schedule(4))
+        assert rep.bounds["alap"] == 166.0
+        assert rep.bounds["lower"] >= rep.bounds["alap"] - 1e-9
+        assert rep.bounds["efficiency"] == pytest.approx(1.0)
+        assert "ALAP" in render_report(rep)
+
+    def test_unbounded_report_has_no_alap(self):
+        rep = analyze_sim(plan(8, 4, "greedy").schedule(None))
+        assert "alap" not in rep.bounds

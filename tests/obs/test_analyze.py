@@ -125,7 +125,10 @@ class TestAcceptanceGrid:
 
     def test_bounds_and_efficiency(self, report):
         b = report.bounds
-        assert b["lower"] == max(b["critical_path"], b["work"])
+        assert b["lower"] == max(b["critical_path"], b["work"], b["alap"])
+        # at this grid point the ALAP area bound strictly beats the
+        # classical max(cp, work/P) pair
+        assert b["alap"] > max(b["critical_path"], b["work"])
         assert 0.0 < b["efficiency"] <= 1.0
         assert b["efficiency"] == pytest.approx(b["lower"] / report.makespan)
         assert b["paper_cp_lower_bound"] == 22 * 10 - 30

@@ -1,0 +1,74 @@
+"""Problem-family stamping through the observability stack (S18).
+
+``run_start`` events, chrome traces, and the reports built from either
+must all carry the problem family so ``repro analyze --from-trace``
+can label its output.
+"""
+
+import json
+
+import numpy as np
+
+from repro.api import factor, plan
+from repro.obs import Event, EventBus
+from repro.obs.analyze import analyze_chrome_trace, analyze_events, analyze_sim
+from repro.obs.chrome_trace import chrome_trace, to_chrome_json
+
+
+class TestEventField:
+    def test_event_has_problem_default(self):
+        assert Event("frontier").problem == ""
+
+    def test_publish_carries_problem(self):
+        bus = EventBus()
+        bus.publish("run_start", count=4, total=10.0, problem="cholesky")
+        (ev,), _ = bus.events_since(0)
+        assert ev.problem == "cholesky"
+
+    def test_to_dict_elides_empty_problem(self):
+        bus = EventBus()
+        bus.publish("task_start", tid=1, kernel="geqrt")
+        bus.publish("run_start", count=1, total=1.0, problem="lu")
+        (plain, stamped), _ = bus.events_since(0)
+        assert "problem" not in plain.to_dict()
+        assert stamped.to_dict()["problem"] == "lu"
+        assert Event.from_dict(stamped.to_dict()).problem == "lu"
+
+
+class TestExecutorStamp:
+    def test_factor_run_start_is_qr(self):
+        bus = EventBus()
+        a = np.random.default_rng(3).standard_normal((32, 16))
+        factor(a, nb=8, ib=4, bus=bus)
+        events, _ = bus.events_since(0)
+        runs = [e for e in events if e.kind == "run_start"]
+        assert runs and all(e.problem == "qr" for e in runs)
+
+    def test_analyze_events_labels_report(self):
+        bus = EventBus()
+        a = np.random.default_rng(3).standard_normal((32, 16))
+        factor(a, nb=8, ib=4, workers=2, bus=bus)
+        events, _ = bus.events_since(0)
+        rep = analyze_events(events)
+        assert rep.problem == "qr"
+
+
+class TestChromeTraceStamp:
+    def test_sim_trace_carries_problem(self):
+        sim = plan("cholesky(t=6)").schedule(4)
+        doc = json.loads(to_chrome_json(sim=sim))
+        assert doc["otherData"]["problem"] == "cholesky"
+
+    def test_explicit_problem_wins(self):
+        sim = plan("cholesky(t=6)").schedule(4)
+        trace = chrome_trace(sim=sim, problem="custom")
+        assert trace["otherData"]["problem"] == "custom"
+
+    def test_analyze_roundtrip(self):
+        sim = plan("lu(p=5,q=5)").schedule(4)
+        reports = analyze_chrome_trace(json.loads(to_chrome_json(sim=sim)))
+        assert reports and all(r.problem == "lu" for r in reports)
+
+    def test_analyze_sim_sets_problem(self):
+        assert analyze_sim(plan("lu(p=5,q=5)").schedule(2)).problem == "lu"
+        assert analyze_sim(plan(4, 2, "greedy").schedule(2)).problem == "qr"

@@ -1,0 +1,89 @@
+"""Cross-family plan-cache isolation (S18 satellite).
+
+Two problem families at the same grid shape must never share a cache
+entry — the signature covers the family, and neither the LRU nor the
+disk tier may cross-hit.
+"""
+
+import pytest
+
+from repro.kernels.costs import KernelFamily
+from repro.planner import (
+    clear_plan_cache,
+    plan,
+    plan_cache_stats,
+    plan_signature,
+)
+
+
+@pytest.fixture(autouse=True)
+def _fresh_cache(monkeypatch):
+    monkeypatch.delenv("REPRO_PLAN_CACHE", raising=False)
+    clear_plan_cache()
+    yield
+    clear_plan_cache()
+
+
+def _stat(name):
+    """Read one cumulative counter from the plan-cache metrics."""
+    return plan_cache_stats().get(name, 0.0)
+
+
+class TestSignature:
+    def test_families_distinct_at_same_shape(self):
+        # identical (p, q); only the problem family differs
+        qr = plan_signature("greedy", 8, 8, KernelFamily.TT, problem="qr")
+        lu = plan_signature("lu(p=8,q=8)", 8, 8, None, problem="lu")
+        chol = plan_signature("cholesky(t=8)", 8, 8, None, problem="cholesky")
+        assert len({qr, lu, chol}) == 3
+
+    def test_same_inputs_stable(self):
+        a = plan_signature("lu(p=8,q=8)", 8, 8, None, problem="lu")
+        b = plan_signature("lu(p=8,q=8)", 8, 8, None, problem="lu")
+        assert a == b
+
+
+class TestMemoryTier:
+    def test_no_cross_family_lru_hit(self):
+        qr = plan(8, 8, "greedy")
+        lu = plan("lu(p=8,q=8)")
+        chol = plan("cholesky(t=8)")
+        keys = {qr.key, lu.key, chol.key}
+        assert len(keys) == 3
+        # each re-request returns its own object, not a neighbour's
+        assert plan(8, 8, "greedy") is qr
+        assert plan("lu(p=8,q=8)") is lu
+        assert plan("cholesky(t=8)") is chol
+        assert plan("lu(p=8,q=8)") is not qr
+
+    def test_graphs_are_family_labeled(self):
+        assert plan(8, 8, "greedy").graph.problem == "qr"
+        assert plan("lu(p=8,q=8)").graph.problem == "lu"
+
+
+class TestDiskTier:
+    def test_no_cross_family_disk_load(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_PLAN_CACHE", str(tmp_path))
+        qr = plan(8, 8, "greedy")
+        lu = plan("lu(p=8,q=8)")
+        # drop the memory tier only; disk entries survive
+        clear_plan_cache()
+        builds = _stat("builds")
+        disk_hits = _stat("disk.hits")
+        qr2 = plan(8, 8, "greedy")
+        lu2 = plan("lu(p=8,q=8)")
+        assert _stat("builds") == builds  # nothing rebuilt...
+        assert _stat("disk.hits") == disk_hits + 2  # ...both were disk hits
+        assert qr2.key == qr.key and qr2.problem == "qr"
+        assert lu2.key == lu.key and lu2.problem == "lu"
+        assert qr2.critical_path() == qr.critical_path()
+        assert lu2.critical_path() == lu.critical_path()
+        assert len(lu2.graph.tasks) == len(lu.graph.tasks)
+
+    def test_disk_entries_are_per_key(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_PLAN_CACHE", str(tmp_path))
+        plan(8, 8, "greedy")
+        plan("lu(p=8,q=8)")
+        plan("cholesky(t=8)")
+        entries = list(tmp_path.glob("*.npz"))
+        assert len(entries) == 3

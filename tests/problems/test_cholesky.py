@@ -1,0 +1,91 @@
+"""Golden tests for the tiled-Cholesky problem family.
+
+Paper-table critical paths (``9t - 10`` in the shared ``nb^3/3``
+units), total-work identity ``t^3``, kernel census, and DAG sanity —
+the Cholesky analogue of the QR Table 2/3 golden tests.
+"""
+
+import pytest
+
+from repro.kernels.costs import CHOLESKY_KERNELS, Kernel
+from repro.problems import (
+    CholeskyProblem,
+    build_cholesky_dag,
+    cholesky_critical_path,
+    get_problem,
+)
+from repro.sim.simulate import simulate_bounded, simulate_unbounded
+
+#: (t, critical path) — 1 for the single-tile grid, 9t - 10 beyond
+GOLDEN_CP = [(1, 1), (2, 8), (3, 17), (4, 26), (5, 35), (6, 44),
+             (8, 62), (10, 80), (11, 89)]
+
+
+class TestCriticalPath:
+    @pytest.mark.parametrize("t,cp", GOLDEN_CP)
+    def test_simulated_cp_matches_closed_form(self, t, cp):
+        g = build_cholesky_dag(t)
+        assert simulate_unbounded(g).makespan == cp
+        assert cholesky_critical_path(t) == cp
+
+    def test_closed_form_rejects_bad_t(self):
+        with pytest.raises(ValueError):
+            cholesky_critical_path(0)
+
+
+class TestStructure:
+    @pytest.mark.parametrize("t", [1, 2, 3, 5, 8])
+    def test_total_weight_is_t_cubed(self, t):
+        g = build_cholesky_dag(t)
+        assert sum(task.weight for task in g.tasks) == t ** 3
+
+    @pytest.mark.parametrize("t", [1, 2, 4, 6])
+    def test_kernel_census(self, t):
+        g = build_cholesky_dag(t)
+        by = {}
+        for task in g.tasks:
+            by[task.kernel] = by.get(task.kernel, 0) + 1
+        assert by[Kernel.POTRF] == t
+        assert by.get(Kernel.TRSM, 0) == t * (t - 1) // 2
+        assert by.get(Kernel.SYRK, 0) == t * (t - 1) // 2
+        assert by.get(Kernel.GEMM, 0) == t * (t - 1) * (t - 2) // 6
+        assert set(by) <= set(CHOLESKY_KERNELS)
+
+    def test_emission_is_topological(self):
+        g = build_cholesky_dag(6)
+        for task in g.tasks:
+            assert all(d < task.tid for d in task.deps)
+
+    def test_graph_is_labeled(self):
+        g = build_cholesky_dag(4)
+        assert g.problem == "cholesky"
+        assert g.name == "cholesky(t=4)"
+
+    def test_bounded_schedule_valid(self):
+        g = build_cholesky_dag(6)
+        res = simulate_bounded(g, 4)
+        unb = simulate_unbounded(g)
+        assert res.makespan >= unb.makespan
+        assert res.makespan >= sum(t.weight for t in g.tasks) / 4
+
+
+class TestProblemClass:
+    def test_spec_roundtrip(self):
+        pr = CholeskyProblem(t=8)
+        assert pr.spec() == "cholesky(t=8)"
+        assert get_problem(pr.spec()) == pr
+        assert (pr.p, pr.q) == (8, 8)
+
+    def test_alias(self):
+        assert get_problem("chol", t=4) == CholeskyProblem(4)
+        assert get_problem("potrf(t=4)") == CholeskyProblem(4)
+
+    def test_rejects_bad_t(self):
+        with pytest.raises((TypeError, ValueError)):
+            get_problem("cholesky", t=0)
+
+    def test_build(self):
+        elims, g = CholeskyProblem(5).build()
+        assert elims is None
+        assert g.problem == "cholesky"
+        assert len(g.tasks) == 5 + 2 * 10 + 10  # POTRF+TRSM+SYRK+GEMM

@@ -1,0 +1,99 @@
+"""Golden tests for the tiled-LU (incremental pivoting) family.
+
+Critical path ``15t - 17`` for square grids, total-work identity
+``2t^3``, the GESSM/TSTRF concurrency property that motivates the
+write-once resource split, and rectangular-grid support.
+"""
+
+import pytest
+
+from repro.kernels.costs import LU_KERNELS, Kernel
+from repro.problems import LUProblem, build_lu_dag, get_problem
+from repro.sim.simulate import simulate_unbounded
+
+#: (t, critical path) for square t x t grids — 2 at t=1, 15t - 17 beyond
+GOLDEN_CP = [(1, 2), (2, 13), (3, 28), (4, 43), (5, 58), (8, 103), (10, 133)]
+
+
+class TestCriticalPath:
+    @pytest.mark.parametrize("t,cp", GOLDEN_CP)
+    def test_square_cp(self, t, cp):
+        g = build_lu_dag(t, t)
+        assert simulate_unbounded(g).makespan == cp
+
+    def test_rectangular_supported(self):
+        g = build_lu_dag(8, 4)
+        res = simulate_unbounded(g)
+        # taller-than-wide grid: CP at least the square q x q one
+        assert res.makespan >= simulate_unbounded(build_lu_dag(4, 4)).makespan
+        g.validate() if hasattr(g, "validate") else None
+
+    def test_gessm_concurrent_with_tstrf_chain(self):
+        """Incremental pivoting lets the panel-k updates GESSM(k, j)
+        start as soon as GETRF(k) publishes L(k) — they must not wait
+        for the sequential TSTRF chain below the diagonal."""
+        g = build_lu_dag(6, 6)
+        res = simulate_unbounded(g)
+        starts = {}
+        for task in g.tasks:
+            t0 = res.start[task.tid]
+            starts.setdefault(task.kernel, []).append(t0)
+        getrf_w = 2.0
+        # earliest GESSM starts right after the first GETRF...
+        assert min(starts[Kernel.GESSM]) == getrf_w
+        # ...while the second TSTRF in the chain necessarily starts later
+        tstrf0 = sorted(starts[Kernel.TSTRF])
+        assert tstrf0[0] == getrf_w
+        assert tstrf0[1] > tstrf0[0]
+
+
+class TestStructure:
+    @pytest.mark.parametrize("t", [1, 2, 3, 5, 8])
+    def test_total_weight_square(self, t):
+        g = build_lu_dag(t, t)
+        assert sum(task.weight for task in g.tasks) == 2 * t ** 3
+
+    @pytest.mark.parametrize("p,q", [(2, 2), (4, 4), (8, 4), (6, 3)])
+    def test_kernel_census(self, p, q):
+        g = build_lu_dag(p, q)
+        by = {}
+        for task in g.tasks:
+            by[task.kernel] = by.get(task.kernel, 0) + 1
+        assert by[Kernel.GETRF] == q
+        assert by.get(Kernel.GESSM, 0) == sum(q - 1 - k for k in range(q))
+        assert by.get(Kernel.TSTRF, 0) == sum(p - 1 - k for k in range(q))
+        assert by.get(Kernel.SSSSM, 0) == sum(
+            (p - 1 - k) * (q - 1 - k) for k in range(q))
+        assert set(by) <= set(LU_KERNELS)
+
+    def test_emission_is_topological(self):
+        g = build_lu_dag(5, 5)
+        for task in g.tasks:
+            assert all(d < task.tid for d in task.deps)
+
+    def test_graph_is_labeled(self):
+        g = build_lu_dag(4, 4)
+        assert g.problem == "lu"
+
+
+class TestProblemClass:
+    def test_spec_roundtrip(self):
+        pr = LUProblem(8, 8)
+        assert get_problem(pr.spec()) == pr
+        assert (pr.p, pr.q) == (8, 8)
+
+    def test_square_default(self):
+        assert LUProblem(6).q == 6
+
+    def test_alias(self):
+        assert get_problem("getrf", p=4, q=4) == LUProblem(4, 4)
+
+    def test_bad_pivot_raises(self):
+        with pytest.raises((TypeError, ValueError)):
+            get_problem("lu", p=4, q=4, pivot="partial")
+
+    def test_build(self):
+        elims, g = LUProblem(4, 4).build()
+        assert elims is None
+        assert g.problem == "lu"
+        assert sum(task.weight for task in g.tasks) == 2 * 4 ** 3

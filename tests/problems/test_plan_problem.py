@@ -1,0 +1,107 @@
+"""End-to-end tests for the problem-generic planner facade."""
+
+import pytest
+
+from repro import analyze, simulate
+from repro.kernels.costs import Kernel
+from repro.planner import (
+    clear_plan_cache,
+    load_plan,
+    plan,
+    plan_problem,
+    save_plan,
+)
+from repro.problems import CholeskyProblem
+
+
+@pytest.fixture(autouse=True)
+def _fresh_cache(monkeypatch):
+    monkeypatch.delenv("REPRO_PLAN_CACHE", raising=False)
+    clear_plan_cache()
+    yield
+    clear_plan_cache()
+
+
+class TestCacheIdentity:
+    def test_spec_and_kwargs_share_entry(self):
+        assert plan("cholesky(t=8)") is plan("cholesky", t=8)
+
+    def test_alias_shares_entry(self):
+        assert plan("chol(t=8)") is plan("cholesky(t=8)")
+
+    def test_problem_object_shares_entry(self):
+        assert plan_problem(CholeskyProblem(8)) is plan("cholesky(t=8)")
+
+    def test_qr_problem_delegates_to_legacy_plan(self):
+        # the problem-centric QR spec and the legacy (p, q, scheme)
+        # call must hit the same cache entry
+        assert plan("qr(p=8,q=4)") is plan(8, 4, "greedy")
+        assert plan("qr(p=8,q=4,scheme='fibonacci')") is plan(8, 4, "fibonacci")
+
+    def test_costs_split_entries(self):
+        base = plan("cholesky(t=4)")
+        tweaked = plan("cholesky(t=4)", costs={Kernel.GEMM: 7.0})
+        assert base is not tweaked
+        assert base.key != tweaked.key
+
+
+class TestPlanShape:
+    def test_cholesky_plan_fields(self):
+        pl = plan("cholesky(t=8)")
+        assert pl.problem == "cholesky"
+        assert (pl.p, pl.q) == (8, 8)
+        assert pl.elims is None
+        assert pl.critical_path() == 62.0
+        assert len(pl.graph.tasks) == 120
+
+    def test_lu_plan_fields(self):
+        pl = plan("lu(p=8,q=8)")
+        assert pl.problem == "lu"
+        assert pl.critical_path() == 103.0
+
+    def test_qr_plan_problem_label(self):
+        assert plan(8, 4, "greedy").problem == "qr"
+
+    def test_rescaled_keeps_problem(self):
+        pl = plan("cholesky(t=4)")
+        re = pl.rescaled({Kernel.GEMM: 9.0})
+        assert re.problem == "cholesky"
+        assert re.key != pl.key
+
+
+class TestSaveLoad:
+    def test_roundtrip_elimless_plan(self, tmp_path):
+        pl = plan("cholesky(t=6)")
+        path = tmp_path / "chol.npz"
+        save_plan(pl, path)
+        back = load_plan(path)
+        assert back.problem == "cholesky"
+        assert back.key == pl.key
+        assert back.critical_path() == pl.critical_path()
+        assert len(back.graph.tasks) == len(pl.graph.tasks)
+
+    def test_roundtrip_lu(self, tmp_path):
+        pl = plan("lu(p=5,q=5)")
+        path = tmp_path / "lu.npz"
+        save_plan(pl, path)
+        assert load_plan(path).critical_path() == 58.0
+
+
+class TestFacade:
+    def test_simulate_spec_string(self):
+        assert simulate("cholesky(t=8)").makespan == 62.0
+        assert simulate("lu(p=5,q=5)").makespan == 58.0
+
+    def test_simulate_bare_name_kwargs(self):
+        assert simulate("cholesky", t=8).makespan == 62.0
+
+    def test_simulate_problem_object(self):
+        assert simulate(CholeskyProblem(8), processors=4).makespan >= 62.0
+
+    def test_simulate_qr_positional_pq(self):
+        assert simulate("qr", p=8, q=4).makespan == 78.0
+
+    def test_analyze_problem_plan(self):
+        rep = analyze(plan("cholesky(t=8)").schedule(4))
+        assert rep.problem == "cholesky"
+        assert rep.bounds["alap"] <= rep.makespan

@@ -1,0 +1,83 @@
+"""Problem-registry and problem-spec grammar tests."""
+
+import pytest
+
+from repro.problems import (
+    PROBLEM_ALIASES,
+    CholeskyProblem,
+    LUProblem,
+    Problem,
+    QRProblem,
+    available_problems,
+    canonical_problem_spec,
+    get_problem,
+    parse_problem_spec,
+)
+
+
+class TestParse:
+    def test_bare_name(self):
+        assert parse_problem_spec("cholesky") == ("cholesky", {})
+
+    def test_params(self):
+        name, params = parse_problem_spec("lu(p=8, q=4)")
+        assert name == "lu"
+        assert params == {"p": 8, "q": 4}
+
+    def test_alias_resolution(self):
+        for alias, target in PROBLEM_ALIASES.items():
+            assert parse_problem_spec(alias)[0] == target
+
+    def test_nested_scheme_value(self):
+        name, params = parse_problem_spec("qr(p=8,q=4,scheme='plasma(bs=5)')")
+        assert name == "qr"
+        assert params["scheme"] == "plasma(bs=5)"
+
+    def test_unbalanced_raises(self):
+        with pytest.raises(ValueError):
+            parse_problem_spec("cholesky(t=8")
+
+
+class TestCanonical:
+    @pytest.mark.parametrize("spec", [
+        "cholesky(t=8)", "chol(t=8)", "potrf(t=8)",
+        "lu(p=8,q=4)", "getrf(p=8,q=4)",
+        "qr(p=8,q=4)", "geqrf(p=8,q=4)",
+    ])
+    def test_roundtrip_is_fixed_point(self, spec):
+        canon = canonical_problem_spec(*parse_problem_spec(spec))
+        again = canonical_problem_spec(*parse_problem_spec(canon))
+        assert canon == again
+        # aliases collapse onto the registered family name
+        assert parse_problem_spec(canon)[0] in available_problems()
+
+    def test_aliased_specs_share_canonical_form(self):
+        assert (canonical_problem_spec(*parse_problem_spec("chol(t=8)"))
+                == canonical_problem_spec(*parse_problem_spec("cholesky(t=8)")))
+
+
+class TestGetProblem:
+    def test_unknown_lists_available(self):
+        with pytest.raises(ValueError, match="cholesky"):
+            get_problem("householder")
+
+    def test_bad_params_is_type_error(self):
+        with pytest.raises(TypeError):
+            get_problem("cholesky", nope=3)
+
+    def test_problem_passthrough(self):
+        pr = CholeskyProblem(4)
+        assert get_problem(pr) is pr
+
+    def test_problem_passthrough_with_params_raises(self):
+        with pytest.raises((TypeError, ValueError)):
+            get_problem(CholeskyProblem(4), t=8)
+
+    def test_each_family_constructs(self):
+        assert isinstance(get_problem("cholesky", t=4), CholeskyProblem)
+        assert isinstance(get_problem("lu", p=4, q=4), LUProblem)
+        assert isinstance(get_problem("qr", p=8, q=4), QRProblem)
+
+    def test_problems_are_problems(self):
+        for pr in (CholeskyProblem(3), LUProblem(3), QRProblem(4, 2)):
+            assert isinstance(pr, Problem)

@@ -1,0 +1,105 @@
+"""Tests for the :class:`repro.runtime.ExecOptions` bundle (S18 satellite).
+
+Validation, the legacy-kwarg merge rules of :meth:`ExecOptions.resolve`,
+and equivalence of bundled vs individual keywords through
+``execute_graph`` and ``factor``.
+"""
+
+import numpy as np
+import pytest
+
+from repro import ExecOptions, factor
+from repro.dag import build_dag
+from repro.runtime import execute_graph
+from repro.schemes import greedy
+from repro.tiles import TiledMatrix
+
+
+class TestValidation:
+    def test_defaults(self):
+        o = ExecOptions()
+        assert (o.mode, o.workers, o.numeric, o.start_method, o.pool) == (
+            "task", None, "auto", None, None)
+
+    def test_bad_mode(self):
+        with pytest.raises(ValueError, match="mode"):
+            ExecOptions(mode="quantum")
+
+    def test_bad_numeric(self):
+        with pytest.raises(ValueError, match="numeric"):
+            ExecOptions(numeric="fortran")
+
+    def test_bad_workers(self):
+        with pytest.raises(ValueError, match="workers"):
+            ExecOptions(workers=0)
+
+    def test_frozen(self):
+        with pytest.raises(Exception):
+            ExecOptions().mode = "batched"
+
+
+class TestResolve:
+    def test_none_builds_from_legacy(self):
+        o = ExecOptions.resolve(None, mode="batched", workers=2,
+                                numeric="numpy", start_method=None, pool=None)
+        assert o == ExecOptions(mode="batched", workers=2, numeric="numpy")
+
+    def test_bundle_with_default_kwargs(self):
+        bundle = ExecOptions(mode="batched", workers=3)
+        o = ExecOptions.resolve(bundle, mode="task", workers=None,
+                                numeric="auto", start_method=None, pool=None)
+        assert o is bundle
+
+    def test_agreeing_kwarg_is_harmless(self):
+        bundle = ExecOptions(mode="batched")
+        o = ExecOptions.resolve(bundle, mode="batched", workers=None,
+                                numeric="auto", start_method=None, pool=None)
+        assert o.mode == "batched"
+
+    def test_conflicting_kwarg_raises(self):
+        bundle = ExecOptions(mode="task")
+        with pytest.raises(ValueError, match="conflicting execution options"):
+            ExecOptions.resolve(bundle, mode="batched", workers=None,
+                                numeric="auto", start_method=None, pool=None)
+
+    def test_wrong_type_rejected(self):
+        with pytest.raises(TypeError):
+            ExecOptions.resolve({"mode": "task"}, mode="task", workers=None,
+                                numeric="auto", start_method=None, pool=None)
+
+
+class TestThreading:
+    """Bundled options drive the same execution paths as bare kwargs."""
+
+    def _matrix(self):
+        return np.random.default_rng(7).standard_normal((48, 24))
+
+    def test_factor_options_equivalent(self):
+        a = self._matrix()
+        f_kw = factor(a, nb=8, ib=4, mode="batched")
+        f_opt = factor(a, nb=8, ib=4, options=ExecOptions(mode="batched"))
+        assert np.allclose(f_kw.r(), f_opt.r())
+        assert f_opt.residual(a) < 1e-12
+
+    def test_factor_conflict_raises(self):
+        # keyword at a non-default value disagreeing with the bundle
+        with pytest.raises(ValueError, match="conflicting execution options"):
+            factor(self._matrix(), nb=8, ib=4, mode="batched",
+                   options=ExecOptions(mode="task"))
+
+    def test_execute_graph_accepts_options(self):
+        a = self._matrix()
+        tiled = TiledMatrix(a.copy(), 8)
+        g = build_dag(greedy(tiled.p, tiled.q), "TT")
+        ctx = execute_graph(g, tiled, ib=4,
+                            options=ExecOptions(mode="task", workers=2))
+        r = np.triu(ctx.tiled.array[:24])
+        _, r_np = np.linalg.qr(a)
+        assert np.allclose(np.abs(r), np.abs(r_np), atol=1e-11)
+
+    def test_execute_graph_conflict_raises(self):
+        tiled = TiledMatrix(self._matrix(), 8)
+        g = build_dag(greedy(tiled.p, tiled.q), "TT")
+        with pytest.raises(ValueError, match="conflicting execution options"):
+            execute_graph(g, tiled, workers=4,
+                          options=ExecOptions(workers=2))

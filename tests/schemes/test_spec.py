@@ -1,6 +1,8 @@
 """Tests for the scheme spec grammar and registry helpers (S18)."""
 
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro.schemes.registry import (
     SCHEME_ALIASES,
@@ -58,6 +60,58 @@ class TestCanonicalSpec:
     def test_kwargs_override_inline(self):
         assert canonical_scheme_spec("plasma(bs=3)", {"bs": 5}) == \
             "plasma-tree(bs=5)"
+
+
+class TestRoundTrip:
+    """``canonical_scheme_spec(*parse_scheme_spec(s))`` is a projection:
+    applying it twice equals applying it once, and every alias lands on
+    the same canonical string as its target (one plan-cache key)."""
+
+    def test_every_alias_roundtrips(self):
+        for alias, target in SCHEME_ALIASES.items():
+            canon = canonical_scheme_spec(*parse_scheme_spec(alias))
+            assert canon == canonical_scheme_spec(*parse_scheme_spec(target))
+            assert canon == canonical_scheme_spec(*parse_scheme_spec(canon))
+
+    def test_sameh_kuck_is_flat_tree(self):
+        # the historical special case: sameh-kuck was once a registered
+        # duplicate of flat-tree (two cache keys for one scheme)
+        assert "sameh-kuck" in SCHEME_ALIASES
+        canon = canonical_scheme_spec(*parse_scheme_spec("sameh-kuck"))
+        assert canon == "flat-tree"
+
+    def test_every_registered_name_roundtrips(self):
+        for name in available_schemes():
+            canon = canonical_scheme_spec(*parse_scheme_spec(name))
+            assert canon == name
+
+    _names = st.sampled_from(sorted(set(available_schemes())
+                                    | set(SCHEME_ALIASES)))
+    _keys = st.text(alphabet="abcdefgh", min_size=1, max_size=4)
+    _vals = st.one_of(st.integers(min_value=-99, max_value=99),
+                      st.floats(min_value=-9, max_value=9,
+                                allow_nan=False).map(lambda f: round(f, 3)),
+                      st.text(alphabet="xyz", min_size=1, max_size=4))
+    _params = st.dictionaries(_keys, _vals, max_size=3)
+
+    @given(name=_names, params=_params)
+    @settings(max_examples=120, deadline=None)
+    def test_property_canonical_is_fixed_point(self, name, params):
+        spec = canonical_scheme_spec(name, params)
+        parsed_name, parsed_params = parse_scheme_spec(spec)
+        assert parsed_name == canonical_scheme_spec(name, {}).split("(")[0]
+        assert parsed_params == params
+        assert canonical_scheme_spec(parsed_name, parsed_params) == spec
+
+    def test_nested_spec_value(self):
+        # quoted values may themselves look like specs
+        name, params = parse_scheme_spec("greedy(inner='plasma(bs=5)')")
+        assert params == {"inner": "plasma(bs=5)"}
+
+    def test_unbalanced_raises(self):
+        for bad in ("plasma(bs=5", "plasma bs=5)", "greedy(a='x)"):
+            with pytest.raises(ValueError):
+                parse_scheme_spec(bad)
 
 
 class TestRegistry:
