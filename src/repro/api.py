@@ -11,7 +11,13 @@ One import surface for the things users do with this package:
   unbounded) and return the timing result;
 - :func:`analyze` — turn a simulation, plan, or trace into a
   :class:`~repro.obs.analyze.ScheduleReport` with Theorem-1 and ALAP
-  lower bounds.
+  lower bounds;
+- :func:`overhead_report` — attribute a traced run's time to the six
+  task-lifecycle phases (queued / dispatched / deserialized /
+  computing / published / retired); pass a
+  :class:`~repro.obs.tracer.DistributedTracer` to ``factor(...,
+  mode="process", tracer=...)`` for the full cross-process
+  attribution with clock-aligned worker spans.
 
 These compose: a :class:`~repro.planner.Plan` built once can be
 passed to both :func:`factor` and :func:`simulate`, and everything a
@@ -41,7 +47,8 @@ import numpy as np
 
 from .core.tiled_qr import TiledQRFactorization, tiled_qr
 from .kernels.costs import KernelFamily
-from .obs.analyze import analyze
+from .obs.analyze import OverheadReport, analyze, overhead_report
+from .obs.tracer import DistributedTracer
 from .planner import (
     Plan,
     clear_plan_cache,
@@ -66,6 +73,9 @@ __all__ = [
     "factor",
     "simulate",
     "analyze",
+    "overhead_report",
+    "OverheadReport",
+    "DistributedTracer",
     "Plan",
     "Problem",
     "ExecOptions",

@@ -521,7 +521,7 @@ def _cmd_analyze(args) -> int:
 def _cmd_profile(args) -> int:
     from .api import plan
     from .obs.chrome_trace import write_chrome_trace
-    from .obs.tracer import Tracer
+    from .obs.tracer import DistributedTracer, Tracer
     from .planner import PLAN_METRICS, plan_cache_stats
     from .runtime.executor import execute_graph
     from .tiles.layout import TiledMatrix
@@ -533,7 +533,9 @@ def _cmd_profile(args) -> int:
     pl = plan(args.p, args.q, args.scheme, args.family,
               **_scheme_params(args))
 
-    tracer = Tracer()
+    # the process backend merges worker-side spans onto the parent
+    # timeline (clock-aligned); the other modes record plain spans
+    tracer = DistributedTracer() if args.mode == "process" else Tracer()
     stream_on = bool(args.progress or args.events or args.prometheus)
     bus = state = renderer = sampler = None
     if stream_on:
@@ -619,6 +621,14 @@ def _cmd_profile(args) -> int:
             print()
             print(render_overlay(overlay_diff(analyze_tracer(tracer),
                                               analyze_sim(sim))))
+        if getattr(tracer, "phases", None):
+            from .obs.analyze import overhead_report, render_overhead_report
+
+            print()
+            print(render_overhead_report(overhead_report(
+                tracer, graph=pl,
+                label=f"{args.scheme} {args.p}x{args.q} nb={nb} "
+                      f"({args.mode})")))
     if args.out:
         write_chrome_trace(args.out, tracer=tracer, sim=sim,
                            sim_time_scale=1e6,
@@ -641,6 +651,36 @@ def _cmd_profile(args) -> int:
 
         write_prometheus(args.prometheus, metrics)
         print(f"Prometheus metrics written to {args.prometheus}")
+    return 0
+
+
+def _cmd_overhead(args) -> int:
+    from .api import plan
+    from .obs.analyze import overhead_report, render_overhead_report
+    from .obs.tracer import DistributedTracer, Tracer
+    from .runtime.executor import execute_graph
+    from .tiles.layout import TiledMatrix
+
+    nb = args.nb
+    m, n = args.p * nb, args.q * nb
+    a = np.random.default_rng(args.seed).standard_normal((m, n))
+    tiled = TiledMatrix(a, nb)
+    pl = plan(args.p, args.q, args.scheme, args.family,
+              **_scheme_params(args))
+    tracer = DistributedTracer() if args.mode == "process" else Tracer()
+    execute_graph(pl, tiled, backend=args.backend, ib=min(args.ib, nb),
+                  options=_exec_options(args), tracer=tracer)
+    rep = overhead_report(
+        tracer, graph=pl,
+        label=f"{args.scheme} {args.p}x{args.q} nb={nb} ({args.mode}, "
+              f"workers={args.workers})")
+    print(render_overhead_report(rep, args.format))
+    if args.json:
+        import json as json_mod
+
+        with open(args.json, "w") as fh:
+            json_mod.dump(rep.to_dict(), fh, indent=1, sort_keys=True)
+        print(f"\noverhead report JSON written to {args.json}")
     return 0
 
 
@@ -883,6 +923,35 @@ def build_parser() -> argparse.ArgumentParser:
                         "exposition format here (includes the sampler "
                         "time series)")
     p.set_defaults(fn=_cmd_profile)
+
+    p = sub.add_parser(
+        "overhead",
+        help="execute with distributed tracing and attribute every "
+             "microsecond per task to the six lifecycle phases "
+             "(queued / dispatched / deserialized / computing / "
+             "published / retired)")
+    _add_grid(p)
+    p.add_argument("--nb", type=int, default=64, help="tile size")
+    p.add_argument("--ib", type=int, default=32, help="inner blocking")
+    p.add_argument("--backend", default="lapack",
+                   choices=["reference", "lapack"])
+    p.add_argument("--workers", type=int, default=4)
+    p.add_argument("--mode", default="process",
+                   choices=["task", "batched", "process"],
+                   help="process (default) = full six-phase attribution "
+                        "with clock-aligned worker spans; task/batched "
+                        "degenerate to queued + computing for "
+                        "comparison")
+    p.add_argument("--numeric", default="auto",
+                   choices=["auto", "numpy", "lapack"])
+    p.add_argument("--start-method", default=None,
+                   choices=["fork", "spawn", "forkserver"])
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--format", default="text",
+                   choices=["text", "json", "markdown"])
+    p.add_argument("--json", metavar="FILE",
+                   help="also write the report dict as JSON here")
+    p.set_defaults(fn=_cmd_overhead)
 
     p = sub.add_parser(
         "top",

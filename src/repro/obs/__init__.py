@@ -5,7 +5,10 @@ and the benchmark harness:
 
 * :mod:`repro.obs.tracer` — a thread-safe span tracer recording one
   :class:`Span` per retired kernel task (submit/start/finish
-  wall-times, worker thread), plus a zero-cost :class:`NullTracer`;
+  wall-times, worker thread), a zero-cost :class:`NullTracer`, and
+  the :class:`DistributedTracer` of the process backend: worker-side
+  child spans merged onto the parent timeline by an NTP-style clock
+  handshake into six-phase :class:`TaskPhases` lifecycle records;
 * :mod:`repro.obs.metrics` — a :class:`MetricsRegistry` of counters,
   gauges, and fixed-bucket histograms with deterministic plain-text
   and JSON summaries, mergeable across workers
@@ -35,12 +38,14 @@ and the benchmark harness:
 See ``docs/observability.md`` for a walkthrough.
 """
 
-from .analyze import (CriticalPath, ScheduleReport, analyze,
-                      analyze_chrome_trace, analyze_events, analyze_sim,
-                      analyze_trace_file, analyze_tracer,
-                      critical_path_tasks, overlay_diff, render_overlay,
+from .analyze import (CriticalPath, OverheadReport, ScheduleReport,
+                      analyze, analyze_chrome_trace, analyze_events,
+                      analyze_sim, analyze_trace_file, analyze_tracer,
+                      critical_path_tasks, overhead_report, overlay_diff,
+                      render_overhead_report, render_overlay,
                       render_report, task_slack)
-from .chrome_trace import (chrome_trace, sim_to_events, tracer_to_events,
+from .chrome_trace import (chrome_trace, distributed_to_events,
+                           sim_to_events, tracer_to_events,
                            write_chrome_trace)
 from .export import (parse_prometheus_text, prometheus_text,
                      read_events_jsonl, write_events_jsonl,
@@ -50,13 +55,20 @@ from .progress import ProgressRenderer, kernel_totals
 from .sampler import Sampler, read_rss_bytes
 from .stream import (EVENT_KINDS, NULL_BUS, BusRelay, Event, EventBus,
                      LiveState, NullBus, RemotePublisher)
-from .tracer import NULL_TRACER, NullTracer, Span, Tracer
+from .tracer import (NULL_TRACER, PHASES, ClockSync, DistributedTracer,
+                     NullTracer, Span, TaskPhases, Tracer,
+                     estimate_clock_sync)
 
 __all__ = [
     "Span",
     "Tracer",
     "NullTracer",
     "NULL_TRACER",
+    "TaskPhases",
+    "PHASES",
+    "ClockSync",
+    "estimate_clock_sync",
+    "DistributedTracer",
     "Counter",
     "Gauge",
     "Histogram",
@@ -80,10 +92,12 @@ __all__ = [
     "read_events_jsonl",
     "tracer_to_events",
     "sim_to_events",
+    "distributed_to_events",
     "chrome_trace",
     "write_chrome_trace",
     "ScheduleReport",
     "CriticalPath",
+    "OverheadReport",
     "analyze",
     "analyze_sim",
     "analyze_tracer",
@@ -92,7 +106,9 @@ __all__ = [
     "analyze_trace_file",
     "critical_path_tasks",
     "task_slack",
+    "overhead_report",
     "overlay_diff",
     "render_report",
+    "render_overhead_report",
     "render_overlay",
 ]

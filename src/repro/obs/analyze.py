@@ -49,7 +49,7 @@ import numpy as np
 
 from ..kernels.costs import Kernel
 from ..sim.simulate import SimResult, bottom_levels, simulate_unbounded
-from .tracer import Tracer
+from .tracer import PHASES, TaskPhases, Tracer
 
 __all__ = [
     "LaneStats",
@@ -58,6 +58,7 @@ __all__ = [
     "CriticalPath",
     "SlackStats",
     "ScheduleReport",
+    "OverheadReport",
     "analyze",
     "analyze_sim",
     "analyze_tracer",
@@ -67,8 +68,10 @@ __all__ = [
     "alap_lower_bound",
     "critical_path_tasks",
     "task_slack",
+    "overhead_report",
     "overlay_diff",
     "render_report",
+    "render_overhead_report",
     "render_overlay",
 ]
 
@@ -563,6 +566,261 @@ def analyze_tracer(tracer: Tracer, label: str = "measured") -> ScheduleReport:
                           queue_wait=_wait_summary(waits))
 
 
+# ----------------------------------------------------------------------
+# per-task overhead attribution (S23)
+# ----------------------------------------------------------------------
+
+#: the phases that are coordination, not kernel work or scheduling
+#: choice: descriptor pickling + queue transfer, worker-side unpack,
+#: completion publish, and done-queue transit back.  Their per-task
+#: mean is the "IPC tax" headline of an :class:`OverheadReport`.
+IPC_PHASES = ("dispatched", "deserialized", "published", "retired")
+
+
+@dataclass
+class OverheadReport:
+    """Where every microsecond of a traced run went, per phase.
+
+    Built by :func:`overhead_report` from the :class:`TaskPhases`
+    records of a :class:`~repro.obs.tracer.DistributedTracer` (process
+    backend) or, degenerately, from the plain spans of any tracer —
+    thread/batched runs land everything in ``queued`` + ``computing``,
+    which keeps the table comparable across all three modes.
+
+    ``phase_totals``/``phase_means`` are seconds (means normalized per
+    retired task); ``per_kernel`` and ``per_worker`` pivot the same
+    sums.  ``ipc_tax_s`` is the mean per-task cost of the four
+    coordination phases (:data:`IPC_PHASES`); ``overhead_share`` the
+    non-``computing`` fraction of summed task latency;
+    ``critical_path_overhead_share`` the same fraction along the
+    latest-predecessor dependency chain ending at the run's last
+    retirement (``None`` without a graph).  ``clock`` carries each
+    worker's offset estimate; ``max_residual_s`` bounds how much of
+    any phase is clock-alignment noise.
+    """
+
+    label: str
+    tasks: int
+    records: int
+    workers: int
+    makespan: float
+    phase_totals: dict = field(default_factory=dict)
+    phase_means: dict = field(default_factory=dict)
+    per_kernel: list[dict] = field(default_factory=list)
+    per_worker: list[dict] = field(default_factory=list)
+    ipc_tax_s: float = 0.0
+    overhead_share: float = 0.0
+    critical_path_overhead_share: Optional[float] = None
+    aborted: int = 0
+    unmeasured: int = 0
+    clock: list[dict] = field(default_factory=list)
+    max_residual_s: float = 0.0
+    #: True when worker-side boundaries were actually measured for at
+    #: least one task (False = degenerate two-phase view)
+    distributed: bool = False
+
+    def to_dict(self) -> dict:
+        return {
+            "label": self.label, "tasks": self.tasks,
+            "records": self.records, "workers": self.workers,
+            "makespan": self.makespan, "phase_totals": self.phase_totals,
+            "phase_means": self.phase_means, "per_kernel": self.per_kernel,
+            "per_worker": self.per_worker, "ipc_tax_s": self.ipc_tax_s,
+            "overhead_share": self.overhead_share,
+            "critical_path_overhead_share":
+                self.critical_path_overhead_share,
+            "aborted": self.aborted, "unmeasured": self.unmeasured,
+            "clock": self.clock, "max_residual_s": self.max_residual_s,
+            "distributed": self.distributed,
+        }
+
+
+def _degenerate_phases(tracer: Tracer) -> list[TaskPhases]:
+    """Two-phase view of a plain span capture (thread/batched/seq).
+
+    ``ready = submit`` and ``dispatch = recv = start``, ``publish =
+    finish = retire``: queue wait lands in ``queued``, the kernel in
+    ``computing``, the four coordination phases are zero — the exact
+    degenerate case of the lifecycle model, so reports stay comparable
+    with process-mode ones.
+    """
+    out = []
+    for s in tracer.spans:
+        sub = min(s.submit, s.start)
+        out.append(TaskPhases(
+            tid=s.tid, name=s.name, kernel=s.kernel, worker=s.worker,
+            ready=sub, dispatch=s.start, recv=s.start, start=s.start,
+            finish=s.finish, publish=s.finish, retire=s.finish,
+            count=s.count, aborted=s.aborted, measured=False))
+    return out
+
+
+def overhead_report(tracer: Tracer, graph=None,
+                    label: str = "") -> OverheadReport:
+    """Attribute a traced run's time to the six lifecycle phases.
+
+    ``tracer`` is any tracer: a
+    :class:`~repro.obs.tracer.DistributedTracer` with merged
+    :class:`TaskPhases` records gives the full six-phase attribution;
+    a plain span capture degenerates to queued + computing.  Passing
+    the run's ``graph`` (TaskGraph or Plan) adds the overhead share
+    along the dependency chain that actually gated the finish.
+    """
+    phases = list(getattr(tracer, "phases", None) or [])
+    distributed = any(p.measured for p in phases)
+    if not phases:
+        phases = _degenerate_phases(tracer)
+    records = len(phases)
+    ntasks = sum(p.count for p in phases)
+    workers = sorted({p.worker for p in phases})
+    makespan = (max(p.retire for p in phases)
+                - min(p.ready for p in phases)) if phases else 0.0
+
+    totals = {name: 0.0 for name in PHASES}
+    lat_total = 0.0
+    kern: dict[str, dict] = {}
+    work: dict[int, dict] = {}
+    for p in phases:
+        kr = kern.setdefault(p.kernel, {"count": 0, "latency": 0.0,
+                                        **{n: 0.0 for n in PHASES}})
+        wr = work.setdefault(p.worker, {"tasks": 0, "latency": 0.0,
+                                        **{n: 0.0 for n in PHASES}})
+        kr["count"] += p.count
+        wr["tasks"] += p.count
+        lat = p.latency
+        lat_total += lat
+        kr["latency"] += lat
+        wr["latency"] += lat
+        for name in PHASES:
+            v = p.phase(name)
+            totals[name] += v
+            kr[name] += v
+            wr[name] += v
+    means = {name: (totals[name] / ntasks if ntasks else 0.0)
+             for name in PHASES}
+    ipc_tax = sum(means[name] for name in IPC_PHASES)
+    overhead_share = (1.0 - totals["computing"] / lat_total
+                      if lat_total > 0 else 0.0)
+
+    order = [k for k in KERNEL_ORDER if k in kern] + sorted(
+        k for k in kern if k not in KERNEL_ORDER)
+    per_kernel = [{"kernel": k, **kern[k]} for k in order]
+    per_worker = [{"worker": w, **work[w]} for w in workers]
+
+    cp_share = None
+    if graph is not None and phases:
+        g = getattr(graph, "graph", graph)
+        idx = graph.index if hasattr(graph, "graph") else g.index()
+        by_tid = {p.tid: p for p in phases}
+        pp, pa = idx.pred_ptr, idx.pred_adj
+        # follow the latest-retiring predecessor back from the last
+        # retirement: the dependency chain that gated the finish
+        cur = max(phases, key=lambda p: p.retire).tid
+        chain_lat = chain_comp = 0.0
+        seen = set()
+        while cur not in seen:
+            seen.add(cur)
+            p = by_tid.get(cur)
+            if p is not None:
+                chain_lat += p.latency
+                chain_comp += p.computing
+            preds = [int(t) for t in pa[pp[cur]:pp[cur + 1]]
+                     if int(t) in by_tid]
+            if not preds:
+                break
+            cur = max(preds, key=lambda t: by_tid[t].retire)
+        if chain_lat > 0:
+            cp_share = 1.0 - chain_comp / chain_lat
+
+    clocks = getattr(tracer, "clocks", {}) or {}
+    return OverheadReport(
+        label=label or "traced run", tasks=ntasks, records=records,
+        workers=len(workers), makespan=makespan, phase_totals=totals,
+        phase_means=means, per_kernel=per_kernel, per_worker=per_worker,
+        ipc_tax_s=ipc_tax, overhead_share=overhead_share,
+        critical_path_overhead_share=cp_share,
+        aborted=sum(1 for p in phases if p.aborted),
+        unmeasured=sum(1 for p in phases if not p.measured),
+        clock=[clocks[w].to_dict() for w in sorted(clocks)],
+        max_residual_s=float(getattr(tracer, "max_residual", 0.0)),
+        distributed=distributed)
+
+
+def _render_overhead(rep: OverheadReport, markdown: bool) -> str:
+    h1 = "## " if markdown else "== "
+    h1e = "" if markdown else " =="
+    h2 = "### " if markdown else "-- "
+    h2e = "" if markdown else " --"
+    us = 1e6
+    lines = [f"{h1}overhead report: {rep.label}{h1e}", ""]
+    lines.append(
+        f"tasks {rep.tasks} | workers {rep.workers} | makespan "
+        f"{_fmt(rep.makespan)} s | aborted {rep.aborted}"
+        + ("" if rep.distributed else " | (two-phase fallback: no "
+           "worker-side spans)"))
+    lines.append("")
+    lines.append(h2 + "per-task phase means" + h2e)
+    lines.extend(_table(
+        ["phase", "mean (us)", "total (s)", "share"],
+        [[name, round(rep.phase_means[name] * us, 2),
+          round(rep.phase_totals[name], 6),
+          (f"{rep.phase_totals[name] / sum(rep.phase_totals.values()) * 100:.1f}%"
+           if sum(rep.phase_totals.values()) else "-")]
+         for name in PHASES], markdown))
+    lines.append("")
+    lines.append(f"IPC tax: {rep.ipc_tax_s * us:.1f} us/task "
+                 f"({' + '.join(IPC_PHASES)}); overhead share "
+                 f"{rep.overhead_share * 100:.1f}% of summed task latency"
+                 + (f"; {rep.critical_path_overhead_share * 100:.1f}% "
+                    "along the gating dependency chain"
+                    if rep.critical_path_overhead_share is not None
+                    else ""))
+    if rep.per_kernel:
+        lines.append("")
+        lines.append(h2 + "per kernel (mean us/task)" + h2e)
+        rows = []
+        for r in rep.per_kernel:
+            c = max(1, r["count"])
+            rows.append([r["kernel"], r["count"]]
+                        + [round(r[name] / c * us, 2) for name in PHASES]
+                        + [round(r["latency"] / c * us, 2)])
+        lines.extend(_table(["kernel", "count", *PHASES, "latency"],
+                            rows, markdown))
+    if rep.per_worker:
+        lines.append("")
+        lines.append(h2 + "per worker (total s)" + h2e)
+        rows = [[r["worker"], r["tasks"]]
+                + [round(r[name], 6) for name in PHASES]
+                for r in rep.per_worker]
+        lines.extend(_table(["worker", "tasks", *PHASES], rows, markdown))
+    if rep.clock:
+        lines.append("")
+        lines.append(h2 + "clock alignment" + h2e)
+        lines.extend(_table(
+            ["worker", "offset (us)", "residual (us)", "rtt (us)",
+             "drift (us/s)", "pings"],
+            [[c["worker"], round(c["offset_s"] * us, 2),
+              round(c["residual_s"] * us, 2), round(c["rtt_s"] * us, 2),
+              round(c["drift"] * us, 3), c["samples"]]
+             for c in rep.clock], markdown))
+        lines.append(f"worst alignment residual: "
+                     f"{rep.max_residual_s * us:.1f} us — phase "
+                     "boundaries are exact to within this bound")
+    return "\n".join(lines)
+
+
+def render_overhead_report(rep: OverheadReport, fmt: str = "text") -> str:
+    """Render an overhead report as ``text`` / ``markdown`` / ``json``."""
+    if fmt == "json":
+        return json.dumps(rep.to_dict(), indent=1, sort_keys=True)
+    if fmt == "markdown":
+        return _render_overhead(rep, markdown=True)
+    if fmt == "text":
+        return _render_overhead(rep, markdown=False)
+    raise ValueError(f"unknown format {fmt!r} "
+                     "(choose from text, markdown, json)")
+
+
 def _open_trace(path):
     """Open a trace file for text reading, transparently gunzipping."""
     if str(path).endswith(".gz"):
@@ -578,7 +836,11 @@ def analyze_chrome_trace(source: Union[str, dict]) -> list[ScheduleReport]:
     group — e.g. ``measured`` and ``simulated`` lanes exported
     together by ``repro profile`` — yields one report; timestamps are
     converted from microseconds back to seconds.  Placeholder events
-    emitted for empty sources are ignored.
+    emitted for empty sources are ignored, and so are the
+    ``dispatch`` / ``overhead`` category slices of merged multi-process
+    traces (the parent's dispatch lane and the workers'
+    deserialize/publish slivers) — per-worker utilization counts each
+    kernel exactly once, never the coordination that shadowed it.
     """
     if not isinstance(source, dict):
         with _open_trace(source) as fh:
@@ -592,7 +854,9 @@ def analyze_chrome_trace(source: Union[str, dict]) -> list[ScheduleReport]:
         if e.get("ph") == "M":
             if e.get("name") == "process_name":
                 names[pid] = e.get("args", {}).get("name", str(pid))
-        elif e.get("ph") == "X" and not e.get("args", {}).get("placeholder"):
+        elif (e.get("ph") == "X"
+              and not e.get("args", {}).get("placeholder")
+              and e.get("cat") not in ("dispatch", "overhead")):
             by_pid.setdefault(pid, []).append(e)
 
     reports = []

@@ -10,10 +10,19 @@ and ``chrome://tracing``).  Each task becomes one complete event
 schedule can be loaded together and compared lane by lane — the
 repo's side-by-side validation of the simulator against reality.
 
+A :class:`~repro.obs.tracer.DistributedTracer` capture (process
+backend, S23) exports through :func:`distributed_to_events` instead:
+one ``dispatch`` lane for the parent scheduler plus one lane per
+worker *process*, each kernel slice bracketed by its ``deserialize``
+and ``publish`` slivers (category ``overhead``), and a flow arrow
+(``"ph": "s"`` → ``"ph": "f"``) from the parent's dispatch span to
+the worker's kernel span so Perfetto draws the causal hand-off.
+
 Format reference: the "Trace Event Format" document shipped with the
 Catapult project; only the widely supported subset is emitted
 (``name``, ``cat``, ``ph``, ``ts``, ``dur``, ``pid``, ``tid``,
-``args``, plus ``M`` metadata records naming the lanes).
+``args``, plus ``M`` metadata records naming the lanes and ``s``/``f``
+flow records linking dispatch to execution).
 """
 
 from __future__ import annotations
@@ -26,8 +35,9 @@ from .tracer import Tracer
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..sim.simulate import SimResult
 
-__all__ = ["tracer_to_events", "sim_to_events", "chrome_trace",
-           "to_chrome_json", "write_chrome_trace", "MIN_EVENT_DUR_US"]
+__all__ = ["tracer_to_events", "sim_to_events", "distributed_to_events",
+           "chrome_trace", "to_chrome_json", "write_chrome_trace",
+           "MIN_EVENT_DUR_US"]
 
 #: trace-event categories, useful for filtering in the viewer UI
 _PANEL = {"GEQRT", "TSQRT", "TTQRT"}
@@ -93,6 +103,77 @@ def tracer_to_events(tracer: Tracer, pid: int = 1,
     return events
 
 
+def distributed_to_events(tracer, pid: int = 1,
+                          process_name: str = "measured") -> list[dict]:
+    """Merged multi-process lanes for a distributed capture.
+
+    ``tracer`` is a :class:`~repro.obs.tracer.DistributedTracer` whose
+    :meth:`finalize` already merged parent and worker halves into
+    :class:`~repro.obs.tracer.TaskPhases` records.  Lane 0 is the
+    parent scheduler (one ``dispatch`` slice per task covering
+    ``dispatch → recv``); lane ``1 + w`` is worker process ``w``, with
+    the kernel slice bracketed by ``deserialize`` and ``publish``
+    slivers (category ``overhead`` — analyzers skip them so kernels
+    count once).  A flow arrow per task (``id = tid``) links the
+    dispatch slice to the kernel slice, so Perfetto renders the
+    causal hand-off across the process boundary.
+    """
+    phases = list(tracer.phases)
+    lanes = sorted({p.worker for p in phases})
+    lane_of = {w: 1 + i for i, w in enumerate(lanes)}
+    events = [{"name": "process_name", "ph": "M", "pid": pid, "tid": 0,
+               "args": {"name": process_name}},
+              {"name": "thread_name", "ph": "M", "pid": pid, "tid": 0,
+               "args": {"name": "dispatch"}}]
+    for w in lanes:
+        events.append({"name": "thread_name", "ph": "M", "pid": pid,
+                       "tid": lane_of[w],
+                       "args": {"name": f"worker {w}"}})
+    for p in phases:
+        lane = lane_of[p.worker]
+        base = {"kernel": p.kernel, "tid": p.tid, "worker": p.worker,
+                "aborted": p.aborted}
+        args = dict(base)
+        events.append({
+            "name": p.name, "cat": "dispatch", "ph": "X",
+            "ts": p.dispatch * 1e6,
+            "dur": _clamped_dur((p.recv - p.dispatch) * 1e6, args),
+            "pid": pid, "tid": 0, "args": args,
+        })
+        if p.deserialized > 0.0:
+            events.append({
+                "name": "deserialize", "cat": "overhead", "ph": "X",
+                "ts": p.recv * 1e6, "dur": p.deserialized * 1e6,
+                "pid": pid, "tid": lane, "args": dict(base),
+            })
+        args = dict(base)
+        args["latency_us"] = p.latency * 1e6
+        args["measured"] = p.measured
+        events.append({
+            "name": p.name,
+            "cat": "panel" if p.kernel in _PANEL else "update",
+            "ph": "X", "ts": p.start * 1e6,
+            "dur": _clamped_dur(p.computing * 1e6, args),
+            "pid": pid, "tid": lane, "args": args,
+        })
+        if p.published > 0.0:
+            events.append({
+                "name": "publish", "cat": "overhead", "ph": "X",
+                "ts": p.finish * 1e6, "dur": p.published * 1e6,
+                "pid": pid, "tid": lane, "args": dict(base),
+            })
+        # the causal hand-off: parent dispatch -> worker execution
+        events.append({"name": "dispatch", "cat": "flow", "ph": "s",
+                       "id": p.tid, "pid": pid, "tid": 0,
+                       "ts": p.dispatch * 1e6})
+        events.append({"name": "dispatch", "cat": "flow", "ph": "f",
+                       "bp": "e", "id": p.tid, "pid": pid, "tid": lane,
+                       "ts": p.start * 1e6})
+    if not phases:
+        events.append(_placeholder(pid))
+    return events
+
+
 def sim_to_events(result: "SimResult", pid: int = 2,
                   process_name: str = "simulated",
                   time_scale: float = 1.0) -> list[dict]:
@@ -139,10 +220,15 @@ def chrome_trace(tracer: Tracer | None = None,
     With both a measured capture and a simulated schedule the result
     holds two process groups (``pid`` 1 = measured, ``pid`` 2 =
     simulated) that Perfetto renders as separate lane stacks on a
-    shared time axis.  ``problem`` (``"qr"``, ``"cholesky"``, ...)
-    stamps the factorization family into ``otherData`` so analyzers
-    can label their reports; when omitted it is taken from the sim
-    result's graph if one is given.
+    shared time axis.  A tracer carrying merged
+    :class:`~repro.obs.tracer.TaskPhases` records (a finalized
+    :class:`~repro.obs.tracer.DistributedTracer`) exports through
+    :func:`distributed_to_events` — per-worker-process lanes with
+    dispatch flow arrows — instead of the flat per-thread lanes.
+    ``problem`` (``"qr"``, ``"cholesky"``, ...) stamps the
+    factorization family into ``otherData`` so analyzers can label
+    their reports; when omitted it is taken from the sim result's
+    graph if one is given.
     """
     if tracer is None and sim is None:
         raise ValueError("chrome_trace needs a tracer, a sim result, or both")
@@ -150,7 +236,10 @@ def chrome_trace(tracer: Tracer | None = None,
         problem = getattr(sim.graph, "problem", "") or ""
     events: list[dict] = []
     if tracer is not None:
-        events.extend(tracer_to_events(tracer))
+        if getattr(tracer, "phases", None):
+            events.extend(distributed_to_events(tracer))
+        else:
+            events.extend(tracer_to_events(tracer))
     if sim is not None:
         events.extend(sim_to_events(sim, time_scale=sim_time_scale))
     other = {"producer": "repro.obs.chrome_trace"}

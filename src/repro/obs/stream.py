@@ -486,6 +486,20 @@ class BusRelay:
     be re-assigned between runs — a long-lived relay whose publishers
     were shipped to workers at process start can fan into a different
     bus per run.
+
+    Two hooks serve the process pool's distributed tracing:
+
+    * :attr:`span_sink` — a callable receiving the raw field dict of
+      every ``"task_spans"`` record (worker-side span stamps, single
+      or batched with list-valued fields); those records are consumed
+      by the sink and never forwarded to the bus (they are not
+      :class:`Event`-shaped).
+    * :meth:`pumped` — per-kind counts of everything the pump has
+      delivered, letting the parent *drain* the relay at a run
+      boundary: wait until the count of ``task_done`` (and
+      ``task_spans``) records caught up with the completions it saw on
+      its own queue, so ``run_done`` is only published after every
+      worker event of the run landed in the bus.
     """
 
     _SENTINEL = ("__stop__", None)
@@ -497,9 +511,14 @@ class BusRelay:
         if ctx is None:
             ctx = mp
         self.bus = bus
+        #: optional consumer of ``"task_spans"`` records (field dicts)
+        self.span_sink = None
         self._queue = ctx.Queue(capacity)
         self._dropped = ctx.Value("l", 0)
         self._thread: threading.Thread | None = None
+        # written only by the pump thread, read by the parent; dict
+        # item assignment is atomic under the GIL
+        self._pumped: dict[str, int] = {}
 
     def publisher(self) -> RemotePublisher:
         return RemotePublisher(self._queue, self._dropped)
@@ -507,6 +526,14 @@ class BusRelay:
     @property
     def dropped(self) -> int:
         return int(self._dropped.value)
+
+    def pumped(self, kind: str) -> int:
+        """Events of ``kind`` delivered by the pump so far."""
+        return self._pumped.get(kind, 0)
+
+    @property
+    def running(self) -> bool:
+        return self._thread is not None
 
     def start(self) -> "BusRelay":
         if self._thread is not None:
@@ -529,8 +556,23 @@ class BusRelay:
             kind, fv = self._queue.get()
             if kind == self._SENTINEL[0] and fv is None:
                 return
+            if kind == "task_spans":
+                sink = self.span_sink
+                if sink is not None:
+                    try:
+                        sink(fv)
+                    except Exception:
+                        pass  # a broken sink must not kill the pump
+                # batched records carry one list of tids per batch;
+                # count tasks, not records, so the drain barrier can
+                # compare against retired-task counts
+                tid = fv.get("tid") if isinstance(fv, dict) else None
+                n = len(tid) if isinstance(tid, (list, tuple)) else 1
+                self._pumped[kind] = self._pumped.get(kind, 0) + n
+                continue
             self.bus.publish(
                 kind, **{k: v for k, v in fv.items() if k in known})
+            self._pumped[kind] = self._pumped.get(kind, 0) + 1
 
     def __enter__(self) -> "BusRelay":
         return self.start()

@@ -1,4 +1,4 @@
-"""Span-based tracing of real kernel executions (S17).
+"""Span-based tracing of real kernel executions (S17, S23).
 
 A :class:`Tracer` records one :class:`Span` per retired task of the
 threaded (or sequential) executor: which kernel ran on which tile
@@ -12,6 +12,19 @@ The recorder is a single lock-protected append; the executor's hot
 path pays nothing when tracing is off because it is handed
 :data:`NULL_TRACER` (or ``None``) and skips the calls entirely —
 ``NullTracer.enabled`` is ``False`` and every method is a no-op.
+
+The distributed extension (S23) crosses the process boundary of the
+shared-memory pool: a :class:`DistributedTracer` merges the parent
+scheduler's dispatch/retire stamps with worker-side child spans
+(*deserialize* / *kernel* / *publish*) shipped back over the pool's
+:class:`~repro.obs.stream.BusRelay`, aligned onto the parent's
+``perf_counter`` timeline by an NTP-style clock handshake
+(:func:`estimate_clock_sync`, one :class:`ClockSync` per worker).
+Every retired task becomes one :class:`TaskPhases` record — six
+telescoping phases whose sum equals the task's wall-clock latency *by
+construction* — plus a regular :class:`Span`, so everything that
+consumes a plain tracer (``analyze_tracer``, Chrome export, overlay
+diffs) keeps working unchanged.
 """
 
 from __future__ import annotations
@@ -24,7 +37,17 @@ from typing import TYPE_CHECKING, Optional
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..dag.tasks import Task
 
-__all__ = ["Span", "Tracer", "NullTracer", "NULL_TRACER"]
+__all__ = [
+    "Span",
+    "Tracer",
+    "NullTracer",
+    "NULL_TRACER",
+    "TaskPhases",
+    "PHASES",
+    "ClockSync",
+    "estimate_clock_sync",
+    "DistributedTracer",
+]
 
 
 @dataclass(slots=True)
@@ -47,6 +70,14 @@ class Span:
         the tracer).  0 for sequential runs.
     submit, start, finish : float
         Seconds since the tracer's epoch.
+    count : int
+        Tasks the span covers (1 except for batched (level, kernel)
+        group spans, where it is the batch size — per-task means
+        normalize by it).
+    aborted : bool
+        The task was in flight when its run aborted (worker death or a
+        propagated error); ``finish`` is the abort time, not a kernel
+        return.
     """
 
     tid: int
@@ -60,6 +91,8 @@ class Span:
     submit: float
     start: float
     finish: float
+    count: int = 1
+    aborted: bool = False
 
     @property
     def duration(self) -> float:
@@ -103,12 +136,18 @@ class Tracer:
             return idx
 
     def record(self, task: "Task", submit: float, start: float,
-               finish: float, worker: int | None = None) -> Span:
-        """Append the span of one retired ``task``; returns it."""
+               finish: float, worker: int | None = None,
+               count: int = 1, aborted: bool = False) -> Span:
+        """Append the span of one retired ``task``; returns it.
+
+        ``count`` marks group spans covering several tasks (batched
+        backend); ``aborted`` closes a span whose task never finished.
+        """
         w = self.worker_index() if worker is None else worker
         span = Span(tid=task.tid, name=str(task), kernel=task.kernel.value,
                     row=task.row, piv=task.piv, col=task.col, j=task.j,
-                    worker=w, submit=submit, start=start, finish=finish)
+                    worker=w, submit=submit, start=start, finish=finish,
+                    count=count, aborted=aborted)
         with self._lock:
             self.spans.append(span)
         return span
@@ -158,9 +197,379 @@ class NullTracer(Tracer):
     def worker_index(self) -> int:  # pragma: no cover - trivial
         return 0
 
-    def record(self, task, submit, start, finish, worker=None):
+    def record(self, task, submit, start, finish, worker=None,
+               count=1, aborted=False):
         return None
 
 
 #: shared do-nothing tracer; pass this (or ``None``) to disable tracing
 NULL_TRACER = NullTracer()
+
+
+# ----------------------------------------------------------------------
+# distributed tracing: lifecycle phases, clock alignment (S23)
+# ----------------------------------------------------------------------
+
+#: the task lifecycle phases, in timeline order.  Each is the interval
+#: between two adjacent boundaries of a :class:`TaskPhases` record, so
+#: their sum telescopes to the task's wall-clock latency exactly.
+PHASES = ("queued", "dispatched", "deserialized", "computing",
+          "published", "retired")
+
+
+@dataclass(slots=True)
+class TaskPhases:
+    """Lifecycle boundaries of one task, on the parent's timeline.
+
+    Seven monotone timestamps (seconds since the tracer epoch) split a
+    task's life into the six :data:`PHASES`:
+
+    ======================  ==========================================
+    ``queued``              ``ready → dispatch`` — sat in the parent's
+                            priority heap / prefetch budget
+    ``dispatched``          ``dispatch → recv`` — descriptor pickling +
+                            queue transfer + worker wake-up
+    ``deserialized``        ``recv → start`` — worker-side unpack and
+                            pre-kernel bookkeeping
+    ``computing``           ``start → finish`` — the kernel itself
+    ``published``           ``finish → publish`` — completion message +
+                            telemetry enqueue on the worker
+    ``retired``             ``publish → retire`` — done-queue transit
+                            back + parent bookkeeping
+    ======================  ==========================================
+
+    Worker-side boundaries (``recv``/``start``/``finish``/``publish``)
+    are clock-aligned via the worker's :class:`ClockSync` and clamped
+    monotone, so any alignment residual is absorbed into the adjacent
+    phase rather than producing negative durations — the telescoping
+    identity ``sum(phases) == latency`` holds exactly.
+
+    For executors without a process boundary (sequential, threaded,
+    batched) the degenerate mapping is ``ready = dispatch = submit``,
+    ``recv = start``, ``publish = finish = retire``: everything lands
+    in ``queued`` and ``computing``, which keeps reports comparable
+    across all three modes.
+    """
+
+    tid: int
+    name: str
+    kernel: str
+    worker: int
+    ready: float
+    dispatch: float
+    recv: float
+    start: float
+    finish: float
+    publish: float
+    retire: float
+    count: int = 1
+    aborted: bool = False
+    #: worker-side boundaries actually measured (False = parent-only
+    #: fallback: the span record was dropped or the worker died)
+    measured: bool = True
+
+    # ------------------------------------------------------------------
+    @property
+    def queued(self) -> float:
+        return self.dispatch - self.ready
+
+    @property
+    def dispatched(self) -> float:
+        return self.recv - self.dispatch
+
+    @property
+    def deserialized(self) -> float:
+        return self.start - self.recv
+
+    @property
+    def computing(self) -> float:
+        return self.finish - self.start
+
+    @property
+    def published(self) -> float:
+        return self.publish - self.finish
+
+    @property
+    def retired(self) -> float:
+        return self.retire - self.publish
+
+    @property
+    def latency(self) -> float:
+        """Wall-clock life of the task: ``retire - ready``."""
+        return self.retire - self.ready
+
+    @property
+    def overhead(self) -> float:
+        """Everything but the kernel: ``latency - computing``."""
+        return self.latency - self.computing
+
+    def phase(self, name: str) -> float:
+        if name not in PHASES:
+            raise KeyError(f"unknown phase {name!r} (choose from {PHASES})")
+        return getattr(self, name)
+
+    def to_dict(self) -> dict:
+        d = {"tid": self.tid, "name": self.name, "kernel": self.kernel,
+             "worker": self.worker, "count": self.count,
+             "aborted": self.aborted, "measured": self.measured,
+             "latency": self.latency}
+        d.update({p: self.phase(p) for p in PHASES})
+        return d
+
+
+@dataclass(frozen=True)
+class ClockSync:
+    """One worker's ``perf_counter`` offset against the parent clock.
+
+    ``offset`` is ``worker_clock - parent_clock`` at the estimate's
+    midpoint; a worker stamp ``t_w`` maps onto the parent timeline as
+    ``t_w - offset``.  ``residual`` is the uncertainty bound of that
+    mapping (half the best round-trip — the classical NTP argument:
+    the true offset lies within ±``rtt/2`` of the midpoint estimate).
+    ``drift`` is the offset's rate of change per second against the
+    previous estimate of the same worker (0 on the first sync).
+    ``at`` is the parent ``perf_counter`` of the estimate.
+    """
+
+    worker: int
+    offset: float
+    residual: float
+    rtt: float
+    samples: int
+    at: float
+    drift: float = 0.0
+
+    def aligned(self, t_worker: float) -> float:
+        """Map a worker ``perf_counter`` stamp onto the parent clock."""
+        return t_worker - self.offset
+
+    def to_dict(self) -> dict:
+        return {"worker": self.worker, "offset_s": self.offset,
+                "residual_s": self.residual, "rtt_s": self.rtt,
+                "samples": self.samples, "drift": self.drift}
+
+
+def estimate_clock_sync(worker: int,
+                        samples: list[tuple[float, float, float]],
+                        prev: ClockSync | None = None) -> ClockSync:
+    """NTP-style offset estimate from ping round-trips.
+
+    Each sample is ``(t_send, t_worker, t_recv)``: parent
+    ``perf_counter`` at ping send and reply receipt bracketing the
+    worker's own stamp.  The minimum-RTT sample is the least
+    contaminated by queue latency, so it alone provides the estimate:
+    ``offset = t_worker - (t_send + t_recv) / 2`` with residual
+    ``rtt / 2``.  ``prev`` (the same worker's previous estimate)
+    yields the drift rate.
+    """
+    if not samples:
+        raise ValueError("need at least one ping sample")
+    t_send, t_worker, t_recv = min(samples, key=lambda s: s[2] - s[0])
+    rtt = max(0.0, t_recv - t_send)
+    mid = (t_send + t_recv) / 2.0
+    offset = t_worker - mid
+    drift = 0.0
+    if prev is not None and mid > prev.at:
+        drift = (offset - prev.offset) / (mid - prev.at)
+    return ClockSync(worker=worker, offset=offset, residual=rtt / 2.0,
+                     rtt=rtt, samples=len(samples), at=mid, drift=drift)
+
+
+@dataclass
+class DistributedTracer(Tracer):
+    """Tracer that merges parent and worker spans on one timeline.
+
+    The process pool drives it in three stages:
+
+    1. :meth:`set_clock` after each run's sync handshake (one
+       :class:`ClockSync` per worker, re-estimated every run so drift
+       on a persistent pool stays bounded);
+    2. during the run, :meth:`record_parent` per retirement (parent
+       stamps) while the relay's span sink feeds
+       :meth:`add_worker_span` (worker stamps, worker clock);
+    3. :meth:`finalize` after the relay drained — the run's parent and
+       worker halves are snapshotted onto a backlog and the pending
+       maps cleared (nothing accumulates across runs on a persistent
+       pool).  The actual merge into :class:`TaskPhases` +
+       :class:`Span` records is *lazy*: it runs on the first read of
+       :attr:`phases` / :attr:`spans`, keeping the per-run tracing
+       cost inside ``factor()`` to stamp capture alone.
+
+    It is also a perfectly valid plain :class:`Tracer`: handed to the
+    threaded or batched executor it records ordinary spans and
+    :attr:`phases` stays empty (reports fall back to the degenerate
+    two-phase view).
+    """
+
+    clocks: dict[int, ClockSync] = field(default_factory=dict)
+    _parent: dict[int, tuple] = field(default_factory=dict, repr=False)
+    _wspans: dict[int, tuple] = field(default_factory=dict, repr=False)
+    #: finalized-but-unmerged runs: (parent, wspans, offsets) snapshots
+    _backlog: list[tuple] = field(default_factory=list, repr=False)
+    _phases: list[TaskPhases] = field(default_factory=list, repr=False)
+    _merge_lock: threading.Lock = field(default_factory=threading.Lock,
+                                        repr=False)
+
+    @property
+    def phases(self) -> list[TaskPhases]:
+        """Merged lifecycle records (drains any finalized backlog)."""
+        if self._backlog:
+            self._drain_backlog()
+        return self._phases
+
+    @property
+    def spans(self) -> list[Span]:
+        if self._backlog:
+            self._drain_backlog()
+        return self._spans_store
+
+    @spans.setter
+    def spans(self, value: list[Span]) -> None:
+        # the dataclass __init__ assigns the field through this setter
+        self._spans_store = value
+
+    # ------------------------------------------------------------------
+    def set_clock(self, sync: ClockSync) -> None:
+        with self._lock:
+            self.clocks[sync.worker] = sync
+
+    @property
+    def max_residual(self) -> float:
+        """Worst clock-alignment uncertainty across workers (seconds)."""
+        with self._lock:
+            return max((c.residual for c in self.clocks.values()),
+                       default=0.0)
+
+    def aligned(self, worker: int, t_worker: float) -> float:
+        """A worker ``perf_counter`` stamp as seconds since the epoch."""
+        sync = self.clocks.get(worker)
+        off = sync.offset if sync is not None else 0.0
+        return t_worker - off - self.epoch
+
+    # ------------------------------------------------------------------
+    def add_worker_span(self, fields: dict) -> None:
+        """Relay span sink: worker-side stamps (worker clock).
+
+        Accepts one task (scalar fields) or a worker's batched record
+        (list-valued ``tid``/``recv``/``start``/``finish``/``publish``
+        of equal length).  Called from the relay pump thread;
+        malformed records are dropped rather than killing the pump.
+        """
+        try:
+            w = int(fields["worker"])
+            tids = fields["tid"]
+            if isinstance(tids, (list, tuple)):
+                recs = list(zip(tids, fields["recv"], fields["start"],
+                                fields["finish"], fields["publish"]))
+            else:
+                recs = [(tids, fields["recv"], fields["start"],
+                         fields["finish"], fields["publish"])]
+        except (KeyError, TypeError):
+            return
+        with self._lock:
+            for tid, recv, start, finish, publish in recs:
+                try:
+                    self._wspans[int(tid)] = (
+                        w, float(recv), float(start), float(finish),
+                        float(publish))
+                except (TypeError, ValueError):
+                    continue
+
+    def record_parent(self, task: "Task", ready: float, dispatch: float,
+                      retire: float, worker: int, dt: float = 0.0,
+                      aborted: bool = False) -> None:
+        """Parent-side half of one task: scheduler stamps (epoch-relative).
+
+        ``dt`` is the worker-reported kernel seconds, used only as the
+        fallback when the worker span record never arrives.
+
+        Lock-free: only the scheduler thread writes parent halves (one
+        dict store, atomic under the GIL), and :meth:`finalize` swaps
+        the map out under the lock before reading it.
+        """
+        self._parent[task.tid] = (task, ready, dispatch, retire,
+                                  worker, dt, aborted)
+
+    # ------------------------------------------------------------------
+    def finalize(self) -> int:
+        """Close out one run; returns the number of tasks captured.
+
+        Snapshots the run's parent/worker halves (plus the clock
+        offsets in force) onto a merge backlog and clears the pending
+        maps — a persistent pool calls this once per run, so per-run
+        bookkeeping never outlives the run.  The O(tasks) merge is
+        deferred to the first read of :attr:`phases` / :attr:`spans`,
+        keeping ``finalize`` O(1) inside the timed run window.
+        """
+        with self._lock:
+            parent, self._parent = self._parent, {}
+            wspans, self._wspans = self._wspans, {}
+            offsets = {w: c.offset + self.epoch
+                       for w, c in self.clocks.items()}
+        if parent:
+            self._backlog.append((parent, wspans, offsets))
+        return len(parent)
+
+    def _drain_backlog(self) -> None:
+        """Merge every finalized-but-unmerged run into phases/spans.
+
+        Worker stamps are clamped monotone against the parent
+        boundaries: the telescoping phase identity holds exactly and
+        any clock-alignment residual is absorbed by adjacent phases.
+        Guarded by its own lock (never ``_lock``) so property reads
+        from inside locked :class:`Tracer` methods cannot deadlock.
+        """
+        with self._merge_lock:
+            while self._backlog:
+                parent, wspans, offsets = self._backlog.pop(0)
+                self._merge_run(parent, wspans, offsets)
+
+    def _merge_run(self, parent: dict, wspans: dict,
+                   offsets: dict) -> int:
+        new_phases: list[TaskPhases] = []
+        new_spans: list[Span] = []
+        for tid in sorted(parent):
+            task, ready, dispatch, retire, worker, dt, aborted = parent[tid]
+            ws = wspans.get(tid)
+            if ws is not None and not aborted:
+                widx, recv, start, finish, publish = ws
+                off = offsets.get(widx, self.epoch)
+                recv -= off
+                start -= off
+                finish -= off
+                publish -= off
+                measured = True
+            elif aborted:
+                recv = start = finish = publish = retire
+                measured = False
+            else:
+                # span record dropped: reconstruct the kernel window
+                # from the parent-side completion (dt seconds ending
+                # at retire), leaving publish/retire attribution empty
+                start = retire - dt
+                recv, finish, publish = start, retire, retire
+                measured = False
+            # clamp the 7 boundaries monotone (residual absorption)
+            b = [ready, dispatch, recv, start, finish, publish, retire]
+            for i in range(1, 7):
+                if b[i] < b[i - 1]:
+                    b[i] = b[i - 1]
+            name = str(task)
+            kernel = task.kernel.value
+            new_phases.append(TaskPhases(
+                tid=tid, name=name, kernel=kernel,
+                worker=worker, ready=b[0], dispatch=b[1], recv=b[2],
+                start=b[3], finish=b[4], publish=b[5], retire=b[6],
+                aborted=aborted, measured=measured))
+            new_spans.append(Span(
+                tid=tid, name=name, kernel=kernel,
+                row=task.row, piv=task.piv, col=task.col, j=task.j,
+                worker=worker, submit=b[1], start=b[3], finish=b[4],
+                aborted=aborted))
+        self._phases.extend(new_phases)
+        self._spans_store.extend(new_spans)
+        return len(new_phases)
+
+    @property
+    def aborted_count(self) -> int:
+        return sum(1 for p in self.phases if p.aborted)

@@ -370,7 +370,8 @@ def execute_batched(
         if observed:
             if tracer is not None:
                 rel = t0 - tracer.epoch
-                tracer.record(_GroupTask(grp), rel, rel, t1 - tracer.epoch)
+                tracer.record(_GroupTask(grp), rel, rel,
+                              t1 - tracer.epoch, count=len(grp))
             if metrics is not None:
                 name = grp.kernel.value
                 metrics.counter(f"tasks.retired.{name}").inc(len(grp))

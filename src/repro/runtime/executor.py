@@ -540,6 +540,14 @@ def _observe_task(
     tracer re-bases them onto its epoch.  When ``submit_ts``/``epoch``
     are given (threaded scheduler) the ready-to-start queue wait is
     also observed into ``scheduler.queue_wait_seconds``.
+
+    Lifecycle comparability: the span's ``submit`` is the *ready*
+    stamp (the moment the task entered the ready queue), so in the
+    degenerate lifecycle view (:func:`repro.obs.analyze.overhead_report`
+    on a plain capture) thread-mode queue wait lands in the ``queued``
+    phase and the kernel in ``computing`` — directly comparable with
+    the process backend's six-phase attribution, whose four extra
+    phases are identically zero here (no process boundary to cross).
     """
     if tracer is not None:
         sub = (submit_ts[task.tid] if submit_ts is not None

@@ -60,6 +60,7 @@ from ..kernels.geqrt import TFactor, panel_starts
 from ..kernels.lapack import LapackT
 from ..obs.metrics import MetricsRegistry
 from ..obs.stream import NULL_BUS, BusRelay
+from ..obs.tracer import DistributedTracer, estimate_clock_sync
 from ..tiles.layout import TiledMatrix
 from ..tiles.shared_pool import SharedArray, SharedTilePool
 from .executor import ExecutionContext, _KIND, _clamp_ib
@@ -82,6 +83,13 @@ _PREFETCH = 2
 #: seconds between liveness checks while waiting for completions
 _POLL_S = 1.0
 
+#: traced tasks a worker buffers before shipping one batched
+#: ``task_spans`` record — the merge only happens after the run's
+#: drain barrier, so a whole typical run rides in the endrun flush
+#: (zero mid-run relay traffic); the threshold just bounds buffer
+#: growth on very large runs
+_SPAN_FLUSH = 4096
+
 #: environment knobs that pin per-worker BLAS threading.  Set around
 #: worker start-up so children initialize single-threaded BLAS pools
 #: (the parent's already-initialized BLAS is unaffected; fork children
@@ -99,7 +107,8 @@ class _RunState:
     """Per-run worker state: mapped segments + resolved kernels."""
 
     __slots__ = ("stack_sa", "tstore_sa", "stack", "tstore", "bk", "ib",
-                 "nb", "q", "panels", "publish", "lapack")
+                 "nb", "q", "panels", "publish", "trace", "lapack",
+                 "span_buf")
 
     def __init__(self, stack_handle, tstore_handle, cfg: dict):
         self.stack_sa = SharedArray.attach(stack_handle)
@@ -111,7 +120,10 @@ class _RunState:
         self.nb = cfg["nb"]
         self.q = cfg["q"]
         self.publish = cfg["publish"]
+        self.trace = cfg.get("trace", False)
         self.lapack = cfg["lapack"]
+        #: buffered (tid, recv, start, finish, publish) span stamps
+        self.span_buf: list = []
         # padded slots always factor a full nb-column panel sequence
         self.panels = panel_starts(self.nb, self.ib)
 
@@ -168,18 +180,45 @@ def _exec_task(st: _RunState, code: int, row: int, piv: int, col: int,
                  stack[piv * q + j], stack[row * q + j])
 
 
+def _flush_spans(state: "_RunState", widx: int, publisher) -> None:
+    """Ship the buffered span stamps as one batched relay record."""
+    buf = state.span_buf
+    if not buf:
+        return
+    state.span_buf = []
+    publisher.publish("task_spans", worker=widx,
+                      tid=[b[0] for b in buf],
+                      recv=[b[1] for b in buf],
+                      start=[b[2] for b in buf],
+                      finish=[b[3] for b in buf],
+                      publish=[b[4] for b in buf])
+
+
 def _worker_main(widx: int, inq, done_q, publisher) -> None:
     """Worker process loop: attach per run, execute tasks, report.
 
     Must stay importable at module level for the ``spawn`` start
     method.  Every exception is shipped to the parent as a formatted
     traceback — a worker never dies on a task failure.
+
+    When the run is traced (``cfg["trace"]``) the worker stamps four
+    ``perf_counter`` boundaries per task — message receipt, kernel
+    entry/return, completion published — and buffers them; every
+    :data:`_SPAN_FLUSH` tasks (and at endrun, before the ``closed``
+    ack) the buffer ships through the relay as one batched
+    ``"task_spans"`` record, so tracing costs one queue put per batch
+    instead of per task and every record still precedes the parent's
+    endrun barrier.  A ``("sync", token)`` message answers with the
+    worker's own clock reading (``("sync_ack", widx, token, t)``): the
+    parent's NTP-style handshake that aligns those stamps onto its
+    timeline.
     """
     state: _RunState | None = None
     while True:
         msg = inq.get()
         kind = msg[0]
         if kind == "task":
+            recv_t = time.perf_counter()
             _, tid, code, row, piv, col, j, fslot, src = msg
             if state.publish:
                 publisher.publish("task_start", tid=tid,
@@ -191,11 +230,19 @@ def _worker_main(widx: int, inq, done_q, publisher) -> None:
                 done_q.put(("error", widx, tid, traceback.format_exc()))
                 continue
             dt = time.perf_counter() - t0
+            t1 = t0 + dt
             if state.publish:
                 publisher.publish("task_done", tid=tid,
                                   kernel=_CODE_TO_NAME[code], worker=widx,
                                   value=dt)
             done_q.put(("done", widx, tid, dt))
+            if state.trace:
+                state.span_buf.append((tid, recv_t, t0, t1,
+                                       time.perf_counter()))
+                if len(state.span_buf) >= _SPAN_FLUSH:
+                    _flush_spans(state, widx, publisher)
+        elif kind == "sync":
+            done_q.put(("sync_ack", widx, msg[1], time.perf_counter()))
         elif kind == "run":
             _, stack_handle, tstore_handle, cfg = msg
             try:
@@ -206,11 +253,13 @@ def _worker_main(widx: int, inq, done_q, publisher) -> None:
             done_q.put(("ready", widx))
         elif kind == "endrun":
             if state is not None:
+                _flush_spans(state, widx, publisher)
                 state.close()
                 state = None
             done_q.put(("closed", widx))
         else:  # "stop"
             if state is not None:
+                _flush_spans(state, widx, publisher)
                 state.close()
             return
 
@@ -275,6 +324,13 @@ class ProcessPool:
         self._procs: list = []
         self._closed = False
         self._broken = False
+        # distributed-tracing state: in-flight parent stamps for the
+        # current run only (cleared every run — a persistent pool must
+        # not accumulate per-task bookkeeping), and the previous clock
+        # estimate per worker so re-syncs can report drift
+        self._pending: dict[int, list] = {}
+        self._clock_prev: dict = {}
+        self._sched_ok = 0
 
     # ------------------------------------------------------------------
     @property
@@ -351,6 +407,60 @@ class ProcessPool:
             self.close(timeout=0.1)
             raise RuntimeError(
                 f"worker process(es) died: {dead}; the pool is closed")
+
+    def _sync_clocks(self, dtracer: DistributedTracer,
+                     metrics: MetricsRegistry | None,
+                     pings: int = 8) -> None:
+        """NTP-style clock handshake with every worker.
+
+        Each ping records ``(t_send, t_worker, t_recv)`` on the
+        parent's ``perf_counter``; the minimum-RTT sample bounds the
+        worker's clock offset to within half that round-trip.  Runs at
+        the start of every traced run, so a persistent pool re-syncs
+        periodically and the drift since the previous estimate is
+        reported alongside the offset.
+        """
+        for w, inq in enumerate(self._inqs):
+            samples: list[tuple[float, float, float]] = []
+            # first sync of a worker takes the full ping budget; later
+            # re-syncs only refresh drift, so half the pings suffice
+            n_pings = pings if w not in self._clock_prev \
+                else max(3, pings // 2)
+            for tok in range(n_pings):
+                t_send = time.perf_counter()
+                inq.put(("sync", tok))
+                deadline = time.monotonic() + 30.0
+                while True:
+                    try:
+                        msg = self._done_q.get(timeout=_POLL_S)
+                    except queue_mod.Empty:
+                        self._check_alive()
+                        if time.monotonic() > deadline:
+                            self._broken = True
+                            self.close(timeout=0.1)
+                            raise RuntimeError(
+                                f"timed out syncing clock of worker {w}")
+                        continue
+                    if msg[0] == "sync_ack" and msg[1] == w \
+                            and msg[2] == tok:
+                        samples.append((t_send, msg[3],
+                                        time.perf_counter()))
+                        break
+                    if msg[0] == "error":
+                        self._broken = True
+                        self.close(timeout=0.1)
+                        raise RuntimeError(
+                            f"worker failed during clock sync:\n{msg[3]}")
+                    # stale completions / acks from an aborted run
+            sync = estimate_clock_sync(w, samples,
+                                       prev=self._clock_prev.get(w))
+            self._clock_prev[w] = sync
+            dtracer.set_clock(sync)
+            if metrics is not None:
+                metrics.gauge(f"procpool.clock.offset_us.w{w}",
+                              keep_samples=False).set(sync.offset * 1e6)
+                metrics.gauge(f"procpool.clock.residual_us.w{w}",
+                              keep_samples=False).set(sync.residual * 1e6)
 
     def run(
         self,
@@ -464,18 +574,30 @@ class ProcessPool:
             # ordering, so a worker's last task_done may trail its
             # completion message — late events drain into the same bus
             # instead of being dropped (see docs/observability.md).
+            dtracer = (tracer if isinstance(tracer, DistributedTracer)
+                       else None)
             self._relay.bus = bus if bus is not None else NULL_BUS
-            if bus is not None:
+            self._relay.span_sink = (dtracer.add_worker_span
+                                     if dtracer is not None else None)
+            if bus is not None or dtracer is not None:
                 self._relay.start()
+            base_done = self._relay.pumped("task_done")
+            base_spans = self._relay.pumped("task_spans")
+            base_dropped = self._relay.dropped
             cfg = {"nb": tiled.nb, "ib": ib, "q": tiled.q,
                    "backend": backend_name, "publish": bus is not None,
-                   "lapack": use_lapack}
+                   "trace": dtracer is not None, "lapack": use_lapack}
             for inq in self._inqs:
                 inq.put(("run", pool.handle(), tstore.handle(), cfg))
             self._await("ready", self.workers)
+            if dtracer is not None:
+                # handshake at every run start = periodic re-sync on a
+                # persistent pool; the previous estimate feeds drift
+                self._sync_clocks(dtracer, metrics)
             if bus is not None:
                 bus.publish("run_start", total=n, count=self.workers,
                             problem=getattr(g, "problem", "") or "")
+            self._sched_ok = 0
             err: BaseException | None = None
             try:
                 self._schedule(g, idx, prio, codes, rows, pivs, cols,
@@ -492,6 +614,45 @@ class ProcessPool:
                 except Exception:
                     if err is None:
                         raise
+            if dtracer is not None:
+                # close parent spans of dispatched-but-unretired tasks
+                # (aborted run / dead worker): tagged, never dropped
+                now_rel = time.perf_counter() - dtracer.epoch
+                for tid, ent in self._pending.items():
+                    if ent[2] >= 0:
+                        dtracer.record_parent(g.tasks[tid], ent[0],
+                                              ent[1], now_rel, ent[2],
+                                              aborted=True)
+            self._pending.clear()
+            # Drain the relay before declaring the run over: mp.Queue
+            # feeder threads give no cross-queue ordering, so a
+            # worker's last task_done / task_spans may trail its
+            # completion message.  run_done is only published once
+            # every completion this run produced has been pumped (or
+            # was dropped at a full relay), so `repro top`'s final
+            # frame and any phase accounting keyed on run boundaries
+            # see a complete run.
+            targets = []
+            if bus is not None:
+                targets.append(("task_done", base_done))
+            if dtracer is not None:
+                targets.append(("task_spans", base_spans))
+            if targets and self._relay.running:
+                deadline = time.monotonic() + 5.0
+                while self._relay.running:
+                    lost = self._relay.dropped - base_dropped
+                    if all(self._relay.pumped(k) - b + lost
+                           >= self._sched_ok for k, b in targets):
+                        break
+                    if time.monotonic() > deadline:
+                        if metrics is not None:
+                            metrics.counter(
+                                "procpool.relay_drain_timeout").inc()
+                        break
+                    time.sleep(0.0002)
+            if dtracer is not None:
+                self._relay.span_sink = None
+                dtracer.finalize()
             if err is not None:
                 raise err
             if bus is not None:
@@ -568,29 +729,47 @@ class ProcessPool:
         W = self.workers
         indeg = idx.indegree
         succ_ptr, succ_adj = idx.succ_ptr, idx.succ_adj
+        dtracer = (tracer if isinstance(tracer, DistributedTracer)
+                   else None)
+        epoch = tracer.epoch if tracer is not None else time.perf_counter()
+        # per-run in-flight bookkeeping: tid -> [ready, dispatch,
+        # worker] stamps, popped at retire and cleared by run() — a
+        # persistent pool carries nothing across runs
+        pending = self._pending
+        pending.clear()
+
         ready: list[tuple[float, int, int]] = []
         seq = 0
+        t_ready = (time.perf_counter() - epoch
+                   if tracer is not None else 0.0)
         for tid in np.flatnonzero(indeg == 0).tolist():
             key = -prio[tid] if prio is not None else 0.0
             heapq.heappush(ready, (key, seq, tid))
             seq += 1
+            if tracer is not None:
+                pending[tid] = [t_ready, -1.0, -1]
         load = [0] * W
         outstanding = 0
         completed = 0
-        epoch = tracer.epoch if tracer is not None else time.perf_counter()
-        submit_ts = [0.0] * n if tracer is not None else None
         abort_exc: BaseException | None = None
         cap = 1 + _PREFETCH
 
         def dispatch() -> None:
             nonlocal outstanding
+            t_disp = -1.0
             while ready and abort_exc is None:
                 w = min(range(W), key=load.__getitem__)
                 if load[w] >= cap:
                     return
                 _, _, tid = heapq.heappop(ready)
-                if submit_ts is not None:
-                    submit_ts[tid] = time.perf_counter() - epoch
+                if tracer is not None:
+                    if t_disp < 0.0:
+                        # one stamp per dispatch wave — tasks pushed in
+                        # the same wave leave the scheduler together
+                        t_disp = time.perf_counter() - epoch
+                    ent = pending[tid]
+                    ent[1] = t_disp
+                    ent[2] = w
                 self._inqs[w].put((
                     "task", tid, int(codes[tid]), int(rows[tid]),
                     int(pivs[tid]), int(cols[tid]), int(js[tid]),
@@ -618,6 +797,9 @@ class ProcessPool:
                 load[w] -= 1
                 outstanding -= 1
                 completed += 1
+                self._sched_ok += 1
+                now = (time.perf_counter() - epoch
+                       if tracer is not None else 0.0)
                 if abort_exc is None:
                     for s in succ_adj[succ_ptr[tid]:
                                       succ_ptr[tid + 1]].tolist():
@@ -626,13 +808,20 @@ class ProcessPool:
                             key = -prio[s] if prio is not None else 0.0
                             heapq.heappush(ready, (key, seq, s))
                             seq += 1
+                            if tracer is not None:
+                                # ready the instant this retirement
+                                # lands — reuse its stamp
+                                pending[s] = [now, -1.0, -1]
                     dispatch()
                 task = g.tasks[tid]
-                now = time.perf_counter() - epoch
-                if tracer is not None:
-                    tracer.record(task, submit_ts[tid],
-                                  max(submit_ts[tid], now - dt), now,
-                                  worker=w)
+                if dtracer is not None:
+                    ent = pending.pop(tid)
+                    dtracer.record_parent(task, ent[0], ent[1], now, w,
+                                          dt=dt)
+                elif tracer is not None:
+                    ent = pending.pop(tid)
+                    tracer.record(task, ent[1], max(ent[1], now - dt),
+                                  now, worker=w)
                 if metrics is not None:
                     name = task.kernel.value
                     metrics.counter(f"tasks.retired.{name}").inc()

@@ -363,3 +363,43 @@ class TestBusRelay:
             relay._queue.put(("task_done", {"tid": 1, "mystery": 9}))
         events, _ = bus.events_since(0)
         assert events and events[0].tid == 1
+
+    def test_span_sink_intercepts_task_spans(self):
+        """``task_spans`` records feed the span sink and are counted,
+        but never reach the event bus (they are tracer payloads, not
+        stream events)."""
+        bus = EventBus()
+        got = []
+        relay = BusRelay(bus)
+        relay.span_sink = got.append
+        with relay:
+            pub = relay.publisher()
+            pub.publish("task_spans", tid=3, worker=1, recv=1.0,
+                        start=2.0, finish=3.0, publish=4.0)
+            pub.publish("task_done", tid=3, kernel="GEQRT", value=0.01)
+        assert relay.pumped("task_spans") == 1
+        assert relay.pumped("task_done") == 1
+        assert got and got[0]["tid"] == 3 and got[0]["publish"] == 4.0
+        events, _ = bus.events_since(0)
+        assert [e.kind for e in events] == ["task_done"]
+
+    def test_span_sink_exception_does_not_kill_pump(self):
+        bus = EventBus()
+        relay = BusRelay(bus)
+        relay.span_sink = lambda fields: 1 / 0
+        with relay:
+            pub = relay.publisher()
+            pub.publish("task_spans", tid=0, worker=0, recv=0.0,
+                        start=0.0, finish=0.0, publish=0.0)
+            pub.publish("task_done", tid=0, kernel="GEQRT", value=0.01)
+        events, _ = bus.events_since(0)
+        assert [e.kind for e in events] == ["task_done"]
+        assert relay.pumped("task_spans") == 1
+
+    def test_running_property_tracks_lifecycle(self):
+        relay = BusRelay(EventBus())
+        assert not relay.running
+        relay.start()
+        assert relay.running
+        relay.stop()
+        assert not relay.running

@@ -263,6 +263,26 @@ class TestObservability:
         assert retired == n
         assert metrics.get("procpool.start_method.fork").value >= 1
 
+    def test_traced_pool_reuse_no_bookkeeping_growth(self, rng, pool):
+        """Per-run scheduler stamps must not accumulate across runs on
+        a persistent pool: 50 traced runs through one pool leave the
+        pending map empty and the clock cache bounded each time."""
+        from repro.obs.tracer import DistributedTracer
+
+        a = random_matrix(rng, 16, 16, np.float64)
+        tracer = DistributedTracer()
+        n = None
+        for _ in range(50):
+            f = factor(a, nb=NB, ib=4, mode="process", pool=pool,
+                       tracer=tracer)
+            assert len(pool._pending) == 0
+            assert len(pool._clock_prev) <= pool.workers
+            assert not tracer._parent and not tracer._wspans
+            n = len(f.graph.tasks)
+        assert len(tracer.phases) == 50 * n
+        # re-synced every run: drift is measured from the second on
+        assert all(c.samples >= 1 for c in tracer.clocks.values())
+
     def test_live_progress_state(self, rng, pool):
         """The LiveState reduction --progress/top rely on converges to
         a finished run."""

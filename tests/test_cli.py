@@ -154,6 +154,57 @@ class TestProfile:
         assert {e["pid"] for e in xs} == {1}  # measured lanes only
 
 
+class TestOverhead:
+    ARGS = ["overhead", "greedy", "3", "2", "--nb", "8", "--ib", "4",
+            "--workers", "2", "--start-method", "fork"]
+
+    def test_process_mode_phase_breakdown(self, tmp_path, capsys):
+        import json
+        json_path = tmp_path / "overhead.json"
+        assert main(self.ARGS + ["--json", str(json_path)]) == 0
+        out = capsys.readouterr().out
+        assert "overhead report" in out
+        assert "IPC tax" in out
+        assert "clock alignment" in out
+        for phase in ("queued", "dispatched", "deserialized", "computing",
+                      "published", "retired"):
+            assert phase in out
+        doc = json.loads(json_path.read_text())
+        assert doc["distributed"] and doc["tasks"] > 0
+        assert doc["aborted"] == 0
+        # phase sums equal summed task latency (telescoping identity)
+        lat = sum(w["latency"] for w in doc["per_worker"])
+        assert abs(sum(doc["phase_totals"].values()) - lat) < 1e-6
+        assert 0 < doc["max_residual_s"] < 1e-3
+
+    def test_task_mode_degenerates(self, capsys):
+        assert main(["overhead", "greedy", "3", "2", "--nb", "8",
+                     "--ib", "4", "--mode", "task", "--workers", "2"]) == 0
+        assert "two-phase fallback" in capsys.readouterr().out
+
+    def test_profile_process_merged_trace_round_trips(self, tmp_path,
+                                                      capsys):
+        """profile --mode process writes a merged multi-lane trace that
+        analyze --from-trace reads back without double-counting the
+        dispatch lane."""
+        import json
+        out_path = tmp_path / "merged.json"
+        assert main(["profile", "greedy", "3", "2", "--nb", "8",
+                     "--ib", "4", "--workers", "2", "--mode", "process",
+                     "--start-method", "fork", "--no-sim",
+                     "--out", str(out_path)]) == 0
+        out = capsys.readouterr().out
+        assert "overhead report" in out and "IPC tax" in out
+        doc = json.loads(out_path.read_text())
+        evs = doc["traceEvents"]
+        flows = [e for e in evs if e.get("cat") == "flow"]
+        assert flows and {e["ph"] for e in flows} == {"s", "f"}
+        assert any(e.get("cat") == "dispatch" for e in evs)
+        assert main(["analyze", "--from-trace", str(out_path)]) == 0
+        report = capsys.readouterr().out
+        assert "schedule report" in report
+
+
 class TestAnalyze:
     def test_bounded_report(self, capsys):
         assert main(["analyze", "greedy", "30", "10", "--workers", "16"]) == 0
