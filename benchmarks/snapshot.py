@@ -89,9 +89,11 @@ FACTOR_FULL_CASES = FACTOR_QUICK_CASES + [
 #: ``tracing_overhead`` is the traced/untraced process-mode ratio —
 #: already drift-immune, and bounded absolutely by the CI guard.
 FACTOR_TIMING_LOWER = ("reference_s", "batched_s", "process_s",
-                       "process_traced_s", "tracing_overhead")
+                       "process_traced_s", "process_off_s",
+                       "tracing_overhead")
 FACTOR_TIMING_HIGHER = ("speedup", "reference_gflops", "batched_gflops",
-                        "process_speedup", "process_gflops")
+                        "process_speedup", "process_gflops",
+                        "batch_speedup")
 
 
 def case_key(scheme: str, p: int, q: int, processors: int) -> str:
@@ -193,12 +195,23 @@ def run_factor_case(scheme: str, family: str, m: int, n: int,
     ever inflates a time, so the minima estimate the uncontended cost
     of each side and the ratio is robust to load spikes that would
     make a 3-round median a coin flip.
+
+    Micro-batched dispatch (``--batch``) context rides along: the
+    process rounds run the default ``batch="auto"``, each round also
+    times ``batch="off"`` (``process_off_s``; ``batch_speedup`` is the
+    per-round off/auto ratio), and one instrumented run records the
+    realized group-size histogram summary under the case's ``batch``
+    key — context the comparator never diffs, like
+    ``process_workers``.  Baselines predating these keys compare
+    cleanly: the key intersection simply skips them.
     """
     import os
 
     from repro.api import factor
     from repro.obs import DistributedTracer
+    from repro.obs.metrics import MetricsRegistry
     from repro.runtime import ProcessPool
+    from repro.runtime.groups import resolve_batch
 
     rng = np.random.default_rng(20110814)  # the paper's SC 2011 vintage
     a = rng.standard_normal((m, n))
@@ -217,20 +230,41 @@ def run_factor_case(scheme: str, family: str, m: int, n: int,
         time_mode("task")     # wrappers, pool workers)
         time_mode("process", pool=pool)
         time_mode("process", pool=pool, tracer=DistributedTracer())
-        ref_s, bat_s, pro_s = [], [], []
-        trc_s, ratios, pro_ratios = [], [], []
+        # one instrumented run records the realized micro-batch shape
+        reg = MetricsRegistry()
+        time_mode("process", pool=pool, metrics=reg)
+        gh = reg.histogram("procpool.batch.group_size")
+        batch_ctx = {
+            "mode": "auto",
+            "resolved_size": resolve_batch(
+                "auto", nb, float(np.mean([t.weight
+                                           for t in pl.graph.tasks])),
+                workers=workers),
+            "groups": gh.count,
+            "descriptors": int(
+                reg.counter("procpool.batch.descriptors").value),
+            "group_size": ({"mean": round(gh.mean, 3),
+                            "min": gh.min, "max": gh.max}
+                           if gh.count else
+                           {"mean": 0.0, "min": 0, "max": 0}),
+        }
+        ref_s, bat_s, pro_s, off_s = [], [], [], []
+        trc_s, ratios, pro_ratios, off_ratios = [], [], [], []
         for _ in range(rounds):
             tb = time_mode("batched")
             tr = time_mode("task")
             tp = time_mode("process", pool=pool)
+            to = time_mode("process", pool=pool, batch="off")
             tt = time_mode("process", pool=pool,
                            tracer=DistributedTracer())
             bat_s.append(tb)
             ref_s.append(tr)
             pro_s.append(tp)
+            off_s.append(to)
             trc_s.append(tt)
             ratios.append(tr / tb)
             pro_ratios.append(tr / tp)
+            off_ratios.append(to / tp)
         guard_plain, guard_traced = list(pro_s), list(trc_s)
         for _ in range(4):
             guard_plain.append(time_mode("process", pool=pool))
@@ -254,8 +288,10 @@ def run_factor_case(scheme: str, family: str, m: int, n: int,
             "batched_s": bat,
             "process_s": pro,
             "process_traced_s": trc,
+            "process_off_s": float(np.median(off_s)),
             "speedup": float(np.median(ratios)),
             "process_speedup": float(np.median(pro_ratios)),
+            "batch_speedup": float(np.median(off_ratios)),
             "tracing_overhead": float(min(guard_traced)
                                       / min(guard_plain)),
             "reference_gflops": flops / 1e9 / ref if ref else 0.0,
@@ -263,6 +299,7 @@ def run_factor_case(scheme: str, family: str, m: int, n: int,
             "process_gflops": flops / 1e9 / pro if pro else 0.0,
             "process_workers": workers,  # context only, never compared
         },
+        "batch": batch_ctx,  # context only, never compared
     }
 
 

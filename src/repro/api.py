@@ -102,6 +102,7 @@ def factor(
     numeric: str = "auto",
     start_method: Optional[str] = None,
     pool=None,
+    batch="auto",
     tracer=None,
     metrics=None,
     bus=None,
@@ -125,8 +126,9 @@ def factor(
     (``"auto"``/``"numpy"``/``"lapack"``); ``mode="process"`` runs the
     kernels on ``workers`` worker processes over a shared-memory tile
     pool (``start_method`` picks fork/spawn, ``pool`` reuses a
-    persistent :class:`repro.runtime.ProcessPool`); see
-    docs/performance.md.  The five execution knobs may also arrive
+    persistent :class:`repro.runtime.ProcessPool`, ``batch`` controls
+    micro-batched dispatch — ``"auto"``/``"off"``/group size); see
+    docs/performance.md.  The execution knobs may also arrive
     bundled as ``options=ExecOptions(...)`` — the individual keywords
     stay accepted, and a conflicting non-default keyword raises (see
     :meth:`ExecOptions.resolve`).
@@ -138,7 +140,7 @@ def factor(
     return tiled_qr(a, nb=nb, ib=ib, scheme=scheme, family=family,
                     backend=backend, workers=workers, mode=mode,
                     numeric=numeric, start_method=start_method, pool=pool,
-                    tracer=tracer, metrics=metrics,
+                    batch=batch, tracer=tracer, metrics=metrics,
                     bus=bus, on_task_done=on_task_done, options=options,
                     **scheme_params)
 

@@ -263,7 +263,16 @@ def _exec_options(args):
 
     return ExecOptions(mode=args.mode, workers=args.workers,
                        numeric=args.numeric,
-                       start_method=args.start_method)
+                       start_method=args.start_method,
+                       batch=getattr(args, "batch", "auto"))
+
+
+def _add_batch(p) -> None:
+    p.add_argument("--batch", default="auto", metavar="auto|N|off",
+                   help="micro-batch dispatch for --mode process/task: "
+                        "auto (default) targets ~1ms of work per group, "
+                        "an int fixes the group size, off (or 1) "
+                        "dispatches single tasks")
 
 
 def _cmd_factor(args) -> int:
@@ -807,6 +816,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--start-method", default=None,
                    choices=["fork", "spawn", "forkserver"],
                    help="multiprocessing start method for --mode process")
+    _add_batch(p)
     p.add_argument("--bs", type=int, default=None)
     p.add_argument("--save", help="save the factorization to this .npz")
     p.add_argument("--progress", action="store_true",
@@ -904,6 +914,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--start-method", default=None,
                    choices=["fork", "spawn", "forkserver"],
                    help="multiprocessing start method for --mode process")
+    _add_batch(p)
     p.add_argument("--seed", type=int, default=0)
     p.add_argument("--out", help="write Chrome trace-event JSON here")
     p.add_argument("--metrics-json", help="write the metrics snapshot here")
@@ -946,6 +957,7 @@ def build_parser() -> argparse.ArgumentParser:
                    choices=["auto", "numpy", "lapack"])
     p.add_argument("--start-method", default=None,
                    choices=["fork", "spawn", "forkserver"])
+    _add_batch(p)
     p.add_argument("--seed", type=int, default=0)
     p.add_argument("--format", default="text",
                    choices=["text", "json", "markdown"])
@@ -969,6 +981,7 @@ def build_parser() -> argparse.ArgumentParser:
                    choices=["auto", "numpy", "lapack"])
     p.add_argument("--start-method", default=None,
                    choices=["fork", "spawn", "forkserver"])
+    _add_batch(p)
     p.add_argument("--seed", type=int, default=0)
     p.add_argument("--interval", type=float, default=0.1,
                    help="dashboard repaint cadence in seconds")

@@ -158,6 +158,7 @@ def tiled_qr(
     numeric: str = "auto",
     start_method: str | None = None,
     pool=None,
+    batch="auto",
     tracer=None,
     metrics=None,
     bus=None,
@@ -218,6 +219,12 @@ def tiled_qr(
     pool : repro.runtime.ProcessPool or None
         ``mode="process"`` only: run on a persistent worker pool
         instead of an ephemeral one.
+    batch : int or str
+        Micro-batch dispatch for the process and threaded runtimes:
+        ``"auto"`` (default) targets ~1ms of work per group, an int
+        ``>= 2`` fixes the group size, ``"off"`` dispatches single
+        tasks.  Bit-exact with single-task dispatch on the numpy path
+        (see :func:`repro.runtime.groups.resolve_batch`).
     tracer, metrics, bus, on_task_done
         Observability passthroughs to
         :func:`~repro.runtime.executor.execute_graph`: a span
@@ -268,7 +275,7 @@ def tiled_qr(
     # and the threaded scheduler its memoized bottom-levels
     ctx = execute_graph(pl, tiled, backend=backend, ib=min(ib, nb),
                         workers=workers, mode=mode, numeric=numeric,
-                        start_method=start_method, pool=pool,
+                        start_method=start_method, pool=pool, batch=batch,
                         tracer=tracer, metrics=metrics, bus=bus,
                         on_task_done=on_task_done, options=options)
     return TiledQRFactorization(m=m, n=n, nb=nb, scheme=pl.elims,

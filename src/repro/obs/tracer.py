@@ -29,6 +29,7 @@ diffs) keeps working unchanged.
 
 from __future__ import annotations
 
+import bisect
 import threading
 import time
 from dataclasses import dataclass, field
@@ -249,6 +250,26 @@ class TaskPhases:
     ``recv = start``, ``publish = finish = retire``: everything lands
     in ``queued`` and ``computing``, which keeps reports comparable
     across all three modes.
+
+    Tasks dispatched as part of a micro-batch (``--batch``, S24) share
+    one descriptor: transit, deserialize, publish and retirement were
+    each paid once for the whole group, so every member is charged a
+    ``1/K`` slice of those windows while its ``computing`` phase is an
+    even split of the group's kernel window.  The wait for *earlier
+    members of the same group* is attributed to ``queued`` —
+    scheduling delay, not IPC — so the four IPC phases report the
+    amortized per-task cost honestly and per-phase sums over a group
+    equal the group's true one-time costs.
+
+    Two overlap rules keep the IPC phases honest on a saturated box:
+    descriptor transit counts only from the later of the dispatch
+    stamp and the worker's idle stamp (a descriptor prefetched while
+    the worker was still computing waited deliberately), and the
+    publish-to-retire gap excludes time the worker spent computing
+    subsequent descriptors (the parent's completion processing was
+    displaced by useful work, and that wait already shows up as the
+    successors' ``queued`` delay).  Both overlaps are scheduling, not
+    IPC; ``retired`` reports only transit + wake-up + bookkeeping.
     """
 
     tid: int
@@ -452,26 +473,43 @@ class DistributedTracer(Tracer):
 
         Accepts one task (scalar fields) or a worker's batched record
         (list-valued ``tid``/``recv``/``start``/``finish``/``publish``
-        of equal length).  Called from the relay pump thread;
-        malformed records are dropped rather than killing the pump.
+        of equal length).  Micro-batched records additionally carry
+        ``grecv``/``gpub``/``gsize`` — the group's shared receive and
+        publish stamps plus its size — which the merge uses to
+        amortize the once-per-group parent-side costs; when absent the
+        task is treated as its own group of one.  Called from the
+        relay pump thread; malformed records are dropped rather than
+        killing the pump.
         """
         try:
             w = int(fields["worker"])
             tids = fields["tid"]
             if isinstance(tids, (list, tuple)):
+                n = len(tids)
+                grecv = fields.get("grecv", fields["recv"])
+                gpub = fields.get("gpub", fields["publish"])
+                gsize = fields.get("gsize", [1] * n)
+                gfree = fields.get("gfree", [0.0] * n)
                 recs = list(zip(tids, fields["recv"], fields["start"],
-                                fields["finish"], fields["publish"]))
+                                fields["finish"], fields["publish"],
+                                grecv, gpub, gsize, gfree))
             else:
                 recs = [(tids, fields["recv"], fields["start"],
-                         fields["finish"], fields["publish"])]
+                         fields["finish"], fields["publish"],
+                         fields.get("grecv", fields["recv"]),
+                         fields.get("gpub", fields["publish"]),
+                         fields.get("gsize", 1),
+                         fields.get("gfree", 0.0))]
         except (KeyError, TypeError):
             return
         with self._lock:
-            for tid, recv, start, finish, publish in recs:
+            for (tid, recv, start, finish, publish,
+                 grecv, gpub, gs, gfree) in recs:
                 try:
                     self._wspans[int(tid)] = (
                         w, float(recv), float(start), float(finish),
-                        float(publish))
+                        float(publish), float(grecv), float(gpub),
+                        int(gs), float(gfree))
                 except (TypeError, ValueError):
                     continue
 
@@ -528,16 +566,78 @@ class DistributedTracer(Tracer):
                    offsets: dict) -> int:
         new_phases: list[TaskPhases] = []
         new_spans: list[Span] = []
+        # per-worker busy windows (one per descriptor, parent clock,
+        # sorted): the deserialize->publish span of every group the
+        # worker executed.  Execution is sequential per worker, so the
+        # windows never overlap.  Used below to keep completion-notice
+        # latency honest on a saturated box.
+        busy: dict[int, list[tuple[float, float]]] = {}
+        _seen: set = set()
+        for ws in wspans.values():
+            if len(ws) < 9:
+                continue
+            key = (ws[0], ws[5], ws[6])
+            if key in _seen:
+                continue
+            _seen.add(key)
+            off = offsets.get(ws[0], self.epoch)
+            busy.setdefault(ws[0], []).append((ws[5] - off, ws[6] - off))
+        busy_starts: dict[int, list[float]] = {}
+        for w, win in busy.items():
+            win.sort()
+            busy_starts[w] = [lo for lo, _ in win]
         for tid in sorted(parent):
             task, ready, dispatch, retire, worker, dt, aborted = parent[tid]
             ws = wspans.get(tid)
             if ws is not None and not aborted:
-                widx, recv, start, finish, publish = ws
+                widx, recv, start, finish, publish = ws[:5]
+                if len(ws) >= 9:
+                    grecv, gpub, gsize, gfree = ws[5:9]
+                else:
+                    grecv, gpub, gsize, gfree = recv, publish, 1, 0.0
                 off = offsets.get(widx, self.epoch)
                 recv -= off
                 start -= off
                 finish -= off
                 publish -= off
+                if len(ws) >= 9:
+                    # group-aware attribution: the descriptor transit
+                    # (dispatch -> group recv) and the retirement
+                    # (group publish -> retire) were each paid once
+                    # per descriptor, so charge this member a 1/K
+                    # slice of each.  Transit counts only from the
+                    # later of the dispatch stamp and the worker's
+                    # idle stamp: a descriptor prefetched while the
+                    # worker was still computing waited deliberately,
+                    # and that overlap — like the wait for earlier
+                    # members of the same group — is scheduling delay
+                    # (``queued``), not IPC work.
+                    grecv -= off
+                    gpub -= off
+                    gfree -= off
+                    transit = max(0.0, grecv - max(dispatch, gfree))
+                    dispatch = recv - transit / gsize
+                    # Same rule on the way back: a completion notice
+                    # that sat while its worker computed subsequent
+                    # prefetched descriptors was overlapped with
+                    # useful work (on a saturated box the parent
+                    # could not have run anyway), and that wait
+                    # already surfaces as the successors' queueing
+                    # delay — charging it to ``retired`` too would
+                    # double-count it as IPC.  Subtract the worker's
+                    # busy windows from the publish->retire gap and
+                    # charge only the uncovered remainder (transit +
+                    # parent wake-up + completion processing).
+                    defer = max(0.0, retire - gpub)
+                    win = busy.get(widx)
+                    if defer > 0.0 and win:
+                        i = bisect.bisect_left(busy_starts[widx], gpub)
+                        while i < len(win) and win[i][0] < retire:
+                            lo, hi = win[i]
+                            defer -= (min(hi, retire) - max(lo, gpub))
+                            i += 1
+                        defer = max(0.0, defer)
+                    retire = publish + defer / gsize
                 measured = True
             elif aborted:
                 recv = start = finish = publish = retire

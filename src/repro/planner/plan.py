@@ -134,6 +134,8 @@ class Plan:
         default=None, repr=False, compare=False)
     _level_groups: Optional[list] = field(
         default=None, repr=False, compare=False)
+    _dispatch_arrays: Optional[object] = field(
+        default=None, repr=False, compare=False)
 
     # ------------------------------------------------------------------
     @property
@@ -199,6 +201,21 @@ class Plan:
             from ..runtime.batched import level_kernel_groups
             self._level_groups = level_kernel_groups(self.graph)
         return self._level_groups
+
+    def dispatch_arrays(self):
+        """Memoized flat per-task dispatch/groupability arrays.
+
+        Kernel codes, tile coordinates and T-store slot assignments,
+        aligned by tid — what the process backend's group-aware
+        frontier indexes; see
+        :func:`repro.runtime.groups.dispatch_arrays`.  Cached here so
+        a persistent pool skips the O(tasks) flattening on every run
+        and micro-batch formation stays O(frontier).
+        """
+        if self._dispatch_arrays is None:
+            from ..runtime.groups import dispatch_arrays
+            self._dispatch_arrays = dispatch_arrays(self.graph)
+        return self._dispatch_arrays
 
     def total_weight(self) -> float:
         """Sum of task weights."""

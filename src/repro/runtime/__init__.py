@@ -1,10 +1,12 @@
-"""Execution runtimes for kernel task graphs (S12, S20, S22)."""
+"""Execution runtimes for kernel task graphs (S12, S20, S22, S24)."""
 
 from .batched import execute_batched, level_kernel_groups
 from .executor import ExecutionContext, execute_graph
+from .groups import GroupFrontier, dispatch_arrays, resolve_batch
 from .options import ExecOptions
 from .procpool import ProcessPool, execute_process
 
-__all__ = ["ExecutionContext", "ExecOptions", "execute_graph",
-           "execute_batched", "execute_process", "ProcessPool",
-           "level_kernel_groups"]
+__all__ = ["ExecutionContext", "ExecOptions", "GroupFrontier",
+           "execute_graph", "execute_batched", "execute_process",
+           "ProcessPool", "dispatch_arrays", "level_kernel_groups",
+           "resolve_batch"]

@@ -42,13 +42,11 @@ from ..dag.tasks import KERNEL_CODES, TaskGraph
 from ..kernels.backend import get_backend
 from ..kernels.batched import (
     BatchedTFactor,
-    apply_stacked_batched,
     factor_stacked_batched,
     factor_stacked_lapack_pool,
     geqrt_batched,
     geqrt_lapack_pool,
     lapack_batched_supported,
-    unmqr_batched,
 )
 from ..kernels.costs import Kernel
 from ..kernels.stacked import ts_support, tt_support
@@ -56,6 +54,7 @@ from ..obs.metrics import MetricsRegistry
 from ..tiles.layout import TiledMatrix
 from ..tiles.pool import TilePool
 from .executor import ExecutionContext, _clamp_ib
+from .groups import apply_group_pool, broadcast_tfactor, v_runs
 
 __all__ = ["KernelGroup", "level_kernel_groups", "execute_batched"]
 
@@ -175,24 +174,12 @@ def _tile_tfactor(pad_t: dict, key: tuple, ib: int) -> BatchedTFactor:
     The apply kernels broadcast it across however many C tiles the
     source tile updates, so no per-task T stacking is needed.
     """
-    bt = BatchedTFactor(ib=ib)
-    bt.blocks = [blk[None] for blk in pad_t[key]]
-    return bt
+    return broadcast_tfactor(pad_t[key], ib)
 
 
-def _v_runs(vslots: np.ndarray):
-    """Sort an apply group by source-tile slot and yield the runs.
-
-    Returns ``(order, bounds)``: ``order`` permutes the group's tasks
-    so that tasks sharing one V tile are contiguous, and
-    ``bounds[i]:bounds[i+1]`` delimits run ``i``.  Each run's applies
-    then execute as one broadcast batched operation — the V tile and
-    its T blocks are processed once instead of once per task.
-    """
-    order = np.argsort(vslots, kind="stable")
-    sv = vslots[order]
-    bounds = np.flatnonzero(np.r_[True, sv[1:] != sv[:-1], True])
-    return order, bounds
+#: re-export: the run decomposition moved to :mod:`repro.runtime.groups`
+#: so the process backend's micro-batches reuse it (S24)
+_v_runs = v_runs
 
 
 def _run_group(grp: KernelGroup, pool: TilePool, tiled: TiledMatrix,
@@ -217,15 +204,11 @@ def _run_group(grp: KernelGroup, pool: TilePool, tiled: TiledMatrix,
         _record_tfactors(bt, grp, tiled, tf, pad_t, "ge")
     elif kern is Kernel.UNMQR:
         vslots = pool.slot(grp.rows, grp.cols)
-        order, bounds = _v_runs(vslots)
-        cslots = pool.slot(grp.rows, grp.js)[order]
-        c = pool.take(cslots)
-        for u0, u1 in zip(bounds[:-1], bounds[1:]):
-            b = int(order[u0])
-            v = pool.stack[vslots[b]][None]
-            key = (int(grp.rows[b]), int(grp.cols[b]), "ge")
-            unmqr_batched(v, _tile_tfactor(pad_t, key, ib), c[u0:u1])
-        pool.put(cslots, c)
+        apply_group_pool(
+            pool.stack, KERNEL_CODES.index(kern), vslots, None,
+            pool.slot(grp.rows, grp.js),
+            lambda b: _tile_tfactor(
+                pad_t, (int(grp.rows[b]), int(grp.cols[b]), "ge"), ib))
     elif kern in (Kernel.TSQRT, Kernel.TTQRT):
         kind = "ts" if kern is Kernel.TSQRT else "tt"
         support = ts_support if kern is Kernel.TSQRT else tt_support
@@ -244,22 +227,12 @@ def _run_group(grp: KernelGroup, pool: TilePool, tiled: TiledMatrix,
         _record_tfactors(bt, grp, tiled, tf, pad_t, kind)
     elif kern in (Kernel.TSMQR, Kernel.TTMQR):
         kind = "ts" if kern is Kernel.TSMQR else "tt"
-        support = ts_support if kern is Kernel.TSMQR else tt_support
         vslots = pool.slot(grp.rows, grp.cols)
-        order, bounds = _v_runs(vslots)
-        ct_slots = pool.slot(grp.pivs, grp.js)[order]
-        cb_slots = pool.slot(grp.rows, grp.js)[order]
-        c_top = pool.take(ct_slots)
-        c_bot = pool.take(cb_slots)
-        for u0, u1 in zip(bounds[:-1], bounds[1:]):
-            b = int(order[u0])
-            v = pool.stack[vslots[b]][None]
-            key = (int(grp.rows[b]), int(grp.cols[b]), kind)
-            apply_stacked_batched(v, _tile_tfactor(pad_t, key, ib),
-                                  c_top[u0:u1], c_bot[u0:u1], support,
-                                  mask=kern is Kernel.TTMQR)
-        pool.put(ct_slots, c_top)
-        pool.put(cb_slots, c_bot)
+        apply_group_pool(
+            pool.stack, KERNEL_CODES.index(kern), vslots,
+            pool.slot(grp.pivs, grp.js), pool.slot(grp.rows, grp.js),
+            lambda b: _tile_tfactor(
+                pad_t, (int(grp.rows[b]), int(grp.cols[b]), kind), ib))
     else:  # pragma: no cover - enum is closed
         raise ValueError(f"unknown kernel {kern}")
 

@@ -78,6 +78,71 @@ _KIND = {
     Kernel.TTQRT: "tt", Kernel.TTMQR: "tt",
 }
 
+#: update kernels eligible for *stacked* execution when the threaded
+#: scheduler claims a micro-batch (factor kernels batch too, but run
+#: per-task inside the claim — stacked factor reductions associate
+#: differently and would break numpy-path bit-exactness)
+_APPLY_KERNELS = (Kernel.UNMQR, Kernel.TSMQR, Kernel.TTMQR)
+
+
+def _run_apply_group(ctx: "ExecutionContext", tasks_: list[Task]) -> bool:
+    """Execute a same-kernel apply micro-batch as stacked operations.
+
+    Returns ``False`` (caller loops ``run_task``) unless every tile
+    involved is a full ``nb x nb`` view — ragged edge tiles cannot
+    stack — and the context runs the reference backend (whose
+    per-tile applies the stacked kernels reproduce bitwise; the
+    LAPACK backend's applies are different routines, so grouping them
+    stacked would silently change which numerics ran).  Same V-run
+    decomposition as the batched/process backends
+    (:func:`repro.runtime.groups.v_runs`): tiles sharing one source
+    V/T are one broadcast batched apply.
+    """
+    from ..kernels.batched import apply_stacked_batched, unmqr_batched
+    from ..kernels.stacked import ts_support, tt_support
+    from .groups import broadcast_tfactor, v_runs
+
+    tiled = ctx.tiled
+    nb = tiled.nb
+    kern = tasks_[0].kernel
+    for t in tasks_:
+        if (tiled.row_height(t.row) != nb or tiled.col_width(t.col) != nb
+                or tiled.col_width(t.j) != nb):
+            return False
+        if t.piv is not None and tiled.row_height(t.piv) != nb:
+            return False
+    kind = _KIND[kern]
+    ib = ctx.ib
+    tf = ctx.tfactors
+    vkeys = np.fromiter((t.row * tiled.q + t.col for t in tasks_),
+                        dtype=np.int64, count=len(tasks_))
+    order, bounds = v_runs(vkeys)
+    ordered = [tasks_[int(i)] for i in order]
+    if kern is Kernel.UNMQR:
+        c = np.stack([tiled.tile(t.row, t.j) for t in ordered])
+        for u0, u1 in zip(bounds[:-1], bounds[1:]):
+            lead = ordered[u0]
+            bt = broadcast_tfactor(
+                tf[(lead.row, lead.col, "ge")].blocks, ib)
+            unmqr_batched(tiled.tile(lead.row, lead.col)[None], bt,
+                          c[u0:u1])
+        for i, t in enumerate(ordered):
+            tiled.tile(t.row, t.j)[:] = c[i]
+        return True
+    support = tt_support if kern is Kernel.TTMQR else ts_support
+    c_top = np.stack([tiled.tile(t.piv, t.j) for t in ordered])
+    c_bot = np.stack([tiled.tile(t.row, t.j) for t in ordered])
+    for u0, u1 in zip(bounds[:-1], bounds[1:]):
+        lead = ordered[u0]
+        bt = broadcast_tfactor(tf[(lead.row, lead.col, kind)].blocks, ib)
+        apply_stacked_batched(tiled.tile(lead.row, lead.col)[None], bt,
+                              c_top[u0:u1], c_bot[u0:u1], support,
+                              mask=kern is Kernel.TTMQR)
+    for i, t in enumerate(ordered):
+        tiled.tile(t.piv, t.j)[:] = c_top[i]
+        tiled.tile(t.row, t.j)[:] = c_bot[i]
+    return True
+
 
 @dataclass
 class ExecutionContext:
@@ -198,6 +263,7 @@ def execute_graph(
     numeric: str = "auto",
     start_method: str | None = None,
     pool=None,
+    batch="auto",
     on_task_done=None,
     tracer: Tracer | None = None,
     metrics: MetricsRegistry | None = None,
@@ -254,6 +320,14 @@ def execute_graph(
         ``mode="process"`` only: reuse a persistent worker pool
         instead of starting (and stopping) an ephemeral one — this is
         how repeated factorizations amortize worker start-up.
+    batch : int or str
+        Micro-batch dispatch (``mode="process"`` and the threaded
+        ``mode="task"`` scheduler): ``"auto"`` (default) targets ~1ms
+        of estimated work per group, an int >= 2 fixes the group size,
+        ``"off"`` (or ``1``) dispatches single tasks.  Compatible
+        (same-kernel) ready tasks execute as one stacked group —
+        bit-exact with single-task dispatch on the numpy path.  See
+        :func:`repro.runtime.groups.resolve_batch`.
     on_task_done : callable or None
         Optional observer ``(task, done_count, total) -> None`` invoked
         after each kernel retires (progress bars, logging).  In
@@ -298,14 +372,15 @@ def execute_graph(
     """
     opts = ExecOptions.resolve(options, mode=mode, workers=workers,
                                numeric=numeric, start_method=start_method,
-                               pool=pool)
+                               pool=pool, batch=batch)
     mode, workers, numeric = opts.mode, opts.workers, opts.numeric
-    start_method, pool = opts.start_method, opts.pool
+    start_method, pool, batch = opts.start_method, opts.pool, opts.batch
     if mode == "process":
         from .procpool import execute_process
         return execute_process(graph, tiled, ib=ib, numeric=numeric,
                                workers=workers, start_method=start_method,
-                               pool=pool, on_task_done=on_task_done,
+                               pool=pool, batch=batch,
+                               on_task_done=on_task_done,
                                tracer=tracer, metrics=metrics,
                                collect_metrics=collect_metrics, bus=bus)
     if mode == "batched":
@@ -379,6 +454,22 @@ def execute_graph(
     prio = None
     if plan_obj is not None and hasattr(plan_obj, "bottom_levels"):
         prio = np.asarray(plan_obj.bottom_levels(), dtype=np.float64)
+    # Micro-batching (same --batch option as the process backend): a
+    # worker claims up to batch_size same-kernel ready tasks in one
+    # lock acquisition and executes apply kernels stacked.
+    if batch == "off":
+        batch_size = 1
+    else:
+        from .groups import resolve_batch
+        idx_w = graph.index().weights
+        batch_size = resolve_batch(
+            batch, tiled.nb,
+            float(idx_w.mean()) if idx_w.size else 1.0,
+            workers=max(1, workers))
+    stack_ok = ctx.backend.name == "reference"
+    if metrics is not None:
+        metrics.gauge("scheduler.batch.size", keep_samples=False).set(
+            batch_size)
     lock = threading.Lock()
     done = threading.Event()
     remaining = [n]
@@ -425,23 +516,48 @@ def execute_graph(
                         active[0] -= 1
                         return
                     tid = pop()
-                task = graph.tasks[tid]
+                    claimed = [tid]
+                    if batch_size > 1:
+                        k0 = graph.tasks[tid].kernel
+                        # leave at least one ready task per other
+                        # worker — one claim must not drain the
+                        # frontier the rest of the pool would run
+                        limit = min(batch_size,
+                                    1 + max(0, len(ready) - (W - 1)))
+                        while (len(claimed) < limit and ready
+                               and graph.tasks[ready[0][2]].kernel
+                               is k0):
+                            claimed.append(pop())
+                tasks_ = [graph.tasks[t_] for t_ in claimed]
+                k = len(tasks_)
                 if bus is not None:
-                    bus.publish("task_start", tid=tid,
-                                kernel=task.kernel.value,
-                                worker=bus.worker_index())
+                    widx = bus.worker_index()
+                    for task in tasks_:
+                        bus.publish("task_start", tid=task.tid,
+                                    kernel=task.kernel.value, worker=widx)
                 if timed:
                     t0 = time.perf_counter()
                 try:
-                    ctx.run_task(task)
+                    if not (k > 1 and stack_ok
+                            and tasks_[0].kernel in _APPLY_KERNELS
+                            and _run_apply_group(ctx, tasks_)):
+                        for task in tasks_:
+                            ctx.run_task(task)
                 except BaseException as exc:  # propagate to the caller
                     abort(exc)
                     return
                 if timed:
                     t1 = time.perf_counter()
+                    share = (t1 - t0) / k
                     if observed:
-                        _observe_task(task, t0, t1, tracer, metrics,
-                                      submit_ts=submit_ts, epoch=epoch)
+                        # stacked kernels leave no per-task boundaries:
+                        # split the claim's window evenly, as the
+                        # process backend does for its groups
+                        for i, task in enumerate(tasks_):
+                            _observe_task(task, t0 + i * share,
+                                          t0 + (i + 1) * share, tracer,
+                                          metrics, submit_ts=submit_ts,
+                                          epoch=epoch)
                 # retire: release successors, top the worker pool back up
                 newly_ready = []
                 if metrics is not None:
@@ -449,11 +565,12 @@ def execute_graph(
                 with lock:
                     if metrics is not None:
                         t_in = time.perf_counter()
-                    remaining[0] -= 1
-                    done_count = n - remaining[0]
+                    done_base = n - remaining[0]
+                    remaining[0] -= k
                     if on_task_done is not None:
                         try:
-                            on_task_done(task, done_count, n)
+                            for i, task in enumerate(tasks_):
+                                on_task_done(task, done_base + i + 1, n)
                         except BaseException as exc:
                             # An observer failure must not leave done
                             # unset (deadlock); abort like a kernel
@@ -464,10 +581,11 @@ def execute_graph(
                             return
                     if remaining[0] == 0:
                         done.set()
-                    for s_ in succ[tid]:
-                        indeg[s_] -= 1
-                        if indeg[s_] == 0:
-                            newly_ready.append(s_)
+                    for task in tasks_:
+                        for s_ in succ[task.tid]:
+                            indeg[s_] -= 1
+                            if indeg[s_] == 0:
+                                newly_ready.append(s_)
                     for s_ in newly_ready:
                         push(s_)
                     spawn = min(W - active[0], len(ready))
@@ -475,11 +593,12 @@ def execute_graph(
                     depth = active[0] + len(ready)
                     frontier = len(ready)
                 if bus is not None:
-                    bus.publish("task_done", tid=tid,
-                                kernel=task.kernel.value,
-                                worker=bus.worker_index(), value=t1 - t0)
-                    bus.publish("frontier", value=float(frontier),
-                                count=depth)
+                    for task in tasks_:
+                        bus.publish("task_done", tid=task.tid,
+                                    kernel=task.kernel.value,
+                                    worker=widx, value=share)
+                        bus.publish("frontier", value=float(frontier),
+                                    count=depth)
                 if metrics is not None:
                     t_out = time.perf_counter()
                     metrics.counter("scheduler.lock_wait_seconds").inc(
@@ -494,7 +613,7 @@ def execute_graph(
                     ).observe(len(newly_ready))
                 for _ in range(spawn):
                     pool.submit(worker_loop)
-                # loop back for the next ready task
+                # loop back for the next ready claim
 
         if bus is not None:
             bus.publish("run_start", total=n, count=W, problem=problem)

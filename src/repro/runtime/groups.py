@@ -1,0 +1,380 @@
+"""Micro-batch group formation and stacked group execution (S24).
+
+PR 9's distributed tracer put a number on the process backend's
+dispatch tax: ~150µs of queue/deserialize/publish overhead *per task*,
+the same order as an nb=64 kernel itself.  The batched backend already
+amortizes Python overhead by executing whole ``(level, kernel)`` groups
+as stacked 3-D operations, but pays a level barrier for it.  This
+module merges the two mechanisms: the rolling ready-frontier keeps its
+no-barrier dataflow order, but dispatches *micro-batches* — small
+groups of compatible ready tasks — so one queue round-trip, one
+deserialization and one stacked ``np.matmul`` sequence cover K tasks.
+
+Compatibility is cheap to decide.  Two tasks can share a group iff
+they run the same kernel; everything else is implied by readiness:
+
+* tasks that are simultaneously ready are mutually independent (a
+  dependency path would order them), so their *output* tiles are
+  disjoint — any write-write or read-write pair on a tile is
+  DAG-ordered, hence never co-ready;
+* a newly ready task cannot conflict with an in-flight one for the
+  same reason: its conflicting predecessors have all retired.
+
+So group formation needs no pairwise tile checks at all — it is a pop
+of up to ``batch`` tasks from one per-kernel ready heap, O(frontier)
+total, not O(frontier²).  :class:`GroupFrontier` implements exactly
+that; :func:`dispatch_arrays` flattens a graph once into the aligned
+coordinate arrays the frontier and the workers index (memoized on the
+:class:`~repro.planner.Plan` as ``Plan.dispatch_arrays()``).
+
+Execution splits by kernel class, mirroring
+:mod:`repro.runtime.batched`:
+
+* **factor kernels** (GEQRT/TSQRT/TTQRT) run per-slice inside the
+  group — LAPACK tile kernels are per-slice anyway, and the per-slice
+  reference kernels keep the numpy path *bitwise* identical to
+  unbatched execution (stacked factor reductions associate
+  differently; stacked applies do not — see below);
+* **apply kernels** (UNMQR/TSMQR/TTMQR) sort the group by source
+  (V/T) tile — :func:`v_runs` — and execute each run as one broadcast
+  stacked apply (:func:`apply_group_pool`): the V tile and its ``T``
+  blocks are processed once per run instead of once per task.  The
+  stacked apply performs the same matmul chain per batch slice as the
+  per-tile kernel, so the numpy path stays bit-exact under grouping.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..dag.tasks import KERNEL_CODES, TaskGraph
+from ..kernels.batched import BatchedTFactor, apply_stacked_batched, \
+    unmqr_batched
+from ..kernels.costs import Kernel
+from ..kernels.stacked import ts_support, tt_support
+
+__all__ = [
+    "APPLY_CODES", "FACTOR_CODES", "DispatchArrays", "GroupFrontier",
+    "apply_group_pool", "dispatch_arrays", "resolve_batch", "v_runs",
+]
+
+_KERNEL_TO_CODE = {k: c for c, k in enumerate(KERNEL_CODES)}
+
+#: the QR factor kernels: produce a T factor, run per-slice in groups
+FACTOR_CODES = frozenset(
+    _KERNEL_TO_CODE[k] for k in (Kernel.GEQRT, Kernel.TSQRT, Kernel.TTQRT))
+
+#: the QR update kernels: consume a T factor, run stacked in groups
+APPLY_CODES = frozenset(
+    _KERNEL_TO_CODE[k] for k in (Kernel.UNMQR, Kernel.TSMQR, Kernel.TTMQR))
+
+_UNMQR = _KERNEL_TO_CODE[Kernel.UNMQR]
+_TTMQR = _KERNEL_TO_CODE[Kernel.TTMQR]
+
+#: ``--batch auto`` targets at least this much estimated work per
+#: descriptor, so queue latency and deserialization amortize into the
+#: noise while groups stay small enough for least-loaded placement
+_AUTO_TARGET_SECONDS = 1e-3
+
+#: calibrated seconds per Table-1 weight unit at nb=64 on small-tile
+#: BLAS (kernel wall-times scale ~nb³; see docs/performance.md)
+_UNIT_SECONDS_NB64 = 25e-6
+
+#: auto never exceeds this group size — beyond it, placement quality
+#: and in-flight fairness cost more than the amortization returns
+_AUTO_MAX = 256
+
+#: auto target multiplier for a single worker: with no sibling workers
+#: to starve, larger descriptors only amortize harder (longer V runs,
+#: fewer queue round trips); measured wall-clock at 1024²/nb=64 keeps
+#: improving through ~256-task descriptors, so solo aims 32x deeper
+_AUTO_SOLO_FACTOR = 32.0
+
+
+def resolve_batch(batch, nb: int, mean_weight: float = 5.0,
+                  workers: int = 1) -> int:
+    """Resolve a ``--batch`` setting to a concrete group size (>= 1).
+
+    ``"off"`` (or 1) disables grouping; an int is used as-is;
+    ``"auto"`` targets >= ~1ms of estimated work per descriptor from
+    the mean Table-1 task weight and the nb³ kernel cost model — small
+    tiles get large groups (the overhead-dominated regime), large
+    tiles degenerate to single-task dispatch where the kernel already
+    dwarfs the queue tax.  With a single worker the target deepens by
+    :data:`_AUTO_SOLO_FACTOR`: grouping cannot starve a sibling
+    worker, so only the amortization side of the trade remains.
+    """
+    if batch == "off":
+        return 1
+    if batch == "auto":
+        est = max(mean_weight, 1.0) * _UNIT_SECONDS_NB64 * (nb / 64.0) ** 3
+        target = _AUTO_TARGET_SECONDS * (
+            _AUTO_SOLO_FACTOR if workers <= 1 else 1.0)
+        return max(1, min(_AUTO_MAX, round(target / est)))
+    size = int(batch)
+    if size < 1:
+        raise ValueError(f"batch must be >= 1, 'auto' or 'off', got {batch!r}")
+    return size
+
+
+# ----------------------------------------------------------------------
+# graph flattening (cached per Plan)
+# ----------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class DispatchArrays:
+    """A graph flattened into the aligned per-task dispatch arrays.
+
+    ``codes`` positions follow :data:`~repro.dag.tasks.KERNEL_CODES`;
+    coordinate arrays use ``-1`` where a kernel has no such coordinate.
+    ``fslot`` numbers the factor tasks' T-store slots densely in tid
+    order; ``src`` points each apply task at its producer's slot
+    (QR kernels only — ``-1`` elsewhere).  Immutable and plan-cachable:
+    building these is O(tasks) and was previously repeated on every
+    ``ProcessPool.run``.
+    """
+
+    codes: np.ndarray
+    rows: np.ndarray
+    pivs: np.ndarray
+    cols: np.ndarray
+    js: np.ndarray
+    fslot: np.ndarray
+    src: np.ndarray
+    nfactor: int
+
+    def __len__(self) -> int:
+        return int(self.codes.size)
+
+
+def dispatch_arrays(graph: TaskGraph) -> DispatchArrays:
+    """Flatten ``graph`` into :class:`DispatchArrays` (one pass).
+
+    Prefer the memoized ``Plan.dispatch_arrays()`` when a plan is
+    available — persistent pools then skip the per-run flattening.
+    """
+    tasks = graph.tasks
+    n = len(tasks)
+    codes = np.fromiter((_KERNEL_TO_CODE[t.kernel] for t in tasks),
+                        dtype=np.int8, count=n)
+    rows = np.fromiter((t.row for t in tasks), dtype=np.int64, count=n)
+    pivs = np.fromiter((-1 if t.piv is None else t.piv for t in tasks),
+                       dtype=np.int64, count=n)
+    cols = np.fromiter((t.col for t in tasks), dtype=np.int64, count=n)
+    js = np.fromiter((-1 if t.j is None else t.j for t in tasks),
+                     dtype=np.int64, count=n)
+    # factor tasks get a slot in the shared T store; apply tasks
+    # reference their source factor's slot (same (row, col, kind) key
+    # convention as ExecutionContext.tfactors)
+    from .executor import _KIND
+    fmap: dict[tuple[int, int, str], int] = {}
+    fslot = np.full(n, -1, dtype=np.int64)
+    src = np.full(n, -1, dtype=np.int64)
+    for t in tasks:
+        code = _KERNEL_TO_CODE[t.kernel]
+        if code in FACTOR_CODES:
+            s = len(fmap)
+            fmap[(t.row, t.col, _KIND[t.kernel])] = s
+            fslot[t.tid] = s
+    for t in tasks:
+        code = _KERNEL_TO_CODE[t.kernel]
+        if code in APPLY_CODES:
+            src[t.tid] = fmap[(t.row, t.col, _KIND[t.kernel])]
+    return DispatchArrays(codes=codes, rows=rows, pivs=pivs, cols=cols,
+                          js=js, fslot=fslot, src=src, nfactor=len(fmap))
+
+
+# ----------------------------------------------------------------------
+# group-aware ready frontier
+# ----------------------------------------------------------------------
+
+class GroupFrontier:
+    """Priority ready-frontier that pops same-kernel micro-batches.
+
+    Ready tasks bucket by ``(kernel code, source slot)`` — the source
+    is the producing factor task, so one bucket is exactly one shared
+    V/T tile.  A per-code *border* heap tracks each push, keyed like
+    the task itself, so the best ready task of a code is O(1) to find
+    (stale border entries — tasks already popped — are skipped
+    lazily, classic lazy-deletion heap).  :meth:`pop_group` selects
+    the code whose border carries the globally best (minimum) key,
+    then fills the group *bucket by bucket* in border order: the best
+    task comes first, and the rest of its V/T bucket rides along
+    before any other source is touched.  That source affinity is what
+    makes the stacked apply amortize — every bucket drained whole is
+    one ``v_runs`` run, one broadcast T fetch, one stacked matmul
+    chain (the batched backend gets the same effect from its level
+    grouping).  Every popped group is valid by the readiness argument
+    in the module docstring: same kernel, mutually independent,
+    disjoint outputs — no pairwise checks needed.
+
+    With ``batch == 1`` (or ``src=None``, the degenerate single
+    bucket per code) this reduces exactly to one priority heap per
+    kernel code popping the globally best task.
+    """
+
+    __slots__ = ("_codes", "_src", "batch", "_buckets", "_border",
+                 "_seq", "_n")
+
+    def __init__(self, codes: np.ndarray, batch: int = 1, src=None):
+        if batch < 1:
+            raise ValueError(f"batch must be >= 1, got {batch}")
+        self._codes = codes
+        self._src = src
+        self.batch = batch
+        #: code -> {src slot -> heap of (key, seq, tid)}
+        self._buckets: dict[int, dict[int, list]] = {}
+        #: code -> heap of (key, seq, src slot); one entry per push
+        self._border: dict[int, list] = {}
+        self._seq = 0
+        self._n = 0
+
+    def __len__(self) -> int:
+        return self._n
+
+    def push(self, tid: int, key: float = 0.0) -> None:
+        """Add a ready task (``key`` sorts ascending — negate
+        bottom-levels for critical-path-first order)."""
+        code = int(self._codes[tid])
+        s = int(self._src[tid]) if self._src is not None else -1
+        buckets = self._buckets.get(code)
+        if buckets is None:
+            buckets = self._buckets[code] = {}
+            self._border[code] = []
+        heap = buckets.get(s)
+        if heap is None:
+            heap = buckets[s] = []
+        entry = (key, self._seq, tid)
+        heapq.heappush(heap, entry)
+        heapq.heappush(self._border[code], (key, self._seq, s))
+        self._seq += 1
+        self._n += 1
+
+    def _head(self, code: int):
+        """Valid border head of ``code`` (lazily dropping stale
+        entries), or ``None`` when the code has no ready tasks.
+
+        A border entry is stale iff its task was already popped; the
+        border is a superset-heap of all bucket entries, so its first
+        non-stale entry always mirrors some bucket's current head.
+        """
+        border = self._border[code]
+        buckets = self._buckets[code]
+        while border:
+            key, seq, s = border[0]
+            heap = buckets.get(s)
+            if heap and heap[0][1] == seq:
+                return border[0]
+            heapq.heappop(border)
+        return None
+
+    def pop_group(self, limit: int | None = None) -> tuple[int, list[int]]:
+        """Pop the best compatible group: ``(code, tids)``.
+
+        ``limit`` additionally caps the group size (the dispatcher
+        passes the target worker's remaining in-flight *task*
+        capacity, so one giant group cannot blow past the cap that
+        exists to keep priority meaningful).
+        """
+        if not self._n:
+            raise IndexError("pop from an empty frontier")
+        best_code = -1
+        best_head = None
+        for code in self._border:
+            head = self._head(code)
+            if head is not None and (best_head is None
+                                     or head < best_head):
+                best_head = head
+                best_code = code
+        buckets = self._buckets[best_code]
+        size = self.batch
+        if limit is not None:
+            size = max(1, min(size, limit))
+        tids: list[int] = []
+        while len(tids) < size:
+            head = self._head(best_code)
+            if head is None:
+                break
+            heap = buckets[head[2]]
+            while heap and len(tids) < size:
+                tids.append(heapq.heappop(heap)[2])
+        self._n -= len(tids)
+        return best_code, tids
+
+
+# ----------------------------------------------------------------------
+# stacked group execution over pool slots
+# ----------------------------------------------------------------------
+
+def v_runs(vslots: np.ndarray):
+    """Sort an apply group by source-tile slot and yield the runs.
+
+    Returns ``(order, bounds)``: ``order`` permutes the group's tasks
+    so that tasks sharing one V tile are contiguous, and
+    ``bounds[i]:bounds[i+1]`` delimits run ``i``.  Each run's applies
+    then execute as one broadcast batched operation — the V tile and
+    its T blocks are processed once instead of once per task.
+    """
+    order = np.argsort(vslots, kind="stable")
+    sv = vslots[order]
+    bounds = np.flatnonzero(np.r_[True, sv[1:] != sv[:-1], True])
+    return order, bounds
+
+
+def dedup_hits(srcs) -> int:
+    """Source-tile loads an apply group saves by sharing V/T runs."""
+    a = np.asarray(srcs)
+    return int(a.size - np.unique(a).size)
+
+
+def apply_group_pool(stack: np.ndarray, code: int, vslots: np.ndarray,
+                     top_slots: np.ndarray | None, bot_slots: np.ndarray,
+                     tfactor_of) -> None:
+    """Execute one apply group in place against a ``(S, nb, nb)`` pool.
+
+    ``stack`` is any slot-addressed tile pool backing array (a
+    :class:`~repro.tiles.pool.TilePool`'s or a
+    :class:`~repro.tiles.shared_pool.SharedTilePool`'s); ``vslots``
+    names each task's V tile, ``bot_slots`` its updated tile
+    (``c_bot``), ``top_slots`` the pivot-row tile for the TS/TT
+    kernels (``None`` for UNMQR).  ``tfactor_of(i)`` returns the
+    broadcastable batch-of-one :class:`BatchedTFactor` of task ``i``
+    (pre-sort index).  Gather and scatter are single fancy-indexing
+    copies; every run is one broadcast stacked apply.
+    """
+    order, bounds = v_runs(vslots)
+    if code == _UNMQR:
+        cslots = bot_slots[order]
+        c = stack[cslots]
+        for u0, u1 in zip(bounds[:-1], bounds[1:]):
+            b = int(order[u0])
+            unmqr_batched(stack[vslots[b]][None], tfactor_of(b), c[u0:u1])
+        stack[cslots] = c
+        return
+    support = tt_support if code == _TTMQR else ts_support
+    ct = top_slots[order]
+    cb = bot_slots[order]
+    c_top = stack[ct]
+    c_bot = stack[cb]
+    for u0, u1 in zip(bounds[:-1], bounds[1:]):
+        b = int(order[u0])
+        apply_stacked_batched(stack[vslots[b]][None], tfactor_of(b),
+                              c_top[u0:u1], c_bot[u0:u1], support,
+                              mask=code == _TTMQR)
+    stack[ct] = c_top
+    stack[cb] = c_bot
+
+
+def broadcast_tfactor(blocks, ib: int) -> BatchedTFactor:
+    """A batch-of-one :class:`BatchedTFactor` from per-panel blocks.
+
+    The apply kernels broadcast it across however many C tiles the
+    source tile updates (run length), so no per-task T stacking is
+    needed.
+    """
+    bt = BatchedTFactor(ib=ib)
+    bt.blocks = [blk[None] for blk in blocks]
+    return bt

@@ -33,6 +33,26 @@ _MODES = ("task", "batched", "process")
 #: numeric factor-kernel implementations (batched / process modes)
 _NUMERICS = ("auto", "numpy", "lapack")
 
+#: named micro-batching settings (ints >= 1 are also accepted)
+_BATCHES = ("auto", "off")
+
+
+def _normalize_batch(value) -> "int | str":
+    """Validate/normalize a ``batch`` setting: ``"auto"``, ``"off"``
+    or an int >= 1 (numeric strings from the CLI are converted;
+    ``1`` is canonicalized to ``"off"`` — same semantics)."""
+    if value in _BATCHES:
+        return value
+    try:
+        size = int(value)
+    except (TypeError, ValueError):
+        raise ValueError(
+            f"batch must be 'auto', 'off' or an int >= 1, got {value!r}"
+        ) from None
+    if size < 1:
+        raise ValueError(f"batch must be >= 1, got {size}")
+    return "off" if size == 1 else size
+
 
 @dataclass(frozen=True)
 class ExecOptions:
@@ -56,6 +76,13 @@ class ExecOptions:
         :mod:`multiprocessing` start method for process mode.
     pool : ProcessPool or None
         Persistent worker pool to reuse in process mode.
+    batch : int or str
+        Micro-batch dispatch for process and threaded task modes:
+        ``"auto"`` (default) sizes groups to ~1ms of estimated work
+        per descriptor, an int >= 2 fixes the group size, ``"off"``
+        (or ``1``) dispatches single tasks.  Ignored by the batched
+        mode (inherently grouped) and the sequential executor.  See
+        :func:`repro.runtime.groups.resolve_batch`.
     """
 
     mode: str = "task"
@@ -63,6 +90,7 @@ class ExecOptions:
     numeric: str = "auto"
     start_method: Optional[str] = None
     pool: Any = None
+    batch: Any = "auto"
 
     def __post_init__(self) -> None:
         if self.mode not in _MODES:
@@ -73,6 +101,7 @@ class ExecOptions:
                 f"numeric must be one of {_NUMERICS}, got {self.numeric!r}")
         if self.workers is not None and self.workers < 1:
             raise ValueError(f"workers must be >= 1, got {self.workers}")
+        object.__setattr__(self, "batch", _normalize_batch(self.batch))
 
     # ------------------------------------------------------------------
     @classmethod
@@ -102,6 +131,8 @@ class ExecOptions:
         for name, value in legacy.items():
             if name not in defaults:
                 raise TypeError(f"unknown execution option {name!r}")
+            if name == "batch":
+                value = _normalize_batch(value)
             if value == defaults[name]:
                 continue
             bundled = getattr(options, name)

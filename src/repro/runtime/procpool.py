@@ -64,6 +64,15 @@ from ..obs.tracer import DistributedTracer, estimate_clock_sync
 from ..tiles.layout import TiledMatrix
 from ..tiles.shared_pool import SharedArray, SharedTilePool
 from .executor import ExecutionContext, _KIND, _clamp_ib
+from .groups import (
+    FACTOR_CODES,
+    GroupFrontier,
+    apply_group_pool,
+    broadcast_tfactor,
+    dedup_hits,
+    dispatch_arrays,
+    resolve_batch,
+)
 
 __all__ = ["ProcessPool", "execute_process"]
 
@@ -77,8 +86,15 @@ _FACTOR_KERNELS = (Kernel.GEQRT, Kernel.TSQRT, Kernel.TTQRT)
 
 #: tasks a worker may hold queued beyond the one it is executing —
 #: enough to hide queue latency, small enough that the parent's
-#: priority order is what actually runs
+#: priority order is what actually runs.  The cap counts *tasks*, not
+#: descriptors: with micro-batching one descriptor may carry a whole
+#: group, and a descriptor-counted cap would let one worker hoard
+#: ``(1 + _PREFETCH) * batch`` tasks while its siblings idle.
 _PREFETCH = 2
+
+#: group-size histogram buckets (powers of two), shared with the
+#: batched backend's ``batched.group_size``
+_SIZE_BUCKETS = (1, 2, 4, 8, 16, 32, 64, 128, 256, 512)
 
 #: seconds between liveness checks while waiting for completions
 _POLL_S = 1.0
@@ -108,7 +124,7 @@ class _RunState:
 
     __slots__ = ("stack_sa", "tstore_sa", "stack", "tstore", "bk", "ib",
                  "nb", "q", "panels", "publish", "trace", "lapack",
-                 "span_buf")
+                 "span_buf", "_tf_cache")
 
     def __init__(self, stack_handle, tstore_handle, cfg: dict):
         self.stack_sa = SharedArray.attach(stack_handle)
@@ -126,6 +142,11 @@ class _RunState:
         self.span_buf: list = []
         # padded slots always factor a full nb-column panel sequence
         self.panels = panel_starts(self.nb, self.ib)
+        #: fslot -> BatchedTFactor of *views* into the T store.  A T
+        #: slot is written exactly once (by its factor task, which the
+        #: DAG orders before every apply that reads it), so the cached
+        #: views stay valid for the rest of the run.
+        self._tf_cache: dict = {}
 
     def tfactor(self, fslot: int, l: int = 0):
         """The padded T factor of factor-task slot ``fslot`` (views).
@@ -140,6 +161,27 @@ class _RunState:
         for pi, (_, jb) in enumerate(self.panels):
             t.blocks.append(self.tstore[fslot, pi, :jb, :jb])
         return t
+
+    def tfactor_batched(self, fslot: int):
+        """Broadcastable batch-of-one T factor of slot ``fslot``.
+
+        Views into the shared T store, sliced exactly as the pool
+        LAPACK helpers and the reference panel blocks lay them out, so
+        stacked applies read the same values the per-tile kernels
+        would.  Memoized per slot (write-once, views stay valid).
+        """
+        tf = self._tf_cache.get(fslot)
+        if tf is not None:
+            return tf
+        if self.lapack:
+            t = self.tstore[fslot]
+            blocks = [t[:jb, j0:j0 + jb] for j0, jb in self.panels]
+        else:
+            blocks = [self.tstore[fslot, pi, :jb, :jb]
+                      for pi, (_, jb) in enumerate(self.panels)]
+        tf = broadcast_tfactor(blocks, self.ib)
+        self._tf_cache[fslot] = tf
+        return tf
 
     def store_t(self, fslot: int, t) -> None:
         if self.lapack:
@@ -180,8 +222,46 @@ def _exec_task(st: _RunState, code: int, row: int, piv: int, col: int,
                  stack[piv * q + j], stack[row * q + j])
 
 
+def _exec_group(st: _RunState, code: int, rows, pivs, cols, js,
+                fslots, srcs) -> None:
+    """Run one same-kernel micro-batch against the shared slots.
+
+    Factor kernels loop per slice — exactly the calls single-task
+    dispatch makes, so grouping never changes their results bitwise.
+    Apply kernels gather their C tiles into a contiguous stack, run
+    one broadcast stacked apply per shared-V run, and scatter back;
+    the stacked applies perform the per-tile matmul chain slice by
+    slice, so the numpy path stays bit-exact under grouping (the
+    LAPACK path matches to rounding, as everywhere else).
+    """
+    if code in FACTOR_CODES:
+        for i in range(len(rows)):
+            _exec_task(st, code, rows[i], pivs[i], cols[i], js[i],
+                       fslots[i], srcs[i])
+        return
+    q = st.q
+    rows_a = np.asarray(rows, dtype=np.int64)
+    cols_a = np.asarray(cols, dtype=np.int64)
+    js_a = np.asarray(js, dtype=np.int64)
+    vslots = rows_a * q + cols_a
+    bot = rows_a * q + js_a
+    top = (None if code == _UNMQR
+           else np.asarray(pivs, dtype=np.int64) * q + js_a)
+    srcs_a = np.asarray(srcs, dtype=np.int64)
+    apply_group_pool(st.stack, code, vslots, top, bot,
+                     lambda b: st.tfactor_batched(int(srcs_a[b])))
+
+
 def _flush_spans(state: "_RunState", widx: int, publisher) -> None:
-    """Ship the buffered span stamps as one batched relay record."""
+    """Ship the buffered span stamps as one batched relay record.
+
+    Beyond the four per-task boundaries, each entry carries its
+    micro-batch context — the group's shared recv/publish stamps, the
+    group size, and the worker's last idle stamp — so the tracer can
+    amortize the once-per-group parent-side costs (descriptor
+    transit, retirement) across the members and exclude deliberate
+    prefetch overlap from the ``dispatched`` phase.
+    """
     buf = state.span_buf
     if not buf:
         return
@@ -191,7 +271,11 @@ def _flush_spans(state: "_RunState", widx: int, publisher) -> None:
                       recv=[b[1] for b in buf],
                       start=[b[2] for b in buf],
                       finish=[b[3] for b in buf],
-                      publish=[b[4] for b in buf])
+                      publish=[b[4] for b in buf],
+                      grecv=[b[5] for b in buf],
+                      gpub=[b[6] for b in buf],
+                      gsize=[b[7] for b in buf],
+                      gfree=[b[8] for b in buf])
 
 
 def _worker_main(widx: int, inq, done_q, publisher) -> None:
@@ -214,7 +298,13 @@ def _worker_main(widx: int, inq, done_q, publisher) -> None:
     timeline.
     """
     state: _RunState | None = None
+    free_t = 0.0
     while True:
+        # free_t marks the moment this worker went idle: any descriptor
+        # already sitting in the inbox was overlapped with useful work,
+        # so the tracer charges ``dispatched`` only from max(dispatch,
+        # free) — deliberate prefetch overlap is queueing, not IPC
+        free_t = time.perf_counter()
         msg = inq.get()
         kind = msg[0]
         if kind == "task":
@@ -237,8 +327,116 @@ def _worker_main(widx: int, inq, done_q, publisher) -> None:
                                   value=dt)
             done_q.put(("done", widx, tid, dt))
             if state.trace:
-                state.span_buf.append((tid, recv_t, t0, t1,
-                                       time.perf_counter()))
+                pub_t = time.perf_counter()
+                state.span_buf.append((tid, recv_t, t0, t1, pub_t,
+                                       recv_t, pub_t, 1, free_t))
+                if len(state.span_buf) >= _SPAN_FLUSH:
+                    _flush_spans(state, widx, publisher)
+        elif kind == "grp":
+            recv_t = time.perf_counter()
+            _, tids, code, rows, pivs, cols, js, fslots, srcs = msg
+            kname = _CODE_TO_NAME[code]
+            if state.publish:
+                for tid in tids:
+                    publisher.publish("task_start", tid=tid, kernel=kname,
+                                      worker=widx)
+            t0 = time.perf_counter()
+            try:
+                _exec_group(state, code, rows, pivs, cols, js, fslots,
+                            srcs)
+            except BaseException:
+                done_q.put(("error", widx, tids, traceback.format_exc()))
+                continue
+            t1 = time.perf_counter()
+            dt = t1 - t0
+            share = dt / len(tids)
+            if state.publish:
+                for tid in tids:
+                    publisher.publish("task_done", tid=tid, kernel=kname,
+                                      worker=widx, value=share)
+            done_q.put(("done", widx, tids, dt))
+            if state.trace:
+                # the stacked kernels leave no per-task boundaries, so
+                # the group's kernel window is split evenly; the
+                # deserialize/publish windows are paid once per group
+                # and amortized as a 1/K slice around each member's
+                # compute slice.  The group stamps (recv_t, pub_t) and
+                # the group size ride along so the tracer's merge can
+                # amortize the parent-side transit and retire costs the
+                # same way — per-phase sums equal the true group costs
+                # and the telescoping identity still holds exactly.
+                pub_t = time.perf_counter()
+                k = len(tids)
+                d_deser = (t0 - recv_t) / k
+                d_pub = (pub_t - t1) / k
+                for i, tid in enumerate(tids):
+                    s_i = t0 + i * share
+                    f_i = s_i + share
+                    state.span_buf.append(
+                        (tid, s_i - d_deser, s_i, f_i, f_i + d_pub,
+                         recv_t, pub_t, k, free_t))
+                if len(state.span_buf) >= _SPAN_FLUSH:
+                    _flush_spans(state, widx, publisher)
+        elif kind == "mgrp":
+            # multi-group descriptor: several kernel groups that share
+            # one queue round-trip and one completion message.  Groups
+            # execute in dispatch order; a failure mid-descriptor
+            # reports the failed group and everything after it as one
+            # error (the parent books them out of flight together)
+            # while the completed prefix still retires normally.
+            recv_t = time.perf_counter()
+            groups = msg[1]
+            results: list = []   # (tids, dt, t0, t1) per group
+            failed_tb = None
+            t1 = recv_t
+            for gi, grp in enumerate(groups):
+                tids, code = grp[0], grp[1]
+                kname = _CODE_TO_NAME[code]
+                if state.publish:
+                    for tid in tids:
+                        publisher.publish("task_start", tid=tid,
+                                          kernel=kname, worker=widx)
+                t0 = time.perf_counter()
+                try:
+                    if len(tids) == 1:
+                        _exec_task(state, code, grp[2][0], grp[3][0],
+                                   grp[4][0], grp[5][0], grp[6][0],
+                                   grp[7][0])
+                    else:
+                        _exec_group(state, code, grp[2], grp[3],
+                                    grp[4], grp[5], grp[6], grp[7])
+                except BaseException:
+                    failed_tb = traceback.format_exc()
+                    rem = tuple(t for g in groups[gi:] for t in g[0])
+                    done_q.put(("error", widx, rem, failed_tb))
+                    break
+                t1 = time.perf_counter()
+                results.append((tids, t1 - t0, t0, t1))
+                if state.publish:
+                    share = (t1 - t0) / len(tids)
+                    for tid in tids:
+                        publisher.publish("task_done", tid=tid,
+                                          kernel=kname, worker=widx,
+                                          value=share)
+            if results:
+                done_q.put(("mdone", widx,
+                            tuple((r[0], r[1]) for r in results)))
+            if state.trace and results:
+                # same amortized per-member stamps as "grp", except
+                # the shared deserialize / publish / transit / retire
+                # windows split across every member of the descriptor
+                pub_t = time.perf_counter()
+                n_ok = sum(len(r[0]) for r in results)
+                d_deser = (results[0][2] - recv_t) / n_ok
+                d_pub = (pub_t - results[-1][3]) / n_ok
+                for tids, dt, t0, _ in results:
+                    share = dt / len(tids)
+                    for i, tid in enumerate(tids):
+                        s_i = t0 + i * share
+                        f_i = s_i + share
+                        state.span_buf.append(
+                            (tid, s_i - d_deser, s_i, f_i, f_i + d_pub,
+                             recv_t, pub_t, n_ok, free_t))
                 if len(state.span_buf) >= _SPAN_FLUSH:
                     _flush_spans(state, widx, publisher)
         elif kind == "sync":
@@ -468,6 +666,7 @@ class ProcessPool:
         tiled: TiledMatrix,
         ib: int = 32,
         numeric: str = "auto",
+        batch="auto",
         on_task_done=None,
         tracer=None,
         metrics: MetricsRegistry | None = None,
@@ -481,6 +680,12 @@ class ProcessPool:
         picks the per-tile kernel backend the workers run
         (``"numpy"`` → reference kernels, ``"lapack"`` → LAPACK tile
         kernels, ``"auto"`` → LAPACK when the dtype supports it).
+        ``batch`` controls frontier micro-batching (``"auto"`` /
+        ``"off"`` / int group size — see
+        :func:`repro.runtime.groups.resolve_batch`): compatible ready
+        tasks ship as one group descriptor and execute through the
+        stacked kernels, amortizing the queue round-trip and
+        deserialization across the group.
         Returns an :class:`~repro.runtime.executor.ExecutionContext`
         whose T factors were copied out of shared memory, so
         ``apply_q`` replay works exactly as for the other backends.
@@ -531,42 +736,34 @@ class ProcessPool:
             return ctx
         self._ensure_started()
 
-        # ---- flatten the graph into dispatch arrays -------------------
+        # ---- flattened dispatch arrays (plan-cached when possible) ----
         tasks = g.tasks
-        codes = np.fromiter((_KERNEL_TO_CODE[t.kernel] for t in tasks),
-                            dtype=np.int8, count=n)
-        rows = np.fromiter((t.row for t in tasks), dtype=np.int64, count=n)
-        pivs = np.fromiter((-1 if t.piv is None else t.piv for t in tasks),
-                           dtype=np.int64, count=n)
-        cols = np.fromiter((t.col for t in tasks), dtype=np.int64, count=n)
-        js = np.fromiter((-1 if t.j is None else t.j for t in tasks),
-                         dtype=np.int64, count=n)
-        # factor tasks get a slot in the shared T store; apply tasks
-        # reference their source factor's slot
-        fmap: dict[tuple[int, int, str], int] = {}
-        fslot = np.full(n, -1, dtype=np.int64)
-        for t in tasks:
-            if t.kernel in _FACTOR_KERNELS:
-                s = len(fmap)
-                fmap[(t.row, t.col, _KIND[t.kernel])] = s
-                fslot[t.tid] = s
-        src = np.full(n, -1, dtype=np.int64)
-        for t in tasks:
-            if t.kernel not in _FACTOR_KERNELS:
-                src[t.tid] = fmap[(t.row, t.col, _KIND[t.kernel])]
+        if plan_obj is not None and hasattr(plan_obj, "dispatch_arrays"):
+            da = plan_obj.dispatch_arrays()
+        else:
+            da = dispatch_arrays(g)
+        fmap: dict[tuple[int, int, str], int] = {
+            (t.row, t.col, _KIND[t.kernel]): int(da.fslot[t.tid])
+            for t in tasks if t.kernel in _FACTOR_KERNELS}
 
         npanels = len(panel_starts(tiled.nb, ib))
         idx = plan_obj.index if plan_obj is not None else g.index()
         prio = (np.asarray(plan_obj.bottom_levels(), dtype=np.float64)
                 if plan_obj is not None
                 and hasattr(plan_obj, "bottom_levels") else None)
+        mean_w = float(idx.weights.mean()) if idx.weights.size else 1.0
+        batch_size = resolve_batch(batch, tiled.nb, mean_w,
+                                   workers=self.workers)
+        if metrics is not None:
+            metrics.gauge("procpool.batch.size", keep_samples=False).set(
+                batch_size)
 
         pool = SharedTilePool(tiled)
         # LAPACK kernels emit one (ib, nb) compact-WY T per padded
         # factor task; the reference kernels a (npanels, ib, ib) panel
         # stack.  Size the shared T store for whichever runs.
-        tshape = ((max(1, len(fmap)), ib, tiled.nb) if use_lapack
-                  else (max(1, len(fmap)), npanels, ib, ib))
+        tshape = ((max(1, da.nfactor), ib, tiled.nb) if use_lapack
+                  else (max(1, da.nfactor), npanels, ib, ib))
         tstore = SharedArray(tshape, dtype)
         try:
             # The relay keeps pointing at this bus after the run
@@ -600,9 +797,8 @@ class ProcessPool:
             self._sched_ok = 0
             err: BaseException | None = None
             try:
-                self._schedule(g, idx, prio, codes, rows, pivs, cols,
-                               js, fslot, src, on_task_done, tracer,
-                               metrics, bus)
+                self._schedule(g, idx, prio, da, batch_size,
+                               on_task_done, tracer, metrics, bus)
             except BaseException as exc:
                 err = exc
             # detach the workers even after a failed run, so the pool
@@ -716,15 +912,26 @@ class ProcessPool:
                     f"worker failed during {expect!r}:\n{msg[3]}")
             # anything else is a stale completion from an aborted run
 
-    def _schedule(self, g, idx, prio, codes, rows, pivs, cols, js,
-                  fslot, src, on_task_done, tracer, metrics, bus) -> None:
-        """Rolling ready-frontier over the CSR index.
+    def _schedule(self, g, idx, prio, da, batch_size, on_task_done,
+                  tracer, metrics, bus) -> None:
+        """Rolling ready-frontier over the CSR index, in micro-batches.
 
         Tasks are dispatched the moment their last predecessor
-        retires, highest bottom-level first, to the least-loaded
-        worker, with at most ``1 + _PREFETCH`` in flight per worker so
-        the priority order is what actually executes.
+        retires, highest bottom-level first, grouped with up to
+        ``batch_size - 1`` compatible (same-kernel) ready peers per
+        descriptor, to the worker with the least outstanding *weight*
+        (Table-1 units).  The in-flight cap counts constituent
+        *tasks*, not descriptors, so one giant group can never hoard
+        a multiple of the intended prefetch depth while other workers
+        starve: ``1 + _PREFETCH`` tasks for unbatched dispatch, two
+        descriptors' worth (``2 * batch_size``) when batching — with
+        a refill hysteresis that tops a worker up only once it is
+        down to its final descriptor, letting ready successors pool
+        into full groups between refills.
         """
+        codes, weights = da.codes, idx.weights
+        rows, pivs, cols = da.rows, da.pivs, da.cols
+        js, fslot, src = da.js, da.fslot, da.src
         n = len(codes)
         W = self.workers
         indeg = idx.indegree
@@ -738,51 +945,166 @@ class ProcessPool:
         pending = self._pending
         pending.clear()
 
-        ready: list[tuple[float, int, int]] = []
-        seq = 0
+        frontier = GroupFrontier(codes, batch_size, src=src)
         t_ready = (time.perf_counter() - epoch
                    if tracer is not None else 0.0)
         for tid in np.flatnonzero(indeg == 0).tolist():
-            key = -prio[tid] if prio is not None else 0.0
-            heapq.heappush(ready, (key, seq, tid))
-            seq += 1
+            frontier.push(tid, -prio[tid] if prio is not None else 0.0)
             if tracer is not None:
                 pending[tid] = [t_ready, -1.0, -1]
-        load = [0] * W
+        load = [0] * W          # in-flight tasks (the capacity unit)
+        wload = [0.0] * W       # in-flight weight (the placement key)
         outstanding = 0
         completed = 0
         abort_exc: BaseException | None = None
-        cap = 1 + _PREFETCH
+        # batch == 1: the classic rolling frontier — dispatch the
+        # moment a worker has room, _PREFETCH tasks deep.  batch > 1:
+        # keep the pipeline two descriptors deep with a refill
+        # *hysteresis* — top a worker up only once it is down to its
+        # last descriptor's worth of tasks, so ready successors pool
+        # in the frontier between refills and form full groups
+        # instead of draining one by one as singletons (transit stays
+        # hidden behind the in-flight descriptor).
+        if batch_size == 1:
+            cap = 1 + _PREFETCH
+        else:
+            cap = 2 * batch_size
+        refill_at = cap - batch_size
+        track_batch = metrics is not None and batch_size > 1
+
+        def _encode(code, tids) -> tuple:
+            ix = np.asarray(tids, dtype=np.intp)
+            return (tuple(tids), int(code),
+                    tuple(rows[ix].tolist()),
+                    tuple(pivs[ix].tolist()),
+                    tuple(cols[ix].tolist()),
+                    tuple(js[ix].tolist()),
+                    tuple(fslot[ix].tolist()),
+                    tuple(src[ix].tolist()))
 
         def dispatch() -> None:
             nonlocal outstanding
             t_disp = -1.0
-            while ready and abort_exc is None:
-                w = min(range(W), key=load.__getitem__)
-                if load[w] >= cap:
-                    return
-                _, _, tid = heapq.heappop(ready)
+            # groups bound for the same worker in this dispatch wave
+            # coalesce into ONE multi-group descriptor: the heavy
+            # apply group and the lone factor task popped next to it
+            # share a single queue round-trip and a single completion
+            # message instead of paying the per-message cost twice.
+            # Placement and execution order are exactly what per-group
+            # messages would produce — only the framing changes.
+            out: dict[int, list] = {}
+            while len(frontier) and abort_exc is None:
+                cands = [i for i in range(W) if load[i] <= refill_at]
+                if not cands:
+                    break
+                w = min(cands, key=lambda i: (wload[i], load[i]))
+                room = cap - load[w]
+                code, tids = frontier.pop_group(limit=room)
                 if tracer is not None:
                     if t_disp < 0.0:
                         # one stamp per dispatch wave — tasks pushed in
                         # the same wave leave the scheduler together
                         t_disp = time.perf_counter() - epoch
-                    ent = pending[tid]
-                    ent[1] = t_disp
-                    ent[2] = w
-                self._inqs[w].put((
-                    "task", tid, int(codes[tid]), int(rows[tid]),
-                    int(pivs[tid]), int(cols[tid]), int(js[tid]),
-                    int(fslot[tid]), int(src[tid])))
-                load[w] += 1
-                outstanding += 1
+                    for tid in tids:
+                        ent = pending[tid]
+                        ent[1] = t_disp
+                        ent[2] = w
+                out.setdefault(w, []).append((code, tids))
+                k = len(tids)
+                load[w] += k
+                wload[w] += float(weights[tids].sum()) if k > 1 \
+                    else float(weights[tids[0]])
+                outstanding += k
                 if metrics is not None:
-                    metrics.counter("procpool.dispatched").inc()
+                    metrics.counter("procpool.dispatched").inc(k)
+                    if track_batch:
+                        metrics.counter("procpool.batch.groups").inc()
+                        metrics.histogram(
+                            "procpool.batch.group_size",
+                            buckets=_SIZE_BUCKETS).observe(k)
+                        if k > 1 and int(src[tids[0]]) >= 0:
+                            hits = dedup_hits(src[tids])
+                            if hits:
+                                metrics.counter(
+                                    "procpool.batch.dedup_hits").inc(hits)
+            for w, groups in out.items():
+                if len(groups) == 1 and len(groups[0][1]) == 1:
+                    code, tids = groups[0]
+                    tid = tids[0]
+                    self._inqs[w].put((
+                        "task", tid, int(code), int(rows[tid]),
+                        int(pivs[tid]), int(cols[tid]), int(js[tid]),
+                        int(fslot[tid]), int(src[tid])))
+                elif len(groups) == 1:
+                    code, tids = groups[0]
+                    self._inqs[w].put(("grp",) + _encode(code, tids))
+                else:
+                    self._inqs[w].put((
+                        "mgrp", tuple(_encode(c, t) for c, t in groups)))
+                if track_batch:
+                    metrics.counter("procpool.batch.descriptors").inc()
+
+        def release_group(tids, now: float) -> None:
+            """Vectorized successor release for a retired descriptor.
+
+            One ``np.subtract.at`` over the concatenated successor
+            slices replaces K Python decrement loops; a successor fed
+            by several group members is decremented once per edge, and
+            the newly-ready set is pushed in ascending-tid order (the
+            heap key decides execution order, so push order only
+            breaks priority ties).
+            """
+            slices = [succ_adj[succ_ptr[t]:succ_ptr[t + 1]]
+                      for t in tids]
+            alls = np.concatenate(slices)
+            if not alls.size:
+                return
+            np.subtract.at(indeg, alls, 1)
+            newly = alls[indeg[alls] == 0]
+            if not newly.size:
+                return
+            for s in np.unique(newly).tolist():
+                frontier.push(s, -prio[s] if prio is not None else 0.0)
+                if tracer is not None:
+                    pending[s] = [now, -1.0, -1]
+
+        def retire(tid: int, w: int, share: float, now: float,
+                   release: bool = True) -> None:
+            nonlocal abort_exc
+            if release and abort_exc is None:
+                for s in succ_adj[succ_ptr[tid]:
+                                  succ_ptr[tid + 1]].tolist():
+                    indeg[s] -= 1
+                    if indeg[s] == 0:
+                        frontier.push(
+                            s, -prio[s] if prio is not None else 0.0)
+                        if tracer is not None:
+                            # ready the instant this retirement lands —
+                            # reuse its stamp
+                            pending[s] = [now, -1.0, -1]
+            task = g.tasks[tid]
+            if dtracer is not None:
+                ent = pending.pop(tid)
+                dtracer.record_parent(task, ent[0], ent[1], now, w,
+                                      dt=share)
+            elif tracer is not None:
+                ent = pending.pop(tid)
+                tracer.record(task, ent[1], max(ent[1], now - share),
+                              now, worker=w)
+            if metrics is not None:
+                name = task.kernel.value
+                metrics.counter(f"tasks.retired.{name}").inc()
+                metrics.histogram(f"kernel.seconds.{name}").observe(share)
+            if on_task_done is not None and abort_exc is None:
+                try:
+                    on_task_done(task, completed, n)
+                except BaseException as exc:
+                    abort_exc = exc
 
         dispatch()
         if bus is not None:
-            bus.publish("frontier", value=float(len(ready)),
-                        count=outstanding + len(ready))
+            bus.publish("frontier", value=float(len(frontier)),
+                        count=outstanding + len(frontier))
         while completed < n:
             if abort_exc is not None and outstanding == 0:
                 break
@@ -793,53 +1115,64 @@ class ProcessPool:
                 continue
             kind = msg[0]
             if kind == "done":
-                _, w, tid, dt = msg
-                load[w] -= 1
-                outstanding -= 1
-                completed += 1
-                self._sched_ok += 1
+                _, w, tids, dt = msg
+                tids = (tids,) if isinstance(tids, int) else tids
+                k = len(tids)
+                load[w] -= k
+                wload[w] -= (float(weights[list(tids)].sum()) if k > 1
+                             else float(weights[tids[0]]))
+                outstanding -= k
+                completed += k
+                self._sched_ok += k
+                share = dt / k
+                now = (time.perf_counter() - epoch
+                       if tracer is not None else 0.0)
+                if k > 1:
+                    if abort_exc is None:
+                        release_group(tids, now)
+                    for tid in tids:
+                        retire(tid, w, share, now, release=False)
+                else:
+                    retire(tids[0], w, share, now)
+                if abort_exc is None:
+                    dispatch()
+                if bus is not None:
+                    bus.publish("frontier", value=float(len(frontier)),
+                                count=outstanding + len(frontier))
+            elif kind == "mdone":
+                # one completion for a whole multi-group descriptor
+                _, w, parts = msg
+                all_tids = [t for tids, _ in parts for t in tids]
+                k = len(all_tids)
+                load[w] -= k
+                wload[w] -= float(weights[all_tids].sum())
+                outstanding -= k
+                completed += k
+                self._sched_ok += k
                 now = (time.perf_counter() - epoch
                        if tracer is not None else 0.0)
                 if abort_exc is None:
-                    for s in succ_adj[succ_ptr[tid]:
-                                      succ_ptr[tid + 1]].tolist():
-                        indeg[s] -= 1
-                        if indeg[s] == 0:
-                            key = -prio[s] if prio is not None else 0.0
-                            heapq.heappush(ready, (key, seq, s))
-                            seq += 1
-                            if tracer is not None:
-                                # ready the instant this retirement
-                                # lands — reuse its stamp
-                                pending[s] = [now, -1.0, -1]
-                    dispatch()
-                task = g.tasks[tid]
-                if dtracer is not None:
-                    ent = pending.pop(tid)
-                    dtracer.record_parent(task, ent[0], ent[1], now, w,
-                                          dt=dt)
-                elif tracer is not None:
-                    ent = pending.pop(tid)
-                    tracer.record(task, ent[1], max(ent[1], now - dt),
-                                  now, worker=w)
-                if metrics is not None:
-                    name = task.kernel.value
-                    metrics.counter(f"tasks.retired.{name}").inc()
-                    metrics.histogram(f"kernel.seconds.{name}").observe(dt)
-                if bus is not None:
-                    bus.publish("frontier", value=float(len(ready)),
-                                count=outstanding + len(ready))
-                if on_task_done is not None and abort_exc is None:
-                    try:
-                        on_task_done(task, completed, n)
-                    except BaseException as exc:
-                        abort_exc = exc
-            elif kind == "error":
-                _, w, tid, tb = msg
-                load[w] -= 1
-                outstanding -= 1
-                completed += 1
+                    release_group(all_tids, now)
+                for tids, dt in parts:
+                    share = dt / len(tids)
+                    for tid in tids:
+                        retire(tid, w, share, now, release=False)
                 if abort_exc is None:
+                    dispatch()
+                if bus is not None:
+                    bus.publish("frontier", value=float(len(frontier)),
+                                count=outstanding + len(frontier))
+            elif kind == "error":
+                _, w, tids, tb = msg
+                tids = (tids,) if isinstance(tids, int) else tids
+                k = len(tids)
+                load[w] -= k
+                wload[w] -= (float(weights[list(tids)].sum()) if k > 1
+                             else float(weights[tids[0]]))
+                outstanding -= k
+                completed += k
+                if abort_exc is None:
+                    tid = tids[0]
                     abort_exc = RuntimeError(
                         f"task {tid} ({_CODE_TO_NAME[int(codes[tid])]}) "
                         f"failed in worker {w}:\n{tb}")
@@ -856,6 +1189,7 @@ def execute_process(
     workers: Optional[int] = None,
     start_method: Optional[str] = None,
     pool: Optional[ProcessPool] = None,
+    batch="auto",
     on_task_done=None,
     tracer=None,
     metrics: MetricsRegistry | None = None,
@@ -868,14 +1202,16 @@ def execute_process(
     Creates an ephemeral :class:`ProcessPool` (``workers``,
     ``start_method``) unless an existing ``pool`` is passed — reuse a
     pool when factoring repeatedly, especially under ``spawn``.
+    ``batch`` controls micro-batched dispatch (``"auto"``/``"off"``/N;
+    see :func:`repro.runtime.groups.resolve_batch`).
     """
     if pool is not None:
-        return pool.run(graph, tiled, ib=ib, numeric=numeric,
+        return pool.run(graph, tiled, ib=ib, numeric=numeric, batch=batch,
                         on_task_done=on_task_done, tracer=tracer,
                         metrics=metrics, collect_metrics=collect_metrics,
                         bus=bus)
     with ProcessPool(workers=workers, start_method=start_method) as p:
-        return p.run(graph, tiled, ib=ib, numeric=numeric,
+        return p.run(graph, tiled, ib=ib, numeric=numeric, batch=batch,
                      on_task_done=on_task_done, tracer=tracer,
                      metrics=metrics, collect_metrics=collect_metrics,
                      bus=bus)
